@@ -1,0 +1,125 @@
+//! The trivial solution the paper mentions in §1: coarse-grained locking
+//! around the sequential ring of Figure 1. Constant memory overhead (the
+//! lock plus two counters) — but **blocking**, so it does not contradict
+//! the lower bound, which is about non-blocking implementations. Included
+//! as the progress-guarantee control in the comparison tables.
+
+use parking_lot::Mutex;
+
+use bq_core::queue::{ConcurrentQueue, Full, SeqRingQueue};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// Mutex-protected sequential ring (Θ(1) overhead, blocking).
+pub struct MutexRingQueue {
+    inner: Mutex<SeqRingQueue>,
+    capacity: usize,
+}
+
+/// `MutexRingQueue` needs no per-thread state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MutexRingHandle;
+
+impl MutexRingQueue {
+    /// Create a queue of capacity `c > 0`.
+    pub fn with_capacity(c: usize) -> Self {
+        MutexRingQueue {
+            inner: Mutex::new(SeqRingQueue::with_capacity(c)),
+            capacity: c,
+        }
+    }
+}
+
+impl ConcurrentQueue for MutexRingQueue {
+    type Handle = MutexRingHandle;
+
+    fn register(&self) -> MutexRingHandle {
+        MutexRingHandle
+    }
+
+    fn enqueue(&self, _h: &mut MutexRingHandle, v: u64) -> Result<(), Full> {
+        self.inner.lock().enqueue(v)
+    }
+
+    fn dequeue(&self, _h: &mut MutexRingHandle) -> Option<u64> {
+        self.inner.lock().dequeue()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn max_token(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+impl MemoryFootprint for MutexRingQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown::with_elements(self.capacity * 8)
+            .add("head + tail counters", 16, OverheadClass::Counters)
+            .add(
+                "parking_lot mutex word",
+                std::mem::size_of::<Mutex<()>>(),
+                OverheadClass::Locks,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_fifo() {
+        let q = MutexRingQueue::with_capacity(3);
+        let mut h = q.register();
+        for v in [10, 20, 30] {
+            q.enqueue(&mut h, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut h, 40), Err(Full(40)));
+        assert_eq!(q.dequeue(&mut h), Some(10));
+        assert_eq!(q.dequeue(&mut h), Some(20));
+        assert_eq!(q.dequeue(&mut h), Some(30));
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn overhead_constant_in_capacity() {
+        let a = MutexRingQueue::with_capacity(8).overhead_bytes();
+        let b = MutexRingQueue::with_capacity(1 << 14).overhead_bytes();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_transfer() {
+        let q = Arc::new(MutexRingQueue::with_capacity(16));
+        let n = 5_000u64;
+        let q2 = Arc::clone(&q);
+        let p = std::thread::spawn(move || {
+            let mut h = q2.register();
+            for v in 1..=n {
+                while q2.enqueue(&mut h, v).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut h = q.register();
+        let mut last = 0;
+        let mut got = 0;
+        while got < n {
+            if let Some(v) = q.dequeue(&mut h) {
+                assert!(v > last);
+                last = v;
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        p.join().unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! A structural model of Nikolaev's SCQ (DISC 2019) — the paper's §4
+//! "tightest algorithm we found": a lock-free bounded queue of capacity `C`
+//! built on rings of `2C` cells, with total memory overhead Ω(C + T).
+//!
+//! SCQ is an *indirect* queue: the elements live in a plain `data[C]`
+//! array, and FIFO order is maintained over **slot indices** circulating
+//! through two rings — `aq` (allocated: indices holding elements) and `fq`
+//! (free: indices available to producers). Each ring has `2C` cells, which
+//! is exactly the ×2 cell blow-up the paper cites; on top of that the
+//! original needs a descriptor per ongoing operation (Θ(T)).
+//!
+//! **Simplification (DESIGN.md §3):** the original rings use
+//! fetch-and-add cycles with a livelock-prevention threshold; we use a
+//! CAS-sequenced ring (Vyukov protocol) of the same geometry. The memory
+//! *shape* — `C` data cells + 2 × `2C` ring cells + per-cell cycle words —
+//! is what experiment E9 measures, and that is preserved. (A CAS ring is
+//! also lock-free, so the progress class matches.)
+
+use std::cell::UnsafeCell;
+
+use crate::vyukov::VyukovQueue;
+use bq_core::queue::{ConcurrentQueue, Full};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// SCQ-style indirect bounded queue (Θ(C) overhead with the paper-cited
+/// 2C-cell rings).
+pub struct ScqStyleQueue {
+    data: Box<[UnsafeCell<u64>]>,
+    /// Ring of indices currently holding elements (capacity 2C).
+    aq: VyukovQueue,
+    /// Ring of free indices (capacity 2C, initially 0..C).
+    fq: VyukovQueue,
+}
+
+// SAFETY: a data cell is owned exclusively by whichever thread holds its
+// index between ring transfers; the rings' sequence words provide the
+// necessary Acquire/Release synchronization.
+unsafe impl Send for ScqStyleQueue {}
+unsafe impl Sync for ScqStyleQueue {}
+
+/// `ScqStyleQueue` needs no per-thread state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScqHandle;
+
+impl ScqStyleQueue {
+    /// Create a queue of capacity `c > 0`.
+    pub fn with_capacity(c: usize) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        let q = ScqStyleQueue {
+            data: (0..c).map(|_| UnsafeCell::new(0)).collect(),
+            aq: VyukovQueue::with_capacity(2 * c),
+            fq: VyukovQueue::with_capacity(2 * c),
+        };
+        let mut h = q.fq.register();
+        for idx in 0..c as u64 {
+            q.fq.enqueue(&mut h, idx).expect("fq sized at 2C");
+        }
+        q
+    }
+}
+
+impl ConcurrentQueue for ScqStyleQueue {
+    type Handle = ScqHandle;
+
+    fn register(&self) -> ScqHandle {
+        ScqHandle
+    }
+
+    fn enqueue(&self, _h: &mut ScqHandle, v: u64) -> Result<(), Full> {
+        let mut rh = self.fq.register();
+        // Acquire a free data slot; none free ⇔ C elements present ⇔ full.
+        let Some(idx) = self.fq.dequeue(&mut rh) else {
+            return Err(Full(v));
+        };
+        // SAFETY: holding `idx` off both rings grants exclusive access.
+        unsafe { *self.data[idx as usize].get() = v };
+        // A 2C ring holding ≤ C live indices can still report full
+        // *spuriously*: a consumer that claimed a slot but has not yet
+        // released its sequence word blocks that slot for one round. This
+        // is the semantic relaxation the paper (§1) notes ring buffers
+        // accept; for the index rings we simply retry — the slot is
+        // guaranteed to free.
+        let mut idx_back = idx;
+        while let Err(Full(i)) = self.aq.enqueue(&mut rh, idx_back) {
+            idx_back = i;
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+
+    fn dequeue(&self, _h: &mut ScqHandle) -> Option<u64> {
+        let mut rh = self.aq.register();
+        let idx = self.aq.dequeue(&mut rh)?;
+        // SAFETY: as in `enqueue`.
+        let v = unsafe { *self.data[idx as usize].get() };
+        let mut idx_back = idx;
+        while let Err(Full(i)) = self.fq.enqueue(&mut rh, idx_back) {
+            idx_back = i;
+            std::thread::yield_now();
+        }
+        Some(v)
+    }
+
+    fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    fn max_token(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn len(&self) -> usize {
+        self.aq.len()
+    }
+}
+
+impl MemoryFootprint for ScqStyleQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        let c = self.data.len();
+        let ring = |q: &VyukovQueue| q.total_bytes();
+        FootprintBreakdown::with_elements(c * 8)
+            .add(
+                "aq index ring (2C cells + cycles)",
+                ring(&self.aq),
+                OverheadClass::PerSlotMetadata,
+            )
+            .add(
+                "fq index ring (2C cells + cycles)",
+                ring(&self.fq),
+                OverheadClass::PerSlotMetadata,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_fifo() {
+        let q = ScqStyleQueue::with_capacity(3);
+        let mut h = q.register();
+        for v in [5, 6, 7] {
+            q.enqueue(&mut h, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut h, 8), Err(Full(8)));
+        assert_eq!(q.dequeue(&mut h), Some(5));
+        assert_eq!(q.dequeue(&mut h), Some(6));
+        assert_eq!(q.dequeue(&mut h), Some(7));
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn wraparound_recycles_indices() {
+        let q = ScqStyleQueue::with_capacity(2);
+        let mut h = q.register();
+        for round in 0..300u64 {
+            q.enqueue(&mut h, round).unwrap();
+            assert_eq!(q.dequeue(&mut h), Some(round));
+        }
+    }
+
+    #[test]
+    fn overhead_is_about_4c_ring_cells() {
+        // 2 rings × 2C cells: the cited 2C-cell blow-up, squared by the
+        // aq/fq pair needed for arbitrary values.
+        let c = 1 << 10;
+        let q = ScqStyleQueue::with_capacity(c);
+        let ovh = q.overhead_bytes();
+        assert!(ovh >= 4 * c * 16, "two 2C rings of (seq,value) pairs: {ovh}");
+    }
+
+    #[test]
+    fn concurrent_transfer_conserves() {
+        let q = Arc::new(ScqStyleQueue::with_capacity(8));
+        let per = 3_000u64;
+        let producers = 2u64;
+        let total = per * producers;
+        let mut ths = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            ths.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    let v = 1 + p * per + i;
+                    while q.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut seen = std::collections::HashSet::new();
+        while (seen.len() as u64) < total {
+            match q.dequeue(&mut h) {
+                Some(v) => assert!(seen.insert(v), "duplicate {v}"),
+                None => std::thread::yield_now(),
+            }
+        }
+        for t in ths {
+            t.join().unwrap();
+        }
+        assert!(q.dequeue(&mut h).is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! A structural model of the Tsigas–Zhang queue (SPAA 2001) — the paper's
+//! §4 counterexample: the one prior attempt at a lock-free bounded queue
+//! with O(1) additional memory.
+//!
+//! Tsigas & Zhang avoid per-slot versions by alternating between exactly
+//! **two** null values (`⊥₀`, `⊥₁`) per round parity. The paper points out
+//! the flaw: with only two nulls, a process that sleeps for *two rounds*
+//! (head and tail making two full traversals) can wake and "incorrectly
+//! place the element into the queue" — the ABA window is merely widened,
+//! not closed. Listing 2's unbounded versioned nulls fix this under the
+//! distinct-elements assumption.
+//!
+//! This type models that scheme on the Listing 2 skeleton: same snapshot /
+//! slot-CAS / counter-help structure, but with `⊥_{round mod 2}` instead of
+//! `⊥_round`. It is **correct in the absence of two-round stalls** (all
+//! sequential and bounded-stall executions) and is included for the E9
+//! overhead comparison and for the adversary demonstration of its flaw.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bq_core::queue::{ConcurrentQueue, Full};
+use bq_core::token::{is_token, TAG_BIT};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// The two alternating nulls: `⊥₀` and `⊥₁`.
+#[inline]
+pub(crate) const fn two_null(parity: u64) -> u64 {
+    TAG_BIT | (parity & 1)
+}
+
+/// Tsigas–Zhang-style bounded queue with two null values (Θ(1) overhead;
+/// unsound under two-round stalls — see module docs).
+pub struct TwoNullQueue {
+    slots: Box<[AtomicU64]>,
+    tail: AtomicU64,
+    head: AtomicU64,
+}
+
+/// `TwoNullQueue` needs no per-thread state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TwoNullHandle;
+
+impl TwoNullQueue {
+    /// Create a queue of capacity `c > 0`.
+    pub fn with_capacity(c: usize) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        TwoNullQueue {
+            slots: (0..c).map(|_| AtomicU64::new(two_null(0))).collect(),
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ConcurrentQueue for TwoNullQueue {
+    type Handle = TwoNullHandle;
+
+    fn register(&self) -> TwoNullHandle {
+        TwoNullHandle
+    }
+
+    fn enqueue(&self, _h: &mut TwoNullHandle, v: u64) -> Result<(), Full> {
+        assert!(is_token(v), "tokens are non-zero 63-bit words");
+        let c = self.slots.len() as u64;
+        loop {
+            let t = self.tail.load(Ordering::SeqCst);
+            let h = self.head.load(Ordering::SeqCst);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            if t == h + c {
+                return Err(Full(v));
+            }
+            let parity = (t / c) & 1;
+            let i = (t % c) as usize;
+            let done = self.slots[i]
+                .compare_exchange(two_null(parity), v, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            let _ = self
+                .tail
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    fn dequeue(&self, _h: &mut TwoNullHandle) -> Option<u64> {
+        let c = self.slots.len() as u64;
+        loop {
+            let t = self.tail.load(Ordering::SeqCst);
+            let h = self.head.load(Ordering::SeqCst);
+            let e = self.slots[(h % c) as usize].load(Ordering::SeqCst);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            if t == h {
+                return None;
+            }
+            let parity = (h / c + 1) & 1;
+            let i = (h % c) as usize;
+            let done = e & TAG_BIT == 0
+                && self.slots[i]
+                    .compare_exchange(e, two_null(parity), Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+            let _ = self
+                .head
+                .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Some(e);
+            }
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_token(&self) -> u64 {
+        TAG_BIT - 1
+    }
+
+    fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::SeqCst);
+        let h = self.head.load(Ordering::SeqCst);
+        t.saturating_sub(h) as usize
+    }
+}
+
+impl MemoryFootprint for TwoNullQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown::with_elements(self.slots.len() * 8).add(
+            "head + tail counters",
+            16,
+            OverheadClass::Counters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fifo_and_wraparound() {
+        let q = TwoNullQueue::with_capacity(3);
+        let mut h = q.register();
+        for round in 0..100u64 {
+            for i in 0..3 {
+                q.enqueue(&mut h, 1 + round * 3 + i).unwrap();
+            }
+            assert_eq!(q.enqueue(&mut h, 999), Err(Full(999)));
+            for i in 0..3 {
+                assert_eq!(q.dequeue(&mut h), Some(1 + round * 3 + i));
+            }
+            assert_eq!(q.dequeue(&mut h), None);
+        }
+    }
+
+    #[test]
+    fn nulls_alternate_between_rounds() {
+        let q = TwoNullQueue::with_capacity(2);
+        let mut h = q.register();
+        // Round 0 dequeues write ⊥₁; round 1 dequeues write ⊥₀ again.
+        q.enqueue(&mut h, 5).unwrap();
+        q.enqueue(&mut h, 6).unwrap();
+        q.dequeue(&mut h).unwrap();
+        assert_eq!(q.slots[0].load(Ordering::SeqCst), two_null(1));
+        q.dequeue(&mut h).unwrap();
+        q.enqueue(&mut h, 7).unwrap(); // round 1: expects ⊥₁
+        q.dequeue(&mut h).unwrap();
+        assert_eq!(q.slots[0].load(Ordering::SeqCst), two_null(0), "parity wrapped");
+    }
+
+    #[test]
+    fn constant_overhead() {
+        assert_eq!(TwoNullQueue::with_capacity(8).overhead_bytes(), 16);
+        assert_eq!(TwoNullQueue::with_capacity(1 << 14).overhead_bytes(), 16);
+    }
+
+    #[test]
+    fn two_round_aba_window_exists() {
+        // The flaw in miniature, single-threaded: after exactly two rounds
+        // the slot state returns to the *same* null a stale CAS expects.
+        // (The concurrent exploitation is the adversary's job; here we show
+        // the state recurrence that makes it possible.)
+        let q = TwoNullQueue::with_capacity(1);
+        let mut h = q.register();
+        let initial = q.slots[0].load(Ordering::SeqCst);
+        q.enqueue(&mut h, 5).unwrap();
+        q.dequeue(&mut h).unwrap(); // round 0 → ⊥₁
+        q.enqueue(&mut h, 6).unwrap();
+        q.dequeue(&mut h).unwrap(); // round 1 → ⊥₀ again
+        assert_eq!(
+            q.slots[0].load(Ordering::SeqCst),
+            initial,
+            "slot state recurs after two rounds — the ABA window"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for **E2**: Listing 1 throughput and construction cost
+//! as a function of the segment size `K`.
+//!
+//! Beyond the memory U-curve (see the `k_sweep` binary), `K` also affects
+//! speed: tiny segments allocate constantly, huge ones are cheap to cross
+//! but waste memory. Run: `cargo bench -p bq-bench --bench segment_k`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bq_core::{ConcurrentQueue, SegmentQueue};
+
+fn bench_segment_k(crit: &mut Criterion) {
+    let c = 1 << 12;
+    let mut group = crit.benchmark_group("segment_k_pairs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for k in [4usize, 16, 64, 256, 1024, 4096] {
+        let ops = 4_000u64;
+        group.throughput(Throughput::Elements(2 * ops));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let q = SegmentQueue::with_capacity_and_segment_size(c, k);
+            let mut h = q.register();
+            b.iter(|| {
+                for v in 1..=ops {
+                    q.enqueue(&mut h, v).unwrap();
+                }
+                for _ in 0..ops {
+                    q.dequeue(&mut h).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segment_k);
+criterion_main!(benches);

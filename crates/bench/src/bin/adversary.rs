@@ -1,0 +1,140 @@
+//! **Experiments E4 / E8** — the lower-bound adversary.
+//!
+//! Runs the executable Figure 3 constructions from `bq-sim` against each
+//! simulated algorithm and prints the recorded histories together with the
+//! linearizability checker's verdicts. The headline result:
+//!
+//! * the Θ(1)-overhead strawman → **NOT linearizable** (both scenarios);
+//! * Listing 2 with its distinct-elements assumption violated → **NOT
+//!   linearizable** (middle-steal);
+//! * Listing 4 (Θ(T) overhead via DCSS) → linearizable under the same
+//!   schedules,
+//!
+//! which is the paper's Theorem 3.12 made concrete: constant overhead and
+//! linearizability cannot coexist for value-independent CAS algorithms.
+//!
+//! Run: `cargo run --release -p bq-bench --bin adversary`
+
+use bq_sim::algos::{Flavor, HelpMode};
+use bq_sim::{
+    run_enqueue_hole, run_lemma_a2_interleaving, run_middle_steal, run_two_round_sleep,
+    AdversaryReport,
+};
+
+fn banner(r: &AdversaryReport) {
+    println!("{}", "-".repeat(72));
+    println!("{}", r.render());
+}
+
+fn main() {
+    println!("=== E8: the lower-bound adversary (Theorem 3.12 / Figure 3) ===\n");
+    println!(
+        "Each algorithm is driven through the same adversarial schedule:\n\
+         a thread is poised immediately before a CAS on a value-location\n\
+         (Definition 3.5), the queue is drained and refilled (fill/empty\n\
+         procedures, Definition 3.6), and the poised CAS is released.\n"
+    );
+
+    let mut summary = Vec::new();
+    for flavor in [Flavor::Naive, Flavor::Distinct, Flavor::TwoNull, Flavor::Dcss] {
+        for (scenario, report) in [
+            ("middle-steal", run_middle_steal(flavor)),
+            ("enqueue-into-hole", run_enqueue_hole(flavor)),
+            ("two-round-sleep", run_two_round_sleep(flavor)),
+        ] {
+            banner(&report);
+            summary.push((
+                report.algorithm,
+                scenario,
+                report.value_locations,
+                report.metadata_locations,
+                report.linearizable(),
+            ));
+        }
+    }
+
+    println!("{}", "=".repeat(72));
+    println!("\n=== Lemma A.2 regression (Listing 5 helping discipline, DESIGN.md §7) ===\n");
+    for mode in [HelpMode::PaperFaithful, HelpMode::Evidence] {
+        let report = run_lemma_a2_interleaving(mode);
+        banner(&report);
+        summary.push((
+            report.algorithm,
+            "lemma-A.2 interleaving",
+            report.value_locations,
+            report.metadata_locations,
+            report.linearizable(),
+        ));
+    }
+
+    println!("{}", "=".repeat(72));
+    println!("\n=== Theorem 3.12 Step 1: the catching census ===\n");
+    println!(
+        "For each algorithm, fresh processes run fill attempts and are poised\n\
+         before their first CAS-from-⊥ on an uncovered value-location. The proof\n\
+         needs T/2 < C for every process to be caught on a distinct location:\n"
+    );
+    println!(
+        "{:<22} {:>4} {:>4} {:>9} {:>9} {:>16} {:>14}",
+        "algorithm", "C", "try", "caught", "distinct", "completed enq", "Step 1 holds?"
+    );
+    for flavor in [Flavor::Naive, Flavor::Distinct, Flavor::TwoNull, Flavor::Dcss] {
+        for (c, catchers) in [(32usize, 6usize), (4, 6)] {
+            let mut mem = bq_sim::SimMemory::new();
+            let q = match flavor {
+                Flavor::Naive => bq_sim::algos::naive(c, &mut mem),
+                Flavor::Distinct => bq_sim::algos::distinct(c, &mut mem),
+                Flavor::TwoNull => bq_sim::algos::two_null(c, &mut mem),
+                Flavor::Dcss => bq_sim::algos::dcss(c, &mut mem),
+            };
+            let name = {
+                use bq_sim::machine::SimQueue as _;
+                q.name()
+            };
+            let mut sim = bq_sim::Sim::new(q, mem, catchers + 2);
+            let r = bq_sim::step1_catch(&mut sim, catchers, 1000, 10_000);
+            println!(
+                "{:<22} {:>4} {:>4} {:>9} {:>9} {:>16} {:>14}",
+                name,
+                c,
+                r.attempted,
+                r.caught,
+                r.covered.len(),
+                r.completed_enqueues,
+                if r.step1_holds() {
+                    "yes"
+                } else {
+                    "NO (C too small)"
+                }
+            );
+        }
+    }
+    println!(
+        "\nWith C = 32 > 6 catchers, Step 1 holds for every algorithm; with C = 4\n\
+         it cannot (only C locations exist to cover) — the theorem's T/2 < C\n\
+         hypothesis, observed.\n"
+    );
+
+    println!("{}", "=".repeat(72));
+    println!("\n=== summary (E4 = listing2 row, E8 = all rows) ===\n");
+    println!(
+        "{:<22} {:<20} {:>10} {:>10} {:>18}",
+        "algorithm", "scenario", "value-locs", "meta-locs", "linearizable?"
+    );
+    for (alg, sc, v, m, lin) in &summary {
+        println!(
+            "{:<22} {:<20} {:>10} {:>10} {:>18}",
+            alg,
+            sc,
+            v,
+            m,
+            if *lin { "yes" } else { "NO — violation" }
+        );
+    }
+    println!(
+        "\nReading: with only C value-locations and O(1) metadata, the adversary\n\
+         constructs non-linearizable executions (naive rows; listing2 row once\n\
+         values repeat). The Θ(T) DCSS design survives the identical schedules —\n\
+         the overhead the lower bound demands is exactly what buys correctness."
+    );
+}

@@ -1,0 +1,86 @@
+//! **Experiment E10** — throughput and the Θ(T)-time cost of memory
+//! optimality.
+//!
+//! Two tables:
+//!
+//! 1. mixed enqueue/dequeue pairs, all algorithms × thread counts — the
+//!    general performance landscape (§1: memory-friendliness correlates
+//!    with performance; Θ(C) industrial designs are fastest);
+//! 2. Listing 5 single-threaded operation cost as a function of the thread
+//!    bound `T` — the paper's closing open question: its memory-optimal
+//!    queue scans the `T`-slot announcement array on every operation, so
+//!    per-op cost grows with `T` even without contention.
+//!
+//! Run: `cargo run --release -p bq-bench --bin throughput_table`
+
+use std::time::Instant;
+
+use bq_bench::registry::{QueueKind, ALL_KINDS};
+use bq_bench::workload::pairs_throughput;
+use bq_core::{ConcurrentQueue, OptimalQueue};
+
+fn main() {
+    let c = 1024;
+    let ops = 20_000u64;
+    let thread_counts = [1usize, 2, 4];
+
+    println!("=== E10a: mixed pairs throughput (C = {c}, {ops} pairs/thread) ===");
+    println!("single-core host: columns >1 thread measure contention behaviour, not speedup\n");
+    print!("{:<24} {:>14}", "queue", "claimed ovh");
+    for t in thread_counts {
+        print!(" {:>9}", format!("{t}th Mops"));
+    }
+    println!();
+    for kind in ALL_KINDS {
+        let q0 = kind.build(4, 1);
+        if !q0.sound() {
+            continue; // unsound models are not performance candidates
+        }
+        print!("{:<24} {:>14}", kind.name(), kind.claimed_overhead());
+        for t in thread_counts {
+            let q = kind.build(c, t);
+            let r = pairs_throughput(&*q, t, ops);
+            print!(" {:>9.3}", r.mops());
+        }
+        println!();
+    }
+
+    println!("\n=== E10b: Listing 5 per-op cost vs thread bound T (solo thread) ===");
+    println!("the announcement array is scanned on every op → cost grows ~linearly in T\n");
+    println!("{:>6} {:>16} {:>12}", "T", "ns/op (solo)", "vs T=1");
+    let mut base = 0.0f64;
+    for t in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let q = OptimalQueue::with_capacity_and_threads(c, t);
+        let mut h = q.register();
+        let iters = 30_000u64;
+        let start = Instant::now();
+        for v in 1..=iters {
+            q.enqueue(&mut h, v).unwrap();
+            q.dequeue(&mut h).unwrap();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (2 * iters) as f64;
+        if t == 1 {
+            base = ns;
+        }
+        println!("{:>6} {:>16.1} {:>11.2}x", t, ns, ns / base);
+    }
+    println!(
+        "\nReading: memory optimality costs time — Θ(T) per operation — matching the\n\
+         paper's §3.6 remark and its open question whether O(1)-time memory-optimal\n\
+         queues exist."
+    );
+
+    println!("\n=== E10c: Vyukov control for E10b (per-slot design, T-independent) ===\n");
+    println!("{:>6} {:>16}", "T", "ns/op (solo)");
+    for t in [1usize, 8, 64] {
+        let q = QueueKind::Vyukov.build(c, t.max(1));
+        let iters = 50_000u64;
+        let start = Instant::now();
+        for v in 1..=iters {
+            assert!(q.enqueue(0, v));
+            q.dequeue(0).unwrap();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (2 * iters) as f64;
+        println!("{:>6} {:>16.1}", t, ns);
+    }
+}

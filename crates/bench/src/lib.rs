@@ -1,0 +1,20 @@
+//! # bq-bench — the experiment harness
+//!
+//! Shared machinery for the reproduction's experiments (DESIGN.md §4):
+//! a dynamic queue registry so every experiment can iterate over all queue
+//! implementations uniformly, and workload drivers for the throughput
+//! experiments.
+//!
+//! The runnable entry points are:
+//!
+//! * `cargo run --release -p bq-bench --bin overhead_table` — E1/E3/E5/E6/E7/E9
+//! * `cargo run --release -p bq-bench --bin k_sweep` — E2
+//! * `cargo run --release -p bq-bench --bin adversary` — E4/E8
+//! * `cargo run --release -p bq-bench --bin throughput_table` — E10
+//! * `cargo bench -p bq-bench` — criterion microbenchmarks (E2/E7/E10)
+
+pub mod registry;
+pub mod workload;
+
+pub use registry::{all_queues, queue_by_name, DynQueue, QueueKind, ALL_KINDS};
+pub use workload::{pairs_throughput, producer_consumer_throughput, WorkloadResult};

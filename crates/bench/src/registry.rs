@@ -1,0 +1,329 @@
+//! A dynamic, object-safe view over every queue in the workspace, so the
+//! experiment drivers can sweep "all algorithms × all parameters" without
+//! monomorphizing each combination.
+//!
+//! [`ConcurrentQueue`] is not object safe (associated `Handle`), so
+//! [`Registered`] pre-registers `T` handles behind mutexes; each benchmark
+//! thread locks only its own handle, so the lock is always uncontended and
+//! adds a uniform constant to every implementation.
+
+use parking_lot::Mutex;
+
+use bq_baselines::{
+    CrossbeamArrayQueue, MsQueue, MutexRingQueue, ScqStyleQueue, TwoNullQueue, VyukovQueue,
+};
+use bq_core::{
+    ConcurrentQueue, DcssQueue, DistinctQueue, LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue,
+};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint};
+
+/// Object-safe queue interface for the experiment drivers.
+pub trait DynQueue: Send + Sync {
+    /// Algorithm name (stable across runs; used as table row label).
+    fn name(&self) -> &'static str;
+    /// Enqueue on behalf of registered thread `tid`; `false` = full.
+    fn enqueue(&self, tid: usize, v: u64) -> bool;
+    /// Dequeue on behalf of registered thread `tid`.
+    fn dequeue(&self, tid: usize) -> Option<u64>;
+    /// Capacity `C`.
+    fn capacity(&self) -> usize;
+    /// Number of pre-registered thread handles.
+    fn threads(&self) -> usize;
+    /// Largest valid token.
+    fn max_token(&self) -> u64;
+    /// Structural footprint (the paper's overhead metric).
+    fn footprint(&self) -> FootprintBreakdown;
+    /// Is this implementation linearizable in general? (`false` for the
+    /// strawman and the two-null model — they are included to *show* the
+    /// lower bound, not to compete.)
+    fn sound(&self) -> bool;
+}
+
+struct Registered<Q: ConcurrentQueue + MemoryFootprint> {
+    name: &'static str,
+    sound: bool,
+    q: Q,
+    handles: Vec<Mutex<Q::Handle>>,
+}
+
+impl<Q: ConcurrentQueue + MemoryFootprint> Registered<Q> {
+    fn new(name: &'static str, sound: bool, q: Q, threads: usize) -> Self {
+        let handles = (0..threads).map(|_| Mutex::new(q.register())).collect();
+        Registered {
+            name,
+            sound,
+            q,
+            handles,
+        }
+    }
+}
+
+impl<Q: ConcurrentQueue + MemoryFootprint> DynQueue for Registered<Q> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn enqueue(&self, tid: usize, v: u64) -> bool {
+        let mut h = self.handles[tid].lock();
+        self.q.enqueue(&mut h, v).is_ok()
+    }
+
+    fn dequeue(&self, tid: usize) -> Option<u64> {
+        let mut h = self.handles[tid].lock();
+        self.q.dequeue(&mut h)
+    }
+
+    fn capacity(&self) -> usize {
+        self.q.capacity()
+    }
+
+    fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn max_token(&self) -> u64 {
+        self.q.max_token()
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        self.q.footprint()
+    }
+
+    fn sound(&self) -> bool {
+        self.sound
+    }
+}
+
+/// Identifiers for every queue implementation in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Unsound Θ(1) strawman (§3).
+    Naive,
+    /// Listing 1 segment queue, K = √C.
+    Segment,
+    /// Listing 1 with the paper's suggested segment-reuse pool.
+    SegmentPooled,
+    /// Listing 2, distinct elements.
+    Distinct,
+    /// Listing 3, LL/SC.
+    LlSc,
+    /// Listing 4, DCSS.
+    Dcss,
+    /// Listing 5, memory-optimal.
+    Optimal,
+    /// Michael–Scott (bounded).
+    Ms,
+    /// Vyukov MPMC.
+    Vyukov,
+    /// SCQ structural model.
+    Scq,
+    /// Tsigas–Zhang two-null model.
+    TwoNull,
+    /// Mutex ring.
+    MutexRing,
+    /// crossbeam ArrayQueue.
+    Crossbeam,
+}
+
+/// All kinds, in the order the paper discusses them.
+pub const ALL_KINDS: &[QueueKind] = &[
+    QueueKind::Naive,
+    QueueKind::Segment,
+    QueueKind::SegmentPooled,
+    QueueKind::Distinct,
+    QueueKind::LlSc,
+    QueueKind::Dcss,
+    QueueKind::Optimal,
+    QueueKind::Ms,
+    QueueKind::Vyukov,
+    QueueKind::Scq,
+    QueueKind::TwoNull,
+    QueueKind::MutexRing,
+    QueueKind::Crossbeam,
+];
+
+impl QueueKind {
+    /// Stable name used in tables and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::Naive => "naive-O(1)-UNSOUND",
+            QueueKind::Segment => "listing1-segment",
+            QueueKind::SegmentPooled => "listing1-segment-pooled",
+            QueueKind::Distinct => "listing2-distinct",
+            QueueKind::LlSc => "listing3-llsc",
+            QueueKind::Dcss => "listing4-dcss",
+            QueueKind::Optimal => "listing5-optimal",
+            QueueKind::Ms => "michael-scott",
+            QueueKind::Vyukov => "vyukov",
+            QueueKind::Scq => "scq-style",
+            QueueKind::TwoNull => "tsigas-zhang-2null",
+            QueueKind::MutexRing => "mutex-ring",
+            QueueKind::Crossbeam => "crossbeam-array",
+        }
+    }
+
+    /// The paper's asymptotic overhead claim for this implementation
+    /// (shown alongside measurements in the tables).
+    pub fn claimed_overhead(self) -> &'static str {
+        match self {
+            QueueKind::Naive => "Θ(1) [unsound]",
+            QueueKind::Segment => "Θ(C/K + T·K)",
+            QueueKind::SegmentPooled => "Θ(C/K + T·K)",
+            QueueKind::Distinct => "Θ(1) [distinct]",
+            QueueKind::LlSc => "Θ(1) [LL/SC hw]",
+            QueueKind::Dcss => "Θ(T)",
+            QueueKind::Optimal => "Θ(T)",
+            QueueKind::Ms => "Θ(n)",
+            QueueKind::Vyukov => "Θ(C)",
+            QueueKind::Scq => "Θ(C)",
+            QueueKind::TwoNull => "Θ(1) [unsound]",
+            QueueKind::MutexRing => "Θ(1) [blocking]",
+            QueueKind::Crossbeam => "Θ(C)",
+        }
+    }
+
+    /// Instantiate with capacity `c` and thread bound `t`.
+    pub fn build(self, c: usize, t: usize) -> Box<dyn DynQueue> {
+        match self {
+            QueueKind::Naive => Box::new(Registered::new(
+                self.name(),
+                false,
+                NaiveQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::Segment => Box::new(Registered::new(
+                self.name(),
+                true,
+                SegmentQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::SegmentPooled => Box::new(Registered::new(
+                self.name(),
+                true,
+                SegmentQueue::with_pooled_segments(
+                    c,
+                    (c as f64).sqrt().round().max(1.0) as usize,
+                ),
+                t,
+            )),
+            QueueKind::Distinct => Box::new(Registered::new(
+                self.name(),
+                true,
+                DistinctQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::LlSc => Box::new(Registered::new(
+                self.name(),
+                true,
+                LlScQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::Dcss => Box::new(Registered::new(
+                self.name(),
+                true,
+                DcssQueue::with_capacity_and_threads(c, t),
+                t,
+            )),
+            QueueKind::Optimal => Box::new(Registered::new(
+                self.name(),
+                true,
+                OptimalQueue::with_capacity_and_threads(c, t),
+                t,
+            )),
+            QueueKind::Ms => Box::new(Registered::new(
+                self.name(),
+                true,
+                MsQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::Vyukov => Box::new(Registered::new(
+                self.name(),
+                true,
+                VyukovQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::Scq => Box::new(Registered::new(
+                self.name(),
+                true,
+                ScqStyleQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::TwoNull => Box::new(Registered::new(
+                self.name(),
+                false,
+                TwoNullQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::MutexRing => Box::new(Registered::new(
+                self.name(),
+                true,
+                MutexRingQueue::with_capacity(c),
+                t,
+            )),
+            QueueKind::Crossbeam => Box::new(Registered::new(
+                self.name(),
+                true,
+                CrossbeamArrayQueue::with_capacity(c),
+                t,
+            )),
+        }
+    }
+}
+
+/// Build every implementation at `(c, t)`.
+pub fn all_queues(c: usize, t: usize) -> Vec<Box<dyn DynQueue>> {
+    ALL_KINDS.iter().map(|k| k.build(c, t)).collect()
+}
+
+/// Look a kind up by its table name.
+pub fn queue_by_name(name: &str) -> Option<QueueKind> {
+    ALL_KINDS.iter().copied().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_round_trips() {
+        for q in all_queues(16, 2) {
+            assert!(q.enqueue(0, 1), "{} rejects a first enqueue", q.name());
+            assert_eq!(q.dequeue(1), Some(1), "{} loses the element", q.name());
+            assert_eq!(q.dequeue(0), None, "{} not empty after drain", q.name());
+            assert_eq!(q.capacity(), 16);
+            assert_eq!(q.threads(), 2);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for k in ALL_KINDS {
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+            assert_eq!(queue_by_name(k.name()), Some(*k));
+        }
+        assert_eq!(queue_by_name("nope"), None);
+    }
+
+    #[test]
+    fn soundness_flags() {
+        for q in all_queues(4, 1) {
+            let expected = !matches!(
+                queue_by_name(q.name()).unwrap(),
+                QueueKind::Naive | QueueKind::TwoNull
+            );
+            assert_eq!(q.sound(), expected, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn footprints_are_positive() {
+        for q in all_queues(64, 2) {
+            // MS stores per-element, so occupy one slot before measuring.
+            q.enqueue(0, 1);
+            let f = q.footprint();
+            assert!(f.element_bytes > 0, "{}", q.name());
+            assert!(f.overhead_bytes() > 0, "{}", q.name());
+        }
+    }
+}

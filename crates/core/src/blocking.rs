@@ -1,0 +1,194 @@
+//! A blocking façade over the non-blocking queues: `send` waits for space,
+//! `recv` waits for an element.
+//!
+//! The paper's §1 mentions the trivial blocking solution (a lock has Θ(1)
+//! overhead but poor scalability). This type shows the practical middle
+//! ground real systems use: the *data path* stays the lock-free queue —
+//! all transfers go through it, no element is ever protected by the lock —
+//! and a mutex/condvar pair is used **only to park** threads that found
+//! the queue full/empty. The memory cost of the parking layer is Θ(1) on
+//! top of whatever the underlying queue pays, so e.g.
+//! `BlockingQueue<T, OptimalQueue>` is a blocking-API queue with Θ(T)
+//! total overhead.
+//!
+//! Wake-ups use condvar waits with a short timeout, which makes the
+//! design immune to the classic lost-wake race (a fast counterpart
+//! transitioning the queue between our failed attempt and our park)
+//! without requiring the data path to take the lock.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::boxed::{BoxedHandle, BoxedQueue, PointerCapable};
+
+/// Maximum park time before re-checking the queue; bounds the cost of a
+/// lost wake-up without busy-waiting.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Blocking bounded queue over any pointer-capable token queue.
+///
+/// ```
+/// use bq_core::{BlockingQueue, OptimalQueue};
+///
+/// let q: BlockingQueue<String, OptimalQueue> =
+///     BlockingQueue::new(OptimalQueue::with_capacity_and_threads(8, 2));
+/// let mut h = q.register();
+/// q.send(&mut h, "job".to_string());
+/// assert_eq!(q.recv(&mut h), "job");
+/// ```
+pub struct BlockingQueue<T: Send, Q: PointerCapable> {
+    inner: BoxedQueue<T, Q>,
+    gate: Mutex<()>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
+    /// Wrap an empty token queue.
+    pub fn new(inner: Q) -> Self {
+        BlockingQueue {
+            inner: BoxedQueue::new(inner),
+            gate: Mutex::new(()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Obtain a per-thread handle.
+    pub fn register(&self) -> BoxedHandle<Q> {
+        self.inner.register()
+    }
+
+    /// Non-blocking enqueue (delegates to the lock-free path).
+    pub fn try_send(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), T> {
+        match self.inner.enqueue(h, value) {
+            Ok(()) => {
+                self.not_empty.notify_one();
+                Ok(())
+            }
+            Err(v) => Err(v),
+        }
+    }
+
+    /// Enqueue, waiting while the queue is full.
+    pub fn send(&self, h: &mut BoxedHandle<Q>, value: T) {
+        let mut item = value;
+        loop {
+            match self.try_send(h, item) {
+                Ok(()) => return,
+                Err(back) => {
+                    item = back;
+                    let mut guard = self.gate.lock();
+                    // Park until signalled (or the timeout re-checks).
+                    self.not_full.wait_for(&mut guard, PARK_TIMEOUT);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_recv(&self, h: &mut BoxedHandle<Q>) -> Option<T> {
+        let v = self.inner.dequeue(h)?;
+        self.not_full.notify_one();
+        Some(v)
+    }
+
+    /// Dequeue, waiting while the queue is empty.
+    pub fn recv(&self, h: &mut BoxedHandle<Q>) -> T {
+        loop {
+            if let Some(v) = self.try_recv(h) {
+                return v;
+            }
+            let mut guard = self.gate.lock();
+            self.not_empty.wait_for(&mut guard, PARK_TIMEOUT);
+        }
+    }
+
+    /// Capacity of the underlying queue.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Approximate length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Approximate emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::OptimalQueue;
+    use std::sync::Arc;
+
+    fn make(c: usize, t: usize) -> BlockingQueue<u64, OptimalQueue> {
+        BlockingQueue::new(OptimalQueue::with_capacity_and_threads(c, t))
+    }
+
+    #[test]
+    fn try_paths_mirror_inner_queue() {
+        let q = make(2, 1);
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        q.try_send(&mut h, 2).unwrap();
+        assert_eq!(q.try_send(&mut h, 3), Err(3));
+        assert_eq!(q.try_recv(&mut h), Some(1));
+        assert_eq!(q.try_recv(&mut h), Some(2));
+        assert_eq!(q.try_recv(&mut h), None);
+    }
+
+    #[test]
+    fn send_blocks_until_space() {
+        let q = Arc::new(make(1, 2));
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        let q2 = Arc::clone(&q);
+        let sender = std::thread::spawn(move || {
+            let mut h2 = q2.register();
+            // Blocks until the main thread drains.
+            q2.send(&mut h2, 2);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.try_recv(&mut h), Some(1));
+        sender.join().unwrap();
+        assert_eq!(q.recv(&mut h), 2);
+    }
+
+    #[test]
+    fn recv_blocks_until_element() {
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let receiver = std::thread::spawn(move || {
+            let mut h = q2.register();
+            q2.recv(&mut h)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let mut h = q.register();
+        q.send(&mut h, 77);
+        assert_eq!(receiver.join().unwrap(), 77);
+    }
+
+    #[test]
+    fn blocking_transfer_full_stream() {
+        let q = Arc::new(make(4, 2));
+        let n = 5_000u64;
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            let mut h = q2.register();
+            for v in 1..=n {
+                q2.send(&mut h, v);
+            }
+        });
+        let mut h = q.register();
+        for expect in 1..=n {
+            assert_eq!(q.recv(&mut h), expect, "single-producer order");
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+    }
+}

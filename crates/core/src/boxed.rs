@@ -1,0 +1,238 @@
+//! A typed adapter: store arbitrary `T` through a token queue by boxing.
+//!
+//! The paper's model stores opaque *values* in value-locations; in a systems
+//! language the natural value is a pointer. [`BoxedQueue`] heap-allocates
+//! each element and passes the pointer (a non-zero, 48-bit-on-x86-64 word,
+//! hence a valid 63-bit token) through an underlying token queue.
+//!
+//! Only **value-independent** queues may carry pointers: the allocator can
+//! hand the same address out twice (free → malloc), so the underlying queue
+//! must tolerate repeated values. [`PointerCapable`] marks the queues for
+//! which that holds: [`SegmentQueue`](crate::SegmentQueue) (unique absolute
+//! positions), [`DcssQueue`](crate::DcssQueue) (counter-guarded updates) and
+//! [`OptimalQueue`](crate::OptimalQueue) (announcement protocol). Notably it
+//! excludes [`DistinctQueue`](crate::DistinctQueue): recycled addresses
+//! violate its distinct-elements assumption — exactly the trap the paper
+//! warns practitioners about.
+
+use std::marker::PhantomData;
+
+use crate::dcss_queue::DcssQueue;
+use crate::optimal::OptimalQueue;
+use crate::queue::ConcurrentQueue;
+use crate::segment::SegmentQueue;
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// Marker for token queues that tolerate repeated token values and can hold
+/// pointer-width (≤ 2⁶²) tokens. See module docs.
+pub trait PointerCapable: ConcurrentQueue {
+    /// Handle creation that bypasses thread-bound accounting, used only
+    /// while holding exclusive access (`Drop`).
+    #[doc(hidden)]
+    fn drop_handle(&self) -> Self::Handle;
+}
+
+impl PointerCapable for SegmentQueue {
+    fn drop_handle(&self) -> Self::Handle {
+        crate::segment::SegmentHandle
+    }
+}
+
+impl PointerCapable for DcssQueue {
+    fn drop_handle(&self) -> Self::Handle {
+        // Reusing tid 0 is safe: Drop has exclusive access, so no live
+        // thread shares the descriptor pair.
+        crate::dcss_queue::DcssHandle::exclusive()
+    }
+}
+
+impl PointerCapable for OptimalQueue {
+    fn drop_handle(&self) -> Self::Handle {
+        crate::optimal::OptimalHandle::exclusive()
+    }
+}
+
+/// A bounded queue of owned `T` values over a pointer-capable token queue.
+pub struct BoxedQueue<T, Q: PointerCapable> {
+    inner: Q,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+/// Per-thread handle wrapping the inner queue's handle.
+pub struct BoxedHandle<Q: PointerCapable> {
+    inner: Q::Handle,
+}
+
+impl<T: Send, Q: PointerCapable> BoxedQueue<T, Q> {
+    /// Wrap an (empty) token queue.
+    ///
+    /// # Panics
+    /// If the inner queue is not empty — tokens already inside would not be
+    /// valid `Box<T>` pointers.
+    pub fn new(inner: Q) -> Self {
+        assert!(inner.is_empty(), "inner queue must start empty");
+        BoxedQueue {
+            inner,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Obtain a per-thread handle.
+    pub fn register(&self) -> BoxedHandle<Q> {
+        BoxedHandle {
+            inner: self.inner.register(),
+        }
+    }
+
+    /// Enqueue an owned value; returns it back when the queue is full.
+    pub fn enqueue(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), T> {
+        let ptr = Box::into_raw(Box::new(value));
+        let token = ptr as u64;
+        debug_assert!(token != 0 && token <= self.inner.max_token());
+        match self.inner.enqueue(&mut h.inner, token) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // SAFETY: the token was rejected, so we still own the box.
+                Err(*unsafe { Box::from_raw(ptr) })
+            }
+        }
+    }
+
+    /// Dequeue the oldest value.
+    pub fn dequeue(&self, h: &mut BoxedHandle<Q>) -> Option<T> {
+        let token = self.inner.dequeue(&mut h.inner)?;
+        // SAFETY: every token in the queue came from Box::into_raw above and
+        // is dequeued exactly once (the inner queue conserves tokens).
+        Some(*unsafe { Box::from_raw(token as *mut T) })
+    }
+
+    /// Capacity of the underlying queue.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Approximate length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Approximate emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<T, Q: PointerCapable + MemoryFootprint> MemoryFootprint for BoxedQueue<T, Q> {
+    fn footprint(&self) -> FootprintBreakdown {
+        let mut b = self.inner.footprint();
+        // The boxed payloads are element storage held outside the slots;
+        // the slots themselves carry the pointers.
+        b.element_bytes += self.inner.len() * std::mem::size_of::<T>();
+        b.overhead.push(bq_memtrack::FootprintEntry::new(
+            "per-element Box allocation headers (allocator-dependent)",
+            0,
+            OverheadClass::Other,
+        ));
+        b
+    }
+}
+
+impl<T, Q: PointerCapable> Drop for BoxedQueue<T, Q> {
+    fn drop(&mut self) {
+        // Drain remaining boxes so elements are not leaked.
+        let mut h = self.inner.drop_handle();
+        while let Some(token) = self.inner.dequeue(&mut h) {
+            // SAFETY: as in `dequeue`.
+            drop(unsafe { Box::from_raw(token as *mut T) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn boxed_roundtrip_strings() {
+        let q: BoxedQueue<String, SegmentQueue> =
+            BoxedQueue::new(SegmentQueue::with_capacity_and_segment_size(4, 2));
+        let mut h = q.register();
+        q.enqueue(&mut h, "hello".to_string()).unwrap();
+        q.enqueue(&mut h, "world".to_string()).unwrap();
+        assert_eq!(q.dequeue(&mut h).as_deref(), Some("hello"));
+        assert_eq!(q.dequeue(&mut h).as_deref(), Some("world"));
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn full_returns_value_unboxed() {
+        let q: BoxedQueue<Vec<u8>, OptimalQueue> =
+            BoxedQueue::new(OptimalQueue::with_capacity_and_threads(1, 2));
+        let mut h = q.register();
+        q.enqueue(&mut h, vec![1]).unwrap();
+        let back = q.enqueue(&mut h, vec![2, 3]).unwrap_err();
+        assert_eq!(back, vec![2, 3]);
+        assert_eq!(q.dequeue(&mut h), Some(vec![1]));
+    }
+
+    #[test]
+    fn drop_drains_without_leak() {
+        // Run under the conservation logic: dropping a non-empty queue must
+        // free the boxes (verified by Miri-style logic: Drop impl of the
+        // payload runs).
+        struct Counter(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Counter {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        {
+            let q: BoxedQueue<Counter, DcssQueue> =
+                BoxedQueue::new(DcssQueue::with_capacity_and_threads(8, 2));
+            let mut h = q.register();
+            for _ in 0..5 {
+                assert!(q.enqueue(&mut h, Counter(Arc::clone(&drops))).is_ok());
+            }
+            assert!(q.dequeue(&mut h).is_some());
+            // 4 left inside.
+        }
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn concurrent_boxed_transfer() {
+        let q: Arc<BoxedQueue<u64, OptimalQueue>> = Arc::new(BoxedQueue::new(
+            OptimalQueue::with_capacity_and_threads(8, 3),
+        ));
+        let n = 2_000u64;
+        let q2 = Arc::clone(&q);
+        let p = std::thread::spawn(move || {
+            let mut h = q2.register();
+            for v in 0..n {
+                let mut item = v;
+                loop {
+                    match q2.enqueue(&mut h, item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut h = q.register();
+        let mut got = Vec::new();
+        while got.len() < n as usize {
+            match q.dequeue(&mut h) {
+                Some(v) => got.push(v),
+                None => std::thread::yield_now(),
+            }
+        }
+        p.join().unwrap();
+        let expected: Vec<u64> = (0..n).collect();
+        assert_eq!(got, expected, "single producer order preserved");
+    }
+}

@@ -1,0 +1,404 @@
+//! **Listing 4** — Θ(T) memory overhead via DCSS.
+//!
+//! `DCSS(&a[i], expected, new, &counter, expectedCounter)` atomically
+//! updates a slot *only if the positioning counter has not moved*, which
+//! eliminates the ABA hazard without versioned nulls or distinct elements:
+//! a delayed slot update from an old round necessarily carries an old
+//! counter expectation and fails the second comparison.
+//!
+//! The DCSS primitive is built from recyclable descriptors (see `bq-dcss`);
+//! only `2·T` descriptors ever exist, so the queue's total overhead is
+//! Θ(T) — matching the paper's lower bound, with the trade-off (paper §2.5)
+//! that slots must be able to hold descriptor references, which costs the
+//! top bit of the value domain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bq_dcss::DcssArena;
+
+use crate::queue::{ConcurrentQueue, Full};
+use crate::token::{is_token, MAX_TOKEN, NULL};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// Bounded queue with Θ(T) overhead using DCSS (paper Listing 4).
+///
+/// The descriptor arena can be **shared between queues**
+/// ([`DcssQueue::group`]), reproducing the paper's §3.5 "system-wide
+/// overhead" remark: `k` queues of capacity `C` need only one Θ(T)
+/// descriptor pool between them, so the per-queue overhead amortizes to
+/// the two counters.
+pub struct DcssQueue {
+    slots: Box<[AtomicU64]>,
+    tail: AtomicU64,
+    head: AtomicU64,
+    arena: Arc<DcssArena>,
+}
+
+/// Per-thread handle carrying the DCSS descriptor-pool thread id.
+#[derive(Debug)]
+pub struct DcssHandle {
+    tid: usize,
+}
+
+impl DcssHandle {
+    /// Handle on tid 0 without consuming a registration slot. Only sound
+    /// under exclusive access (used by `BoxedQueue::drop`).
+    pub(crate) fn exclusive() -> Self {
+        DcssHandle { tid: 0 }
+    }
+}
+
+impl DcssQueue {
+    /// Create a queue of capacity `c` serving up to `max_threads`
+    /// registered threads.
+    pub fn with_capacity_and_threads(c: usize, max_threads: usize) -> Self {
+        Self::with_shared_arena(c, Arc::new(DcssArena::new(max_threads)))
+    }
+
+    /// Create a queue over an existing (possibly shared) descriptor arena.
+    ///
+    /// A thread uses the same `tid` across every queue of the group, so
+    /// the per-thread registration must be coordinated by the caller when
+    /// sharing manually; [`DcssQueue::group`] does this for you.
+    pub fn with_shared_arena(c: usize, arena: Arc<DcssArena>) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        DcssQueue {
+            slots: (0..c).map(|_| AtomicU64::new(NULL)).collect(),
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            arena,
+        }
+    }
+
+    /// Create `k` queues of capacity `c` sharing **one** Θ(T) descriptor
+    /// arena — the paper's §3.5 system-wide overhead observation: total
+    /// overhead is `O(T + k)` counters, not `O(k·T)`.
+    pub fn group(k: usize, c: usize, max_threads: usize) -> Vec<Self> {
+        let arena = Arc::new(DcssArena::new(max_threads));
+        (0..k)
+            .map(|_| Self::with_shared_arena(c, Arc::clone(&arena)))
+            .collect()
+    }
+
+    /// Bytes of the shared arena (counted once per group).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.footprint_bytes()
+    }
+
+    /// Does this queue share its arena with others?
+    pub fn arena_is_shared(&self) -> bool {
+        Arc::strong_count(&self.arena) > 1
+    }
+
+    /// Number of threads the descriptor pool serves.
+    pub fn max_threads(&self) -> usize {
+        self.arena.max_threads()
+    }
+}
+
+impl ConcurrentQueue for DcssQueue {
+    type Handle = DcssHandle;
+
+    fn register(&self) -> DcssHandle {
+        // Ids come from the arena so they stay unique across every queue
+        // sharing it. Note: a thread touching several queues of a group
+        // holds one handle (and descriptor pair) per queue.
+        DcssHandle {
+            tid: self.arena.register_tid(),
+        }
+    }
+
+    fn enqueue(&self, h: &mut DcssHandle, v: u64) -> Result<(), Full> {
+        assert!(
+            is_token(v),
+            "DCSS queue tokens are non-zero 63-bit words (top bit marks descriptors)"
+        );
+        let c = self.slots.len() as u64;
+        loop {
+            // Read the counters snapshot.
+            let t = self.tail.load(Ordering::SeqCst);
+            let hd = self.head.load(Ordering::SeqCst);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Is the queue full?
+            if t == hd + c {
+                return Err(Full(v));
+            }
+            // Try to insert the element iff `tail` is still `t`.
+            let done = self
+                .arena
+                .dcss(h.tid, &self.slots[(t % c) as usize], NULL, v, &self.tail, t)
+                .succeeded();
+            // Increment the counter (helping).
+            let _ = self
+                .tail
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    fn dequeue(&self, h: &mut DcssHandle) -> Option<u64> {
+        let c = self.slots.len() as u64;
+        loop {
+            // Read the counters + element snapshot (the read helps any
+            // in-flight DCSS on the slot to completion first).
+            let t = self.tail.load(Ordering::SeqCst);
+            let hd = self.head.load(Ordering::SeqCst);
+            let e = self.arena.read(&self.slots[(hd % c) as usize]);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Is the queue empty?
+            if t == hd {
+                return None;
+            }
+            // Try to extract the element iff `head` is still `hd`.
+            let done = e != NULL
+                && self
+                    .arena
+                    .dcss(h.tid, &self.slots[(hd % c) as usize], e, NULL, &self.head, hd)
+                    .succeeded();
+            // Increment the counter (helping).
+            let _ = self
+                .head
+                .compare_exchange(hd, hd + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Some(e);
+            }
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_token(&self) -> u64 {
+        MAX_TOKEN
+    }
+
+    fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::SeqCst);
+        let h = self.head.load(Ordering::SeqCst);
+        t.saturating_sub(h) as usize
+    }
+}
+
+impl MemoryFootprint for DcssQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        // A shared arena is charged to the group once; each member then
+        // reports its amortized share.
+        let sharers = Arc::strong_count(&self.arena).max(1);
+        FootprintBreakdown::with_elements(self.slots.len() * 8)
+            .add(
+                format!(
+                    "2T = {} DCSS descriptors{}",
+                    2 * self.arena.max_threads(),
+                    if sharers > 1 {
+                        format!(" (shared {sharers} ways)")
+                    } else {
+                        String::new()
+                    }
+                ),
+                self.arena.footprint_bytes() / sharers,
+                OverheadClass::Descriptors,
+            )
+            .add("head + tail counters", 16, OverheadClass::Counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_fifo() {
+        let q = DcssQueue::with_capacity_and_threads(4, 2);
+        let mut h = q.register();
+        for v in 1..=4 {
+            q.enqueue(&mut h, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut h, 5), Err(Full(5)));
+        for v in 1..=4 {
+            assert_eq!(q.dequeue(&mut h), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn repeated_values_allowed() {
+        // Unlike Listing 2, no distinctness assumption: the counter guard
+        // in the DCSS provides ABA protection.
+        let q = DcssQueue::with_capacity_and_threads(2, 1);
+        let mut h = q.register();
+        for _ in 0..300 {
+            q.enqueue(&mut h, 5).unwrap();
+            q.enqueue(&mut h, 5).unwrap();
+            assert_eq!(q.dequeue(&mut h), Some(5));
+            assert_eq!(q.dequeue(&mut h), Some(5));
+        }
+    }
+
+    #[test]
+    fn overhead_linear_in_threads_constant_in_capacity() {
+        let ovh = |c: usize, t: usize| {
+            DcssQueue::with_capacity_and_threads(c, t).overhead_bytes()
+        };
+        // Constant in C.
+        assert_eq!(ovh(64, 4), ovh(1 << 14, 4));
+        // Linear in T.
+        let t1 = ovh(64, 1);
+        let t8 = ovh(64, 8);
+        let t64 = ovh(64, 64);
+        assert_eq!((t8 - t1) / 7, (t64 - t8) / 56, "per-thread cost is uniform");
+        assert!(t64 > t8 && t8 > t1);
+    }
+
+    #[test]
+    fn registration_bounded_by_t() {
+        let q = DcssQueue::with_capacity_and_threads(4, 2);
+        let _a = q.register();
+        let _b = q.register();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = q.register();
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn shared_arena_amortizes_group_overhead() {
+        // §3.5 "System-wide overhead": k queues, one Θ(T) pool.
+        let k = 8;
+        let group = DcssQueue::group(k, 64, 4);
+        let solo = DcssQueue::with_capacity_and_threads(64, 4);
+        let group_total: usize = group.iter().map(|q| q.overhead_bytes()).sum();
+        let naive_total = k * solo.overhead_bytes();
+        assert!(group[0].arena_is_shared());
+        assert!(!solo.arena_is_shared());
+        // The group pays the arena once plus per-queue counters; the naive
+        // replication pays it k times.
+        assert!(
+            group_total < naive_total / 2,
+            "shared: {group_total} B vs replicated: {naive_total} B"
+        );
+        assert_eq!(
+            group_total,
+            solo.arena_bytes() + k * 16,
+            "group total = one arena + k counter pairs"
+        );
+    }
+
+    #[test]
+    fn shared_arena_queues_work_concurrently() {
+        let group = DcssQueue::group(2, 8, 4);
+        let (qa, qb) = (&group[0], &group[1]);
+        let mut ha = qa.register();
+        let mut hb = qb.register();
+        // Interleaved use of both queues through the same descriptors.
+        for v in 1..=200u64 {
+            qa.enqueue(&mut ha, v).unwrap();
+            qb.enqueue(&mut hb, v + 1000).unwrap();
+            assert_eq!(qa.dequeue(&mut ha), Some(v));
+            assert_eq!(qb.dequeue(&mut hb), Some(v + 1000));
+        }
+        // Cross-thread: one thread per queue, shared arena under load.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut h = qa.register();
+                for v in 1..=2000u64 {
+                    while qa.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                    while qa.dequeue(&mut h).is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            s.spawn(|| {
+                let mut h = qb.register();
+                for v in 1..=2000u64 {
+                    while qb.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                    while qb.dequeue(&mut h).is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn concurrent_repeated_values_conserved() {
+        let q = Arc::new(DcssQueue::with_capacity_and_threads(4, 4));
+        let per = 3_000u64;
+        let producers = 2u64;
+        let total = per * producers;
+        let mut ths = Vec::new();
+        for _ in 0..producers {
+            let q = Arc::clone(&q);
+            ths.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                for _ in 0..per {
+                    while q.enqueue(&mut h, 42).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut got = 0u64;
+        while got < total {
+            match q.dequeue(&mut h) {
+                Some(v) => {
+                    assert_eq!(v, 42);
+                    got += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        for t in ths {
+            t.join().unwrap();
+        }
+        assert_eq!(q.dequeue(&mut h), None, "exact conservation");
+    }
+
+    #[test]
+    fn concurrent_distinct_values_conserved() {
+        let q = Arc::new(DcssQueue::with_capacity_and_threads(8, 4));
+        let per = 2_000u64;
+        let producers = 3u64;
+        let total = per * producers;
+        let mut ths = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            ths.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    let v = 1 + p * per + i;
+                    while q.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut seen = std::collections::HashSet::new();
+        while (seen.len() as u64) < total {
+            match q.dequeue(&mut h) {
+                Some(v) => assert!(seen.insert(v), "duplicate {v}"),
+                None => std::thread::yield_now(),
+            }
+        }
+        for t in ths {
+            t.join().unwrap();
+        }
+        for v in 1..=total {
+            assert!(seen.contains(&v), "missing {v}");
+        }
+    }
+}

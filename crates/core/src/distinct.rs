@@ -1,0 +1,287 @@
+//! **Listing 2** — constant memory overhead with distinct elements.
+//!
+//! The paper shows that a bounded queue with *O(1)* additional memory is
+//! possible under two assumptions:
+//!
+//! 1. all inserted elements are **distinct** (common in practice: pointers
+//!    to fresh objects, unique ids, …), and
+//! 2. an unlimited supply of **versioned ⊥ values** exists, obtained by
+//!    stealing one bit from the value word.
+//!
+//! Each slot cycles through `⊥_r → element → ⊥_{r+1} → element → …` where
+//! `r = counter / C` is the round. Because every (slot, round) pair has a
+//! unique null, a CAS poised on a stale round can never take effect, which
+//! removes the ABA hazard that breaks [`crate::naive::NaiveQueue`].
+//!
+//! The distinctness assumption is the caller's obligation: this queue
+//! checks the token *domain* (63-bit, non-null) but cannot detect
+//! duplicates without Θ(C) extra memory — which is the entire subject of
+//! the paper. Feeding duplicates re-introduces ABA on the element CAS;
+//! experiment E4 demonstrates the resulting non-linearizable execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::queue::{ConcurrentQueue, Full};
+use crate::token::{is_token, is_versioned_null, versioned_null, MAX_TOKEN};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// Bounded queue with Θ(1) memory overhead under the distinct-elements
+/// assumption (paper Listing 2).
+pub struct DistinctQueue {
+    slots: Box<[AtomicU64]>,
+    /// Total enqueue positions claimed (the paper's `tail`).
+    tail: AtomicU64,
+    /// Total dequeue positions claimed (the paper's `head`).
+    head: AtomicU64,
+}
+
+/// `DistinctQueue` needs no per-thread state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DistinctHandle;
+
+impl DistinctQueue {
+    /// Create a queue of capacity `c > 0`. All slots start at `⊥₀`.
+    pub fn with_capacity(c: usize) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        DistinctQueue {
+            slots: (0..c).map(|_| AtomicU64::new(versioned_null(0))).collect(),
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ConcurrentQueue for DistinctQueue {
+    type Handle = DistinctHandle;
+
+    fn register(&self) -> DistinctHandle {
+        DistinctHandle
+    }
+
+    fn enqueue(&self, _h: &mut DistinctHandle, v: u64) -> Result<(), Full> {
+        assert!(
+            is_token(v),
+            "Listing 2 tokens are non-zero 63-bit words (top bit is the ⊥ tag)"
+        );
+        let c = self.slots.len() as u64;
+        loop {
+            // Read the counters snapshot.
+            let t = self.tail.load(Ordering::SeqCst);
+            let h = self.head.load(Ordering::SeqCst);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Is the queue full?
+            if t == h + c {
+                return Err(Full(v));
+            }
+            // Try to insert the element: replace this round's ⊥ with it.
+            let round = t / c;
+            let i = (t % c) as usize;
+            let done = self.slots[i]
+                .compare_exchange(versioned_null(round), v, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            // Increment the counter (helping: losers advance it too).
+            let _ = self
+                .tail
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    fn dequeue(&self, _h: &mut DistinctHandle) -> Option<u64> {
+        let c = self.slots.len() as u64;
+        loop {
+            // Read the counters + element snapshot.
+            let t = self.tail.load(Ordering::SeqCst);
+            let h = self.head.load(Ordering::SeqCst);
+            let e = self.slots[(h % c) as usize].load(Ordering::SeqCst);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Is the queue empty?
+            if t == h {
+                return None;
+            }
+            // Try to extract: replace the element with the *next* round's ⊥,
+            // which is exactly what the round-(h/C + 1) enqueuer expects.
+            let round = h / c + 1;
+            let i = (h % c) as usize;
+            let done = e != versioned_null(round)
+                && !is_versioned_null(e)
+                && self.slots[i]
+                    .compare_exchange(e, versioned_null(round), Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+            // Increment the counter (helping).
+            let _ = self
+                .head
+                .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Some(e);
+            }
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_token(&self) -> u64 {
+        MAX_TOKEN
+    }
+
+    fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::SeqCst);
+        let h = self.head.load(Ordering::SeqCst);
+        t.saturating_sub(h) as usize
+    }
+}
+
+impl MemoryFootprint for DistinctQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        // The versioned ⊥s live inside the value-locations (the stolen top
+        // bit); the only allocated overhead is the two counters.
+        FootprintBreakdown::with_elements(self.slots.len() * 8).add(
+            "head + tail counters",
+            16,
+            OverheadClass::Counters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenGen;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_fifo() {
+        let q = DistinctQueue::with_capacity(4);
+        let mut h = q.register();
+        for v in 1..=4 {
+            q.enqueue(&mut h, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut h, 99), Err(Full(99)));
+        for v in 1..=4 {
+            assert_eq!(q.dequeue(&mut h), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn wraparound_rounds_use_distinct_nulls() {
+        let q = DistinctQueue::with_capacity(2);
+        let mut h = q.register();
+        let gen = TokenGen::new();
+        for _ in 0..100 {
+            let a = gen.next();
+            let b = gen.next();
+            q.enqueue(&mut h, a).unwrap();
+            q.enqueue(&mut h, b).unwrap();
+            assert_eq!(q.dequeue(&mut h), Some(a));
+            assert_eq!(q.dequeue(&mut h), Some(b));
+        }
+        // After 100 rounds, slot 0 holds ⊥₁₀₀ — not the initial ⊥₀.
+        assert_eq!(
+            q.slots[0].load(Ordering::SeqCst),
+            versioned_null(100),
+            "slot nulls advance with the round"
+        );
+    }
+
+    #[test]
+    fn overhead_constant_in_capacity() {
+        for shift in [3usize, 8, 14] {
+            let q = DistinctQueue::with_capacity(1 << shift);
+            assert_eq!(q.overhead_bytes(), 16);
+            assert_eq!(q.element_bytes(), (1 << shift) * 8);
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_tokens_conserved() {
+        // Producers enqueue disjoint token ranges; the main thread drains
+        // everything. The multiset out must equal the multiset in.
+        let q = Arc::new(DistinctQueue::with_capacity(16));
+        let per_thread = 2_000u64;
+        let producers = 3u64;
+        let total = per_thread * producers;
+
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                let gen = TokenGen::starting_at(1 + p * per_thread);
+                for _ in 0..per_thread {
+                    let v = gen.next();
+                    while q.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut seen = std::collections::HashSet::new();
+        while (seen.len() as u64) < total {
+            match q.dequeue(&mut h) {
+                Some(v) => assert!(seen.insert(v), "duplicate token {v}"),
+                None => std::thread::yield_now(),
+            }
+        }
+        for th in handles {
+            th.join().unwrap();
+        }
+        assert_eq!(seen.len() as u64, total);
+        assert!(q.is_empty());
+        // Every token from every producer's range is present.
+        for v in 1..=total {
+            assert!(seen.contains(&v), "missing token {v}");
+        }
+    }
+
+    #[test]
+    fn per_producer_order_preserved() {
+        // FIFO per producer: tokens from one producer must come out in
+        // insertion order even under a concurrent producer.
+        let q = Arc::new(DistinctQueue::with_capacity(8));
+        let n = 4_000u64;
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            let mut h = q2.register();
+            for v in 1..=n {
+                while q2.enqueue(&mut h, v).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let q3 = Arc::clone(&q);
+        let noise = std::thread::spawn(move || {
+            let mut h = q3.register();
+            for v in (1_000_000..1_000_000 + n).step_by(7) {
+                while q3.enqueue(&mut h, v).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut h = q.register();
+        let mut last_main = 0u64;
+        let mut taken = 0u64;
+        while taken < n + n.div_ceil(7) {
+            if let Some(v) = q.dequeue(&mut h) {
+                taken += 1;
+                if v < 1_000_000 {
+                    assert!(v > last_main, "per-producer FIFO violated: {v} after {last_main}");
+                    last_main = v;
+                }
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        noise.join().unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! # bq-core — concurrent bounded queues with provable memory bounds
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *Memory Bounds for Concurrent Bounded Queues* (Aksenov, Koval, Kuznetsov,
+//! Paramonov — PPoPP 2024, arXiv:2104.15003). It implements every bounded
+//! queue algorithm the paper presents, over a common token interface:
+//!
+//! | Type | Paper | Overhead | Assumptions |
+//! |------|-------|----------|-------------|
+//! | [`SeqRingQueue`] | Figure 1 | Θ(1) | single-threaded |
+//! | [`NaiveQueue`] | §3 strawman | Θ(1) | **unsound** (ABA) — lower-bound target |
+//! | [`SegmentQueue`] | Listing 1 / Figure 2 | Θ(C/K + T·K) | none |
+//! | [`DistinctQueue`] | Listing 2 | Θ(1) | all elements distinct |
+//! | [`LlScQueue`] | Listing 3 | Θ(1)† | LL/SC primitive |
+//! | [`DcssQueue`] | Listing 4 | Θ(T) | slots may hold descriptors |
+//! | [`OptimalQueue`] | Listing 5 / Appendix A | Θ(T) | none — matches the lower bound |
+//!
+//! † conceptually; our software LL/SC emulation spends 4 tag bytes per slot,
+//! reported honestly in the footprint (see `bq-llsc`).
+//!
+//! The paper's main theorem (Theorem 3.12) shows that Θ(1) overhead is
+//! **impossible** for an obstruction-free, linearizable, value-independent
+//! queue built from read/write/CAS — which is why [`NaiveQueue`] is labelled
+//! unsound and [`OptimalQueue`]'s Θ(T) is optimal. The executable version of
+//! that impossibility argument lives in the `bq-sim` crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bq_core::{ConcurrentQueue, OptimalQueue};
+//!
+//! let q = OptimalQueue::with_capacity_and_threads(1024, 4);
+//! let mut h = q.register();
+//! q.enqueue(&mut h, 42).unwrap();
+//! assert_eq!(q.dequeue(&mut h), Some(42));
+//! ```
+//!
+//! For arbitrary element types, wrap a pointer-capable queue in
+//! [`BoxedQueue`].
+
+#![deny(missing_docs)]
+
+pub mod blocking;
+pub mod boxed;
+pub mod dcss_queue;
+pub mod distinct;
+pub mod llsc_queue;
+pub mod naive;
+pub mod optimal;
+pub mod queue;
+pub mod segment;
+pub mod spsc;
+pub mod token;
+
+pub use blocking::BlockingQueue;
+pub use boxed::{BoxedHandle, BoxedQueue, PointerCapable};
+pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
+pub use dcss_queue::{DcssHandle, DcssQueue};
+pub use distinct::{DistinctHandle, DistinctQueue};
+pub use llsc_queue::{LlScHandle, LlScQueue};
+pub use naive::{NaiveHandle, NaiveQueue};
+pub use optimal::{OptimalHandle, OptimalQueue};
+pub use queue::{ConcurrentQueue, EnqueueError, Full, SeqRingQueue};
+pub use segment::{SegmentHandle, SegmentQueue};
+pub use token::{InvalidToken, TokenGen, MAX_TOKEN, NULL};

@@ -1,0 +1,188 @@
+//! The **naive constant-overhead queue** — the design the paper's lower
+//! bound proves impossible.
+//!
+//! This is Listing 2 with the versioned nulls stripped: a pre-allocated
+//! array of `C` slots, two positioning counters, CAS everywhere, and a
+//! single unversioned `⊥`. Its memory overhead is Θ(1) — exactly the
+//! footprint practitioners keep trying to achieve (paper §1, "Practical
+//! impact") — and it is **not linearizable**:
+//!
+//! * A thread poised on `CAS(&a[i], ⊥, e)` can fire a full round later and
+//!   insert its element into the *middle* of the queue (the paper's
+//!   Figure 3 scenario), after which the tail counter is driven past
+//!   positions that never received an element and the full/empty equality
+//!   checks are bypassed entirely.
+//! * A thread poised on `CAS(&a[i], v, ⊥)` can, once the value `v` is
+//!   re-enqueued into the same slot (values may repeat —
+//!   value-independence!), steal it from the middle, violating FIFO.
+//!
+//! Both executions are constructed deterministically in `bq-sim`
+//! (experiments E4/E8) and certified non-linearizable by the history
+//! checker. The type is exported for those experiments and for the overhead
+//! tables; it must not be used as a correct queue, which is the entire point
+//! of the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::queue::{ConcurrentQueue, Full};
+use crate::token::{is_token, MAX_TOKEN, NULL};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// The ABA-unsound constant-overhead bounded queue (see module docs).
+///
+/// Overhead: two 8-byte counters — the Θ(1) the lower bound forbids for a
+/// *correct* queue.
+pub struct NaiveQueue {
+    slots: Box<[AtomicU64]>,
+    tail: AtomicU64,
+    head: AtomicU64,
+}
+
+/// `NaiveQueue` needs no per-thread state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NaiveHandle;
+
+impl NaiveQueue {
+    /// Create a queue of capacity `c > 0`.
+    pub fn with_capacity(c: usize) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        NaiveQueue {
+            slots: (0..c).map(|_| AtomicU64::new(NULL)).collect(),
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ConcurrentQueue for NaiveQueue {
+    type Handle = NaiveHandle;
+
+    fn register(&self) -> NaiveHandle {
+        NaiveHandle
+    }
+
+    fn enqueue(&self, _h: &mut NaiveHandle, v: u64) -> Result<(), Full> {
+        assert!(is_token(v), "naive queue tokens are non-zero 63-bit words");
+        let c = self.slots.len() as u64;
+        loop {
+            let t = self.tail.load(Ordering::SeqCst);
+            let h = self.head.load(Ordering::SeqCst);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            if t == h + c {
+                return Err(Full(v));
+            }
+            let i = (t % c) as usize;
+            let done = self.slots[i]
+                .compare_exchange(NULL, v, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            let _ = self
+                .tail
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    fn dequeue(&self, _h: &mut NaiveHandle) -> Option<u64> {
+        let c = self.slots.len() as u64;
+        loop {
+            let t = self.tail.load(Ordering::SeqCst);
+            let h = self.head.load(Ordering::SeqCst);
+            let e = self.slots[(h % c) as usize].load(Ordering::SeqCst);
+            if t != self.tail.load(Ordering::SeqCst) {
+                continue;
+            }
+            if t == h {
+                return None;
+            }
+            let i = (h % c) as usize;
+            let done = e != NULL
+                && self.slots[i]
+                    .compare_exchange(e, NULL, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+            let _ = self
+                .head
+                .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::SeqCst);
+            if done {
+                return Some(e);
+            }
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn max_token(&self) -> u64 {
+        MAX_TOKEN
+    }
+
+    fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::SeqCst);
+        let h = self.head.load(Ordering::SeqCst);
+        t.saturating_sub(h) as usize
+    }
+}
+
+impl MemoryFootprint for NaiveQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown::with_elements(self.slots.len() * 8).add(
+            "head + tail counters",
+            16,
+            OverheadClass::Counters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(c: usize) -> (NaiveQueue, NaiveHandle) {
+        (NaiveQueue::with_capacity(c), NaiveHandle)
+    }
+
+    #[test]
+    fn sequential_fifo() {
+        let (q, mut h) = q(4);
+        for v in 1..=4 {
+            q.enqueue(&mut h, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut h, 5), Err(Full(5)));
+        for v in 1..=4 {
+            assert_eq!(q.dequeue(&mut h), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn sequential_wraparound() {
+        let (q, mut h) = q(3);
+        for round in 0..50u64 {
+            for i in 0..3 {
+                q.enqueue(&mut h, 1 + round * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(q.dequeue(&mut h), Some(1 + round * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_constant() {
+        let small = NaiveQueue::with_capacity(8);
+        let large = NaiveQueue::with_capacity(1 << 14);
+        assert_eq!(small.overhead_bytes(), 16);
+        assert_eq!(large.overhead_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_null_token() {
+        let (q, mut h) = q(2);
+        let _ = q.enqueue(&mut h, 0);
+    }
+}

@@ -1,0 +1,812 @@
+//! **Listing 5 / Appendix A** — the memory-optimal bounded queue with Θ(T)
+//! overhead, matching the paper's lower bound.
+//!
+//! ## Structure
+//!
+//! * `a` — the `C` value-locations (plain values, `0 = ⊥`).
+//! * `enqueues` / `dequeues` — the positioning counters.
+//! * `ops` — the **announcement array** of `T` slots holding references to
+//!   in-progress `EnqOp` descriptors.
+//! * `active_op` — the serialization point through which descriptor
+//!   verdicts are decided one at a time (with helping).
+//! * a pool of **2·T reusable `EnqOp` descriptors** (the Arbel-Raviv/Brown
+//!   reuse technique the paper cites): at most `T` descriptors are parked
+//!   in `ops` plus at most one claimed per thread.
+//!
+//! Total overhead: `T` announcement slots + `2T` descriptors + counters +
+//! one word — **Θ(T)**, independent of the capacity `C`.
+//!
+//! ## How it dodges ABA with no per-slot metadata
+//!
+//! An enqueue never CASes a value-location directly. It *announces* a
+//! descriptor binding `(e = enqueues, i = e % C, x)`; the descriptor becomes
+//! `successful` only if, under the `active_op` serialization, no other
+//! successful descriptor covers cell `i` and the `enqueues` counter still
+//! equals `e`. The covering thread alone writes `a[i]` (in `complete_op`),
+//! so a delayed thread can never deposit a stale value: its descriptor's
+//! counter check fails instead. Dequeues read through the announcement
+//! array (`read_elem`) so they see elements that are still "in flight".
+//!
+//! ## Deviation from the paper's pseudo-code (documented in DESIGN.md §7)
+//!
+//! Listing 5 lets a *failed* enqueue attempt unconditionally help
+//! `CAS(&enqueues, e, e+1)`. There is an interleaving — the covering thread
+//! clears a previous-round descriptor between a rival's `findOp` and its
+//! replacement CAS — in which that helping CAS advances the counter although
+//! **no** successful descriptor for position `e` exists, breaking the
+//! bijection of Lemma A.2 (a dequeue could then observe the previous round's
+//! value again). We therefore let a failed attempt help the counter only
+//! when it has *evidence*: it observed a successful descriptor with
+//! `op.e ≥ e`. Successful attempts and `complete_op` help unconditionally,
+//! exactly as in the paper, and every enqueue stuck at counter value `e`
+//! necessarily targets cell `e % C` and finds the blocking descriptor there,
+//! so lock-freedom (Appendix A.1) is preserved. A regression test for the
+//! problematic interleaving lives in the `bq-sim` adversary suite.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::queue::{ConcurrentQueue, Full};
+use crate::token::{is_token, MAX_TOKEN, NULL};
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+const SEQ_BITS: u32 = 48;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+/// Verdict states, packed as `(seq << 2) | state`.
+const ST_UNDECIDED: u64 = 0;
+const ST_SUCCESS: u64 = 1;
+const ST_FAILURE: u64 = 2;
+
+#[inline]
+fn pack_ref(index: usize, seq: u64) -> u64 {
+    debug_assert!(seq % 2 == 1, "published incarnations are odd");
+    ((index as u64) << SEQ_BITS) | (seq & SEQ_MASK)
+}
+
+#[inline]
+fn unpack_index(p: u64) -> usize {
+    (p >> SEQ_BITS) as usize
+}
+
+#[inline]
+fn unpack_seq(p: u64) -> u64 {
+    p & SEQ_MASK
+}
+
+/// One reusable `EnqOp` descriptor (paper lines 1–21).
+///
+/// `seq` parity: even = free, odd = claimed/published. Fields are written
+/// only between claim and publication, so a reader that re-validates `seq`
+/// after reading the fields observes a consistent incarnation.
+#[repr(align(128))]
+struct EnqOp {
+    seq: AtomicU64,
+    /// The paper's `successful: Bool?` — `(seq << 2) | state` so stale
+    /// helpers' verdict CASes fail harmlessly after reuse.
+    status: AtomicU64,
+    /// The `enqueues` value this operation is bound to.
+    e: AtomicU64,
+    /// The element being inserted.
+    x: AtomicU64,
+    /// Target cell, `e % C` (cached, as in the paper).
+    i: AtomicU64,
+}
+
+impl EnqOp {
+    fn new() -> Self {
+        EnqOp {
+            seq: AtomicU64::new(0),
+            status: AtomicU64::new(0),
+            e: AtomicU64::new(0),
+            x: AtomicU64::new(0),
+            i: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A validated snapshot of one descriptor incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpView {
+    packed: u64,
+    index: usize,
+    seq: u64,
+    e: u64,
+    x: u64,
+    i: usize,
+}
+
+/// Outcome of one `apply` attempt (see module docs for why failures are
+/// split by whether helping the counter is safe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The operation took effect at position `e`.
+    Success { retained_in_ops: bool },
+    /// Failed, but a successful descriptor with `op.e ≥ e` was observed —
+    /// helping `CAS(enqueues, e, e+1)` is safe.
+    FailHelp,
+    /// Failed with no such evidence — do not touch the counter.
+    FailNoHelp,
+}
+
+/// The memory-optimal bounded queue (paper Listing 5 / Appendix A).
+///
+/// ```
+/// use bq_core::{ConcurrentQueue, OptimalQueue};
+/// use bq_memtrack::MemoryFootprint;
+///
+/// let q = OptimalQueue::with_capacity_and_threads(128, 4);
+/// let mut h = q.register();
+/// q.enqueue(&mut h, 7).unwrap();
+/// assert_eq!(q.dequeue(&mut h), Some(7));
+///
+/// // The headline property: overhead is independent of the capacity.
+/// let big = OptimalQueue::with_capacity_and_threads(128 * 1024, 4);
+/// assert_eq!(q.overhead_bytes(), big.overhead_bytes());
+/// ```
+pub struct OptimalQueue {
+    /// The `C` value-locations.
+    a: Box<[AtomicU64]>,
+    enqueues: AtomicU64,
+    dequeues: AtomicU64,
+    /// Announcement array: `T` slots of packed descriptor refs (0 = ⊥).
+    ops: Box<[AtomicU64]>,
+    /// Serialization point for verdicts (packed ref or 0 = ⊥).
+    active_op: AtomicU64,
+    /// Pool of `2T` reusable descriptors.
+    pool: Box<[EnqOp]>,
+    next_tid: AtomicUsize,
+}
+
+/// Per-thread handle (thread id into the announcement machinery).
+#[derive(Debug)]
+pub struct OptimalHandle {
+    #[allow(dead_code)]
+    tid: usize,
+}
+
+impl OptimalHandle {
+    /// Handle on tid 0 without consuming a registration slot. Only sound
+    /// under exclusive access (used by `BoxedQueue::drop`).
+    pub(crate) fn exclusive() -> Self {
+        OptimalHandle { tid: 0 }
+    }
+}
+
+impl OptimalQueue {
+    /// Create a queue of capacity `c` serving up to `max_threads` threads.
+    pub fn with_capacity_and_threads(c: usize, max_threads: usize) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        assert!(
+            max_threads > 0 && max_threads < (1 << 15),
+            "thread bound must be in 1..2^15"
+        );
+        OptimalQueue {
+            a: (0..c).map(|_| AtomicU64::new(NULL)).collect(),
+            enqueues: AtomicU64::new(0),
+            dequeues: AtomicU64::new(0),
+            ops: (0..max_threads).map(|_| AtomicU64::new(0)).collect(),
+            active_op: AtomicU64::new(0),
+            pool: (0..2 * max_threads).map(|_| EnqOp::new()).collect(),
+            next_tid: AtomicUsize::new(0),
+        }
+    }
+
+    /// The thread bound `T`.
+    pub fn max_threads(&self) -> usize {
+        self.ops.len()
+    }
+
+    // ---- descriptor pool -------------------------------------------------
+
+    /// Claim a free descriptor and publish incarnation fields for
+    /// `(e, x, i)`. Always succeeds: at most `T` descriptors are parked in
+    /// `ops` and at most one is claimed per other thread, so a pool of `2T`
+    /// always has a free entry for the claimant.
+    fn claim_desc(&self, e: u64, x: u64, i: usize) -> OpView {
+        loop {
+            for (index, d) in self.pool.iter().enumerate() {
+                let s = d.seq.load(Ordering::SeqCst);
+                if s % 2 != 0 {
+                    continue; // in use
+                }
+                if d
+                    .seq
+                    .compare_exchange(s, s + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    continue;
+                }
+                let seq = s + 1;
+                d.e.store(e, Ordering::SeqCst);
+                d.x.store(x, Ordering::SeqCst);
+                d.i.store(i as u64, Ordering::SeqCst);
+                d.status
+                    .store((seq << 2) | ST_UNDECIDED, Ordering::SeqCst);
+                return OpView {
+                    packed: pack_ref(index, seq),
+                    index,
+                    seq,
+                    e,
+                    x,
+                    i,
+                };
+            }
+        }
+    }
+
+    /// Return a descriptor to the pool. The caller must be the unique
+    /// remover (see the freeing discipline in the module docs).
+    fn free_desc(&self, view: OpView) {
+        let d = &self.pool[view.index];
+        let ok = d
+            .seq
+            .compare_exchange(view.seq, view.seq + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        debug_assert!(ok, "double free of descriptor {}", view.index);
+    }
+
+    /// Reconstruct a validated view from a packed reference. `None` means
+    /// the incarnation ended (the descriptor was freed, possibly reused).
+    fn view_packed(&self, packed: u64) -> Option<OpView> {
+        if packed == 0 {
+            return None;
+        }
+        let index = unpack_index(packed);
+        let seq = unpack_seq(packed);
+        let d = self.pool.get(index)?;
+        let e = d.e.load(Ordering::SeqCst);
+        let x = d.x.load(Ordering::SeqCst);
+        let i = d.i.load(Ordering::SeqCst) as usize;
+        if d.seq.load(Ordering::SeqCst) != seq {
+            return None;
+        }
+        Some(OpView {
+            packed,
+            index,
+            seq,
+            e,
+            x,
+            i,
+        })
+    }
+
+    /// Current verdict of an incarnation: `None` = undecided,
+    /// `Some(true/false)` = success/failure. `Some(false)` is also returned
+    /// for ended incarnations (a freed descriptor's verdict no longer
+    /// matters to readers).
+    fn verdict(&self, view: OpView) -> Option<bool> {
+        let st = self.pool[view.index].status.load(Ordering::SeqCst);
+        if st >> 2 != view.seq {
+            return Some(false);
+        }
+        match st & 0b11 {
+            ST_SUCCESS => Some(true),
+            ST_FAILURE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// CAS the verdict from undecided (idempotent across helpers; stale
+    /// helpers fail because the sequence is embedded).
+    fn decide(&self, view: OpView, success: bool) {
+        let d = &self.pool[view.index];
+        let from = (view.seq << 2) | ST_UNDECIDED;
+        let to = (view.seq << 2) | if success { ST_SUCCESS } else { ST_FAILURE };
+        let _ = d
+            .status
+            .compare_exchange(from, to, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    // ---- announcement array ----------------------------------------------
+
+    /// The paper's `readOp` (lines 103–106): the descriptor at `ops[slot]`
+    /// if it is successful, else `None`.
+    fn read_op(&self, slot: usize) -> Option<OpView> {
+        loop {
+            let p = self.ops[slot].load(Ordering::SeqCst);
+            if p == 0 {
+                return None;
+            }
+            let Some(view) = self.view_packed(p) else {
+                // The incarnation ended between our two loads; the slot
+                // content must have changed — re-read it.
+                continue;
+            };
+            return match self.verdict(view) {
+                Some(true) => Some(view),
+                _ => None,
+            };
+        }
+    }
+
+    /// The paper's `findOp` (lines 110–115): a successful operation
+    /// covering cell `i`, with its slot.
+    fn find_op(&self, i: usize) -> Option<(OpView, usize)> {
+        for slot in 0..self.ops.len() {
+            if let Some(view) = self.read_op(slot) {
+                if view.i == i {
+                    return Some((view, slot));
+                }
+            }
+        }
+        None
+    }
+
+    /// The paper's `EnqOp.tryPut` (lines 12–21): decide the verdict of
+    /// `view`, which must be the current `active_op`. Run by the owner and
+    /// by helpers.
+    fn try_put(&self, view: OpView) {
+        // Is there an operation which already covers cell `i`?
+        if let Some((other, _)) = self.find_op(view.i) {
+            if other.packed != view.packed {
+                self.decide(view, false);
+            }
+        }
+        // Has `enqueues` been changed?
+        let e_valid = self.enqueues.load(Ordering::SeqCst) == view.e;
+        self.decide(view, e_valid);
+    }
+
+    /// The paper's `startPutOp` (lines 60–65): acquire the `active_op`
+    /// serialization point, helping whoever holds it.
+    fn start_put_op(&self, view: OpView) {
+        loop {
+            let cur = self.active_op.load(Ordering::SeqCst);
+            if cur != 0 {
+                if let Some(cur_view) = self.view_packed(cur) {
+                    self.try_put(cur_view);
+                }
+                let _ = self
+                    .active_op
+                    .compare_exchange(cur, 0, Ordering::SeqCst, Ordering::SeqCst);
+            } else if self
+                .active_op
+                .compare_exchange(0, view.packed, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// The paper's `putOp` (lines 45–58): occupy an empty announcement slot
+    /// with `view`, decide its verdict under `active_op`, and return the
+    /// slot on success (`None` on failure, with the slot cleaned).
+    fn put_op(&self, view: OpView) -> Option<usize> {
+        let t = self.ops.len();
+        let mut j = 0usize;
+        loop {
+            let slot = j % t;
+            j += 1;
+            if self.ops[slot]
+                .compare_exchange(0, view.packed, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue; // occupied
+            }
+            self.start_put_op(view);
+            self.try_put(view); // logical addition
+            // Finished; free `active_op` for the next descriptor.
+            let _ = self
+                .active_op
+                .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst);
+            if self.verdict(view) == Some(true) {
+                return Some(slot);
+            }
+            // Clean the slot. Unsuccessful descriptors are never replaced
+            // or completed by others, so this CAS is ours to win.
+            let cleaned = self.ops[slot]
+                .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            debug_assert!(cleaned, "foreign clear of an unsuccessful descriptor");
+            return None;
+        }
+    }
+
+    /// The paper's `completeOp` (lines 69–73). Only the thread that covered
+    /// the cell runs this; it keeps completing replacement descriptors
+    /// until its clearing CAS wins, then releases the cell.
+    fn complete_op(&self, slot: usize) {
+        loop {
+            let Some(view) = self.read_op(slot) else {
+                // Unreachable in a correct run: only the covering thread
+                // (us) clears a covered slot. Defensive exit.
+                debug_assert!(false, "covered slot emptied by someone else");
+                return;
+            };
+            self.a[view.i].store(view.x, Ordering::SeqCst);
+            let _ = self.enqueues.compare_exchange(
+                view.e,
+                view.e + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            if self.ops[slot]
+                .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // We removed it from `ops`; we free it.
+                self.free_desc(view);
+                return;
+            }
+            // A next-round enqueue replaced the descriptor; complete it too.
+        }
+    }
+
+    /// The paper's `apply` (lines 76–92).
+    fn apply(&self, view: OpView) -> Outcome {
+        match self.find_op(view.i) {
+            None => {
+                // Try to cover the cell ourselves.
+                match self.put_op(view) {
+                    Some(slot) => {
+                        self.complete_op(slot);
+                        Outcome::Success {
+                            retained_in_ops: false,
+                        }
+                    }
+                    None => {
+                        // tryPut failed: either the counter moved or a
+                        // concurrent descriptor covers the cell. Helping is
+                        // safe only with observed evidence (module docs).
+                        match self.find_op(view.i) {
+                            Some((c2, _)) if c2.e >= view.e => Outcome::FailHelp,
+                            _ => Outcome::FailNoHelp,
+                        }
+                    }
+                }
+            }
+            Some((cur, slot)) => {
+                if cur.e >= view.e {
+                    // A descriptor for this or a later round already exists;
+                    // our position is taken (or stale). Helping is safe.
+                    return Outcome::FailHelp;
+                }
+                // `cur` is a previous-round operation whose element was
+                // already extracted; replace it with ours, pre-marked
+                // successful (paper lines 89–92).
+                self.decide(view, true);
+                debug_assert_eq!(self.verdict(view), Some(true));
+                if self.ops[slot]
+                    .compare_exchange(cur.packed, view.packed, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    // We removed `cur` from `ops`; we free it. The covering
+                    // thread will complete *our* descriptor.
+                    self.free_desc(cur);
+                    return Outcome::Success {
+                        retained_in_ops: true,
+                    };
+                }
+                // The replacement failed: the covering thread completed and
+                // cleared `cur`, or another replacement won.
+                match self.find_op(view.i) {
+                    Some((c2, _)) if c2.e >= view.e => Outcome::FailHelp,
+                    _ => Outcome::FailNoHelp,
+                }
+            }
+        }
+    }
+
+    /// The paper's `readElem` (lines 96–99): look through the announcement
+    /// array for an in-flight element destined for cell `i`; fall back to
+    /// the array.
+    fn read_elem(&self, i: usize) -> u64 {
+        if let Some((view, _)) = self.find_op(i) {
+            return view.x;
+        }
+        self.a[i].load(Ordering::SeqCst)
+    }
+}
+
+impl ConcurrentQueue for OptimalQueue {
+    type Handle = OptimalHandle;
+
+    fn register(&self) -> OptimalHandle {
+        let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            tid < self.ops.len(),
+            "more threads registered than the queue was sized for (T = {})",
+            self.ops.len()
+        );
+        OptimalHandle { tid }
+    }
+
+    fn enqueue(&self, _h: &mut OptimalHandle, x: u64) -> Result<(), Full> {
+        assert!(
+            is_token(x),
+            "optimal queue tokens are non-zero 63-bit words"
+        );
+        let c = self.a.len() as u64;
+        loop {
+            // Read the counters snapshot (paper lines 36–37).
+            let e = self.enqueues.load(Ordering::SeqCst);
+            let d = self.dequeues.load(Ordering::SeqCst);
+            if e != self.enqueues.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Is the queue full?
+            if e == d + c {
+                return Err(Full(x));
+            }
+            // Announce and try to apply (paper line 39).
+            let view = self.claim_desc(e, x, (e % c) as usize);
+            match self.apply(view) {
+                Outcome::Success { retained_in_ops: _ } => {
+                    // Increment the counter (paper line 40). The descriptor
+                    // is either already freed (complete_op path) or parked
+                    // in `ops` to be freed by its remover — never by us.
+                    let _ = self.enqueues.compare_exchange(
+                        e,
+                        e + 1,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    return Ok(());
+                }
+                Outcome::FailHelp => {
+                    let _ = self.enqueues.compare_exchange(
+                        e,
+                        e + 1,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    self.free_desc(view);
+                }
+                Outcome::FailNoHelp => {
+                    self.free_desc(view);
+                }
+            }
+        }
+    }
+
+    fn dequeue(&self, _h: &mut OptimalHandle) -> Option<u64> {
+        let c = self.a.len() as u64;
+        loop {
+            // Counters + element snapshot (paper lines 29–31).
+            let d = self.dequeues.load(Ordering::SeqCst);
+            let e = self.enqueues.load(Ordering::SeqCst);
+            let x = self.read_elem((d % c) as usize);
+            if d != self.dequeues.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Is the queue empty?
+            if e == d {
+                return None;
+            }
+            debug_assert_ne!(x, NULL, "non-empty position must hold an element");
+            if self
+                .dequeues
+                .compare_exchange(d, d + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some(x);
+            }
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.a.len()
+    }
+
+    fn max_token(&self) -> u64 {
+        MAX_TOKEN
+    }
+
+    fn len(&self) -> usize {
+        let e = self.enqueues.load(Ordering::SeqCst);
+        let d = self.dequeues.load(Ordering::SeqCst);
+        e.saturating_sub(d) as usize
+    }
+}
+
+impl MemoryFootprint for OptimalQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        let t = self.ops.len();
+        FootprintBreakdown::with_elements(self.a.len() * 8)
+            .add(
+                format!("ops announcement array ({t} slots)"),
+                t * 8,
+                OverheadClass::Announcement,
+            )
+            .add(
+                format!("2T = {} EnqOp descriptors", 2 * t),
+                self.pool.len() * std::mem::size_of::<EnqOp>(),
+                OverheadClass::Descriptors,
+            )
+            .add("enqueues + dequeues counters", 16, OverheadClass::Counters)
+            .add("active_op word", 8, OverheadClass::Announcement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_fifo() {
+        let q = OptimalQueue::with_capacity_and_threads(4, 2);
+        let mut h = q.register();
+        for v in 1..=4 {
+            q.enqueue(&mut h, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut h, 5), Err(Full(5)));
+        for v in 1..=4 {
+            assert_eq!(q.dequeue(&mut h), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn sequential_wraparound_many_rounds() {
+        let q = OptimalQueue::with_capacity_and_threads(3, 2);
+        let mut h = q.register();
+        for round in 0..500u64 {
+            for i in 0..3 {
+                q.enqueue(&mut h, 1 + round * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(q.dequeue(&mut h), Some(1 + round * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_values_allowed() {
+        let q = OptimalQueue::with_capacity_and_threads(2, 2);
+        let mut h = q.register();
+        for _ in 0..500 {
+            q.enqueue(&mut h, 9).unwrap();
+            q.enqueue(&mut h, 9).unwrap();
+            assert_eq!(q.dequeue(&mut h), Some(9));
+            assert_eq!(q.dequeue(&mut h), Some(9));
+        }
+    }
+
+    #[test]
+    fn interleaved_partial_rounds() {
+        let q = OptimalQueue::with_capacity_and_threads(4, 2);
+        let mut h = q.register();
+        q.enqueue(&mut h, 1).unwrap();
+        q.enqueue(&mut h, 2).unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(1));
+        q.enqueue(&mut h, 3).unwrap();
+        q.enqueue(&mut h, 4).unwrap();
+        q.enqueue(&mut h, 5).unwrap();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.enqueue(&mut h, 6), Err(Full(6)));
+        for v in 2..=5 {
+            assert_eq!(q.dequeue(&mut h), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn overhead_linear_in_t_constant_in_c() {
+        let ovh =
+            |c: usize, t: usize| OptimalQueue::with_capacity_and_threads(c, t).overhead_bytes();
+        assert_eq!(ovh(64, 4), ovh(1 << 16, 4), "overhead independent of C");
+        let t1 = ovh(64, 1);
+        let t4 = ovh(64, 4);
+        let t16 = ovh(64, 16);
+        assert_eq!((t4 - t1) / 3, (t16 - t4) / 12, "uniform per-thread cost");
+    }
+
+    #[test]
+    fn descriptor_pool_is_2t() {
+        let q = OptimalQueue::with_capacity_and_threads(8, 5);
+        assert_eq!(q.pool.len(), 10);
+        assert_eq!(q.ops.len(), 5);
+    }
+
+    #[test]
+    fn pool_exhaustion_never_happens_sequentially() {
+        // A single thread cycling through many operations must keep reusing
+        // the same descriptors (no leak: the number of claimed descriptors
+        // returns to zero after each op).
+        let q = OptimalQueue::with_capacity_and_threads(4, 3);
+        let mut h = q.register();
+        for v in 1..=10_000u64 {
+            q.enqueue(&mut h, v).unwrap();
+            assert_eq!(q.dequeue(&mut h), Some(v));
+        }
+        let claimed = q
+            .pool
+            .iter()
+            .filter(|d| d.seq.load(Ordering::SeqCst) % 2 == 1)
+            .count();
+        assert_eq!(claimed, 0, "all descriptors returned to the pool");
+    }
+
+    #[test]
+    fn concurrent_repeated_values_conserved() {
+        let q = Arc::new(OptimalQueue::with_capacity_and_threads(4, 4));
+        let per = 2_000u64;
+        let producers = 2u64;
+        let total = per * producers;
+        let mut ths = Vec::new();
+        for _ in 0..producers {
+            let q = Arc::clone(&q);
+            ths.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                for _ in 0..per {
+                    while q.enqueue(&mut h, 7).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut got = 0u64;
+        while got < total {
+            match q.dequeue(&mut h) {
+                Some(v) => {
+                    assert_eq!(v, 7);
+                    got += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        for t in ths {
+            t.join().unwrap();
+        }
+        assert_eq!(q.dequeue(&mut h), None, "exact conservation");
+    }
+
+    #[test]
+    fn concurrent_distinct_values_conserved_and_ordered() {
+        let q = Arc::new(OptimalQueue::with_capacity_and_threads(8, 4));
+        let per = 1_500u64;
+        let producers = 3u64;
+        let total = per * producers;
+        let mut ths = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            ths.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    let v = 1 + p * per + i;
+                    while q.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut seen = std::collections::HashSet::new();
+        let mut last_per_producer = vec![0u64; producers as usize];
+        while (seen.len() as u64) < total {
+            match q.dequeue(&mut h) {
+                Some(v) => {
+                    assert!(seen.insert(v), "duplicate {v}");
+                    let p = ((v - 1) / per) as usize;
+                    assert!(
+                        v > last_per_producer[p],
+                        "per-producer FIFO violated: {v} after {}",
+                        last_per_producer[p]
+                    );
+                    last_per_producer[p] = v;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        for t in ths {
+            t.join().unwrap();
+        }
+        for v in 1..=total {
+            assert!(seen.contains(&v), "missing {v}");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn packing_roundtrip() {
+        for &(idx, seq) in &[(0usize, 1u64), (3, 7), (1000, 12345)] {
+            let p = pack_ref(idx, seq);
+            assert_ne!(p, 0);
+            assert_eq!(unpack_index(p), idx);
+            assert_eq!(unpack_seq(p), seq);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The common bounded-queue interface and the sequential reference queue
+//! (the paper's Figure 1).
+
+use crate::token::InvalidToken;
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+/// Error returned by `enqueue` when the queue is full; carries the rejected
+/// value back to the caller, mirroring the paper's `enqueue(..): Bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Full(pub u64);
+
+impl std::fmt::Display for Full {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bounded queue is full (rejected value {})", self.0)
+    }
+}
+
+impl std::error::Error for Full {}
+
+/// Why `enqueue` can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The queue holds `C` elements.
+    Full(u64),
+    /// The value is outside this queue's token domain.
+    InvalidToken(InvalidToken),
+}
+
+/// The Bounded Queue abstraction of the paper (Section 3.2), over 64-bit
+/// value tokens.
+///
+/// * `enqueue(x)`: if the queue size is less than `C`, adds `x` and returns
+///   `Ok(())`; otherwise returns `Err(Full(x))`.
+/// * `dequeue()`: retrieves the oldest element, or `None` if empty (the
+///   paper's `⊥`).
+///
+/// Implementations that need a thread identity (the descriptor-based queues,
+/// Listings 4 and 5) receive it through a per-thread [`Handle`] obtained
+/// from [`register`](ConcurrentQueue::register); queues without per-thread
+/// state use a trivial handle. Handles must not be shared between threads
+/// concurrently (they are `Send`, not `Sync`).
+///
+/// Each queue documents its **token domain** — e.g. Listing 2 reserves the
+/// top bit for versioned nulls — and exposes it via
+/// [`max_token`](ConcurrentQueue::max_token). Passing an out-of-domain
+/// value panics in debug and is rejected in release.
+pub trait ConcurrentQueue: Send + Sync {
+    /// Per-thread access handle.
+    type Handle: Send;
+
+    /// Obtain a handle for the calling thread. Queues with a thread bound
+    /// `T` panic when more than `T` handles are requested.
+    fn register(&self) -> Self::Handle;
+
+    /// Add `v` at the tail.
+    fn enqueue(&self, h: &mut Self::Handle, v: u64) -> Result<(), Full>;
+
+    /// Remove and return the head element, or `None` when empty.
+    fn dequeue(&self, h: &mut Self::Handle) -> Option<u64>;
+
+    /// The capacity `C`.
+    fn capacity(&self) -> usize;
+
+    /// Largest token value this queue accepts (inclusive).
+    fn max_token(&self) -> u64;
+
+    /// Approximate number of elements (exact when quiescent).
+    fn len(&self) -> usize;
+
+    /// Approximate emptiness check.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The sequential bounded queue of **Figure 1**: an array of `C` slots plus
+/// two positioning counters, total overhead Θ(1).
+///
+/// This is the specification object: the linearizability checker and the
+/// property tests replay concurrent histories against it.
+#[derive(Debug, Clone)]
+pub struct SeqRingQueue {
+    slots: Vec<u64>,
+    /// Total number of successful enqueues.
+    tail: u64,
+    /// Total number of successful dequeues.
+    head: u64,
+}
+
+impl SeqRingQueue {
+    /// Create a queue of capacity `c > 0`.
+    pub fn with_capacity(c: usize) -> Self {
+        assert!(c > 0, "capacity must be positive");
+        SeqRingQueue {
+            slots: vec![0; c],
+            tail: 0,
+            head: 0,
+        }
+    }
+
+    /// The capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Is the queue full?
+    pub fn is_full(&self) -> bool {
+        self.tail == self.head + self.capacity() as u64
+    }
+
+    /// Enqueue; returns the value back when full.
+    pub fn enqueue(&mut self, v: u64) -> Result<(), Full> {
+        if self.is_full() {
+            return Err(Full(v));
+        }
+        let c = self.capacity() as u64;
+        self.slots[(self.tail % c) as usize] = v;
+        self.tail += 1;
+        Ok(())
+    }
+
+    /// Dequeue the oldest element.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let c = self.capacity() as u64;
+        let v = self.slots[(self.head % c) as usize];
+        self.head += 1;
+        Some(v)
+    }
+
+    /// Peek at the oldest element without removing it.
+    pub fn peek(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            let c = self.capacity() as u64;
+            Some(self.slots[(self.head % c) as usize])
+        }
+    }
+
+    /// Iterate over the current elements, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let c = self.capacity() as u64;
+        (self.head..self.tail).map(move |i| self.slots[(i % c) as usize])
+    }
+}
+
+impl MemoryFootprint for SeqRingQueue {
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown::with_elements(self.slots.len() * 8).add(
+            "head + tail counters",
+            16,
+            OverheadClass::Counters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = SeqRingQueue::with_capacity(4);
+        for v in 1..=4 {
+            q.enqueue(v).unwrap();
+        }
+        for v in 1..=4 {
+            assert_eq!(q.dequeue(), Some(v));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn full_rejects_with_value() {
+        let mut q = SeqRingQueue::with_capacity(2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert_eq!(q.enqueue(3), Err(Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn wraparound_many_rounds() {
+        let mut q = SeqRingQueue::with_capacity(3);
+        for round in 0..100u64 {
+            for i in 0..3 {
+                q.enqueue(round * 3 + i).unwrap();
+            }
+            assert!(q.is_full());
+            for i in 0..3 {
+                assert_eq!(q.dequeue(), Some(round * 3 + i));
+            }
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn interleaved_partial_fill() {
+        let mut q = SeqRingQueue::with_capacity(4);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert_eq!(q.dequeue(), Some(1));
+        q.enqueue(3).unwrap();
+        q.enqueue(4).unwrap();
+        q.enqueue(5).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        assert_eq!(q.peek(), Some(2));
+    }
+
+    #[test]
+    fn constant_overhead() {
+        // Figure 1: overhead is two counters regardless of capacity.
+        let small = SeqRingQueue::with_capacity(8);
+        let large = SeqRingQueue::with_capacity(1 << 16);
+        assert_eq!(small.overhead_bytes(), large.overhead_bytes());
+        assert_eq!(small.overhead_bytes(), 16);
+        assert_eq!(large.element_bytes(), (1 << 16) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = SeqRingQueue::with_capacity(0);
+    }
+
+    #[test]
+    fn full_error_display() {
+        assert!(Full(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,262 @@
+//! **Single-producer / single-consumer** bounded queue — the first future
+//! direction the paper's §5 names: "the single-producer and
+//! single-consumer application restrictions".
+//!
+//! With one thread on each side the lower bound's adversary evaporates: it
+//! needs `T/2` poised threads, and here `T = 2`. Indeed the classic
+//! Lamport ring achieves **Θ(1) overhead with no CAS at all** — two
+//! counters written by one thread each and read by the other, exactly the
+//! Figure 1 layout plus per-side *cached* copies of the opposite counter
+//! (a constant-size performance refinement, not an asymptotic cost).
+//!
+//! This bounds the relaxation the paper leaves open from above: the Ω(T)
+//! bound is specific to general MPMC concurrency; restricting the
+//! *application* (not the algorithm) restores the sequential footprint.
+//!
+//! The queue is wait-free: every operation finishes in O(1) steps
+//! unconditionally.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
+
+struct Shared {
+    slots: Box<[Cell<u64>]>,
+    /// Total enqueues; written only by the producer.
+    tail: CachePadded<AtomicU64>,
+    /// Total dequeues; written only by the consumer.
+    head: CachePadded<AtomicU64>,
+}
+
+// SAFETY: slot `i` is accessed by the producer only while
+// `head ≤ i < head + C` is excluded (i.e. `i = tail`, not yet published)
+// and by the consumer only after the producer published it via the
+// Release store to `tail`; the two roles are enforced by the unique
+// Producer/Consumer endpoints.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+/// The producer endpoint (unique; `!Clone`).
+pub struct SpscProducer {
+    shared: Arc<Shared>,
+    /// Cached copy of `head`, refreshed only when the ring looks full.
+    cached_head: u64,
+    /// Local copy of `tail` (we are its only writer).
+    tail: u64,
+}
+
+/// The consumer endpoint (unique; `!Clone`).
+pub struct SpscConsumer {
+    shared: Arc<Shared>,
+    /// Cached copy of `tail`, refreshed only when the ring looks empty.
+    cached_tail: u64,
+    /// Local copy of `head` (we are its only writer).
+    head: u64,
+}
+
+/// Create an SPSC bounded queue of capacity `c > 0`, returning its two
+/// endpoints.
+///
+/// ```
+/// let (mut tx, mut rx) = bq_core::spsc::spsc_ring(4);
+/// tx.enqueue(1).unwrap();
+/// tx.enqueue(2).unwrap();
+/// assert_eq!(rx.dequeue(), Some(1));
+/// let rest = std::thread::spawn(move || rx.dequeue());
+/// assert_eq!(rest.join().unwrap(), Some(2)); // endpoints are Send
+/// ```
+pub fn spsc_ring(c: usize) -> (SpscProducer, SpscConsumer) {
+    assert!(c > 0, "capacity must be positive");
+    let shared = Arc::new(Shared {
+        slots: (0..c).map(|_| Cell::new(0)).collect(),
+        tail: CachePadded::new(AtomicU64::new(0)),
+        head: CachePadded::new(AtomicU64::new(0)),
+    });
+    (
+        SpscProducer {
+            shared: Arc::clone(&shared),
+            cached_head: 0,
+            tail: 0,
+        },
+        SpscConsumer {
+            shared,
+            cached_tail: 0,
+            head: 0,
+        },
+    )
+}
+
+impl SpscProducer {
+    /// Enqueue `v`; returns it back if the queue is full. Wait-free.
+    pub fn enqueue(&mut self, v: u64) -> Result<(), u64> {
+        let c = self.shared.slots.len() as u64;
+        if self.tail == self.cached_head + c {
+            // Looks full through the cache; refresh once.
+            self.cached_head = self.shared.head.load(Ordering::Acquire);
+            if self.tail == self.cached_head + c {
+                return Err(v);
+            }
+        }
+        self.shared.slots[(self.tail % c) as usize].set(v);
+        self.tail += 1;
+        // Publish the slot write.
+        self.shared.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of elements from the producer's view (exact upper bound).
+    pub fn len(&self) -> usize {
+        (self.tail - self.shared.head.load(Ordering::Acquire)) as usize
+    }
+
+    /// Producer-side emptiness view.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl SpscConsumer {
+    /// Dequeue the oldest element, or `None` if empty. Wait-free.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        let c = self.shared.slots.len() as u64;
+        if self.head == self.cached_tail {
+            // Looks empty through the cache; refresh once.
+            self.cached_tail = self.shared.tail.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        let v = self.shared.slots[(self.head % c) as usize].get();
+        self.head += 1;
+        // Release the slot for reuse.
+        self.shared.head.store(self.head, Ordering::Release);
+        Some(v)
+    }
+
+    /// Number of elements from the consumer's view (exact lower bound).
+    pub fn len(&self) -> usize {
+        (self.shared.tail.load(Ordering::Acquire) - self.head) as usize
+    }
+
+    /// Consumer-side emptiness view.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl MemoryFootprint for SpscProducer {
+    fn footprint(&self) -> FootprintBreakdown {
+        FootprintBreakdown::with_elements(self.shared.slots.len() * 8)
+            .add(
+                "head + tail counters (cache-padded)",
+                2 * std::mem::size_of::<CachePadded<AtomicU64>>(),
+                OverheadClass::Counters,
+            )
+            .add(
+                "per-endpoint cached indices (2 × 16 B)",
+                32,
+                OverheadClass::Counters,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_bounds() {
+        let (mut p, mut c) = spsc_ring(3);
+        for v in 1..=3 {
+            p.enqueue(v).unwrap();
+        }
+        assert_eq!(p.enqueue(4), Err(4));
+        for v in 1..=3 {
+            assert_eq!(c.dequeue(), Some(v));
+        }
+        assert_eq!(c.dequeue(), None);
+    }
+
+    #[test]
+    fn wraparound_many_rounds() {
+        let (mut p, mut c) = spsc_ring(2);
+        for v in 0..1_000u64 {
+            p.enqueue(v).unwrap();
+            assert_eq!(c.dequeue(), Some(v));
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn caches_refresh_lazily() {
+        let (mut p, mut c) = spsc_ring(2);
+        p.enqueue(1).unwrap();
+        p.enqueue(2).unwrap();
+        // Producer's cached head is stale; a refresh must rescue the
+        // enqueue after the consumer frees a slot.
+        assert_eq!(p.enqueue(3), Err(3));
+        assert_eq!(c.dequeue(), Some(1));
+        p.enqueue(3).unwrap();
+        assert_eq!(c.dequeue(), Some(2));
+        assert_eq!(c.dequeue(), Some(3));
+    }
+
+    #[test]
+    fn constant_overhead() {
+        let (p8, _c8) = spsc_ring(8);
+        let (p64k, _c64k) = spsc_ring(1 << 16);
+        assert_eq!(p8.overhead_bytes(), p64k.overhead_bytes());
+    }
+
+    #[test]
+    fn cross_thread_transfer_strict_fifo() {
+        let (mut p, mut c) = spsc_ring(16);
+        let n = 100_000u64;
+        let producer = std::thread::spawn(move || {
+            for v in 1..=n {
+                let mut item = v;
+                while let Err(back) = p.enqueue(item) {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 1u64;
+        while expect <= n {
+            match c.dequeue() {
+                Some(v) => {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(c.dequeue(), None);
+    }
+
+    #[test]
+    fn len_views_are_bounds() {
+        let (mut p, mut c) = spsc_ring(4);
+        p.enqueue(1).unwrap();
+        p.enqueue(2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(c.len(), 2);
+        c.dequeue().unwrap();
+        assert_eq!(c.len(), 1);
+    }
+}

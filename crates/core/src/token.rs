@@ -1,0 +1,174 @@
+//! Value tokens and the packed encodings the paper's algorithms use.
+//!
+//! The paper models a queue slot as a *value-location* that can hold either
+//! a value or the special null `⊥`. Our queues store 64-bit words; the
+//! different algorithms reserve different tag bits:
+//!
+//! * **Plain null** ([`NULL`]): the all-zero word. Used by the naive queue,
+//!   the segment queue and the LL/SC queue; plain tokens must be non-zero.
+//! * **Versioned null** ([`versioned_null`]): Listing 2 requires an
+//!   "unlimited supply of versioned ⊥ values". Following the paper's own
+//!   suggestion we steal the top bit: `1 << 63 | version`. A slot therefore
+//!   holds either a 63-bit token (top bit clear, non-null) or `⊥_version`.
+//! * **Descriptor marks**: the DCSS queue additionally reserves bit 63 for
+//!   descriptor references (see `bq-dcss`), so its tokens are 63-bit too.
+//!
+//! [`TokenGen`] produces globally distinct tokens, which is how tests and
+//! benchmarks satisfy Listing 2's distinct-elements assumption.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The plain null word: an empty slot.
+pub const NULL: u64 = 0;
+
+/// Top bit used to mark versioned nulls (Listing 2) and descriptor
+/// references (Listing 4).
+pub const TAG_BIT: u64 = 1 << 63;
+
+/// Largest token the 63-bit queues accept.
+pub const MAX_TOKEN: u64 = TAG_BIT - 1;
+
+/// Construct the versioned null `⊥_version` of Listing 2.
+///
+/// Versions are taken modulo 2⁶³; a collision would require 2⁶³ rounds
+/// through the same slot.
+#[inline]
+pub const fn versioned_null(version: u64) -> u64 {
+    TAG_BIT | (version & !TAG_BIT)
+}
+
+/// Is this word any versioned null?
+#[inline]
+pub const fn is_versioned_null(word: u64) -> bool {
+    word & TAG_BIT != 0
+}
+
+/// Extract the version from a versioned null.
+#[inline]
+pub const fn null_version(word: u64) -> u64 {
+    word & !TAG_BIT
+}
+
+/// Is this word a valid plain token for the 63-bit queues (non-zero, top
+/// bit clear)?
+#[inline]
+pub const fn is_token(word: u64) -> bool {
+    word != NULL && word & TAG_BIT == 0
+}
+
+/// Error returned when a caller passes a word outside a queue's token
+/// domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidToken(pub u64);
+
+impl std::fmt::Display for InvalidToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "value {:#x} is outside the queue's token domain", self.0)
+    }
+}
+
+impl std::error::Error for InvalidToken {}
+
+/// A generator of globally distinct, always-valid tokens.
+///
+/// Listing 2 assumes "all inserting elements to be distinct, which is common
+/// in practice" — e.g. when elements are pointers to freshly allocated
+/// objects. `TokenGen` gives tests and workloads that property without
+/// allocating.
+#[derive(Debug)]
+pub struct TokenGen {
+    next: AtomicU64,
+}
+
+impl TokenGen {
+    /// Start generating from 1 (0 is `NULL`).
+    pub fn new() -> Self {
+        TokenGen {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Start from a chosen non-zero seed (useful to partition ranges across
+    /// generators).
+    pub fn starting_at(seed: u64) -> Self {
+        assert!(is_token(seed), "seed must be a valid token");
+        TokenGen {
+            next: AtomicU64::new(seed),
+        }
+    }
+
+    /// Produce the next distinct token.
+    ///
+    /// # Panics
+    /// After 2⁶³−1 tokens (the domain is exhausted).
+    pub fn next(&self) -> u64 {
+        let t = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(t <= MAX_TOKEN, "token domain exhausted");
+        t
+    }
+}
+
+impl Default for TokenGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_not_a_token() {
+        assert!(!is_token(NULL));
+        assert!(is_token(1));
+        assert!(is_token(MAX_TOKEN));
+        assert!(!is_token(TAG_BIT));
+        assert!(!is_token(TAG_BIT | 5));
+    }
+
+    #[test]
+    fn versioned_null_roundtrip() {
+        for v in [0u64, 1, 42, MAX_TOKEN] {
+            let n = versioned_null(v);
+            assert!(is_versioned_null(n));
+            assert!(!is_token(n));
+            assert_eq!(null_version(n), v & !TAG_BIT);
+        }
+    }
+
+    #[test]
+    fn versioned_nulls_differ_by_version() {
+        assert_ne!(versioned_null(0), versioned_null(1));
+        assert_ne!(versioned_null(0), NULL, "⊥₀ is distinct from the zero word");
+    }
+
+    #[test]
+    fn token_gen_distinct() {
+        let g = TokenGen::new();
+        let a = g.next();
+        let b = g.next();
+        let c = g.next();
+        assert!(a < b && b < c);
+        assert!(is_token(a) && is_token(b) && is_token(c));
+    }
+
+    #[test]
+    fn token_gen_starting_at() {
+        let g = TokenGen::starting_at(1000);
+        assert_eq!(g.next(), 1000);
+        assert_eq!(g.next(), 1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid token")]
+    fn token_gen_rejects_zero_seed() {
+        let _ = TokenGen::starting_at(0);
+    }
+
+    #[test]
+    fn invalid_token_displays() {
+        let e = InvalidToken(0xFF);
+        assert!(e.to_string().contains("0xff"));
+    }
+}

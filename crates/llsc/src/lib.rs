@@ -1,0 +1,253 @@
+//! # bq-llsc — software Load-Link / Store-Conditional cells
+//!
+//! Section 2.3 of *Memory Bounds for Concurrent Bounded Queues* shows that a
+//! bounded queue with **O(1)** memory overhead is possible when the hardware
+//! provides LL/SC, because LL/SC is ABA-immune: an `SC` fails if the cell was
+//! written at all since the matching `LL`, even if the value was restored.
+//!
+//! Stable Rust (and x86-64) exposes only compare-and-swap, so this crate
+//! provides the closest software equivalent, [`LlScCell`]: a 32-bit value and
+//! a 32-bit modification tag packed into one `AtomicU64`. Every successful
+//! `SC` increments the tag, so an `SC` whose link observed an older tag fails
+//! — exactly the ABA-immunity Listing 3 relies on.
+//!
+//! ## Fidelity notes (see DESIGN.md §3)
+//!
+//! * The emulation narrows values to 32 bits and *spends* 32 tag bits per
+//!   cell. On real LL/SC hardware those bits are free; in the overhead
+//!   accounting of the reproduction we report them explicitly as
+//!   per-slot-metadata cost of emulating LL/SC on CAS hardware, which is the
+//!   paper's own point in §2.5 ("stealing bits").
+//! * Hardware LL/SC may fail spuriously; this emulation never does, which
+//!   only makes the queue built on top *more* live, never less correct.
+//! * The tag wraps after 2³² successful stores to one cell. All tests and
+//!   benchmarks stay far below that; a wrap would need the same cell to be
+//!   written 2³² times between one thread's `LL` and `SC`.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A word supporting `load`, `ll`, and `sc` with ABA-immune semantics.
+///
+/// The cell stores a `u32` value. [`LlScCell::ll`] returns the current value
+/// together with a [`Link`] token; [`LlScCell::sc`] installs a new value only
+/// if the cell has not been successfully stored to since that `LL`.
+///
+/// ```
+/// use bq_llsc::LlScCell;
+///
+/// let cell = LlScCell::new(5);
+/// let (v, link) = cell.ll();
+/// assert_eq!(v, 5);
+/// // A → B → A: the value is restored, but the link is dead — no ABA.
+/// cell.store(6);
+/// cell.store(5);
+/// assert!(!cell.sc(link, 99));
+/// assert_eq!(cell.load(), 5);
+/// ```
+#[derive(Debug)]
+pub struct LlScCell {
+    /// Layout: `(tag: u32) << 32 | (value: u32)`.
+    word: AtomicU64,
+}
+
+/// Proof of a prior `LL` on a specific cell.
+///
+/// A `Link` is only meaningful for the cell that produced it; using it with a
+/// different cell makes the `SC` semantics vacuous (it compares tags of the
+/// wrong cell). The queue code in `bq-core` always pairs them correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    observed: u64,
+}
+
+impl Link {
+    /// The value that was read by the `LL` that produced this link.
+    #[inline]
+    pub fn value(&self) -> u32 {
+        unpack_value(self.observed)
+    }
+}
+
+#[inline]
+fn pack(tag: u32, value: u32) -> u64 {
+    ((tag as u64) << 32) | value as u64
+}
+
+#[inline]
+fn unpack_value(word: u64) -> u32 {
+    word as u32
+}
+
+#[inline]
+fn unpack_tag(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+impl LlScCell {
+    /// Create a cell holding `value` with tag 0.
+    pub fn new(value: u32) -> Self {
+        LlScCell {
+            word: AtomicU64::new(pack(0, value)),
+        }
+    }
+
+    /// Plain read of the current value (no link established).
+    #[inline]
+    pub fn load(&self) -> u32 {
+        unpack_value(self.word.load(Ordering::SeqCst))
+    }
+
+    /// Load-link: read the current value and remember the modification tag.
+    #[inline]
+    pub fn ll(&self) -> (u32, Link) {
+        let w = self.word.load(Ordering::SeqCst);
+        (unpack_value(w), Link { observed: w })
+    }
+
+    /// Store-conditional: install `new` iff the cell has not been stored to
+    /// since the `LL` that produced `link`. Returns `true` on success.
+    ///
+    /// On success the modification tag advances, invalidating every other
+    /// outstanding link on this cell.
+    #[inline]
+    pub fn sc(&self, link: Link, new: u32) -> bool {
+        let next = pack(unpack_tag(link.observed).wrapping_add(1), new);
+        self.word
+            .compare_exchange(link.observed, next, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Check whether the link is still valid (no store since the `LL`).
+    ///
+    /// Advisory only: a successful `validate` does not reserve anything.
+    #[inline]
+    pub fn validate(&self, link: Link) -> bool {
+        self.word.load(Ordering::SeqCst) == link.observed
+    }
+
+    /// Unconditional store. Advances the tag so all outstanding links fail.
+    ///
+    /// Provided for initialization paths; the Listing 3 queue never needs it
+    /// after construction.
+    pub fn store(&self, value: u32) {
+        let mut cur = self.word.load(Ordering::SeqCst);
+        loop {
+            let next = pack(unpack_tag(cur).wrapping_add(1), value);
+            match self
+                .word
+                .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(w) => cur = w,
+            }
+        }
+    }
+
+    /// The modification tag, exposed for tests and diagnostics.
+    pub fn tag(&self) -> u32 {
+        unpack_tag(self.word.load(Ordering::SeqCst))
+    }
+}
+
+/// Size in bytes of the *tag* portion of a cell — the emulation overhead the
+/// reproduction charges per slot (see crate docs).
+pub const EMULATION_TAG_BYTES: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ll_sc_basic() {
+        let c = LlScCell::new(7);
+        let (v, link) = c.ll();
+        assert_eq!(v, 7);
+        assert!(c.sc(link, 9));
+        assert_eq!(c.load(), 9);
+    }
+
+    #[test]
+    fn sc_fails_after_intervening_store() {
+        let c = LlScCell::new(1);
+        let (_, link) = c.ll();
+        let (_, other) = c.ll();
+        assert!(c.sc(other, 2));
+        // The first link observed tag 0 which is now stale.
+        assert!(!c.sc(link, 3));
+        assert_eq!(c.load(), 2);
+    }
+
+    #[test]
+    fn sc_is_aba_immune() {
+        // A -> B -> A must still invalidate an old link: this is exactly the
+        // property CAS lacks and the paper's Listing 3 depends on.
+        let c = LlScCell::new(10);
+        let (v, stale) = c.ll();
+        assert_eq!(v, 10);
+
+        let (_, l1) = c.ll();
+        assert!(c.sc(l1, 20)); // A -> B
+        let (_, l2) = c.ll();
+        assert!(c.sc(l2, 10)); // B -> A (value restored!)
+
+        assert_eq!(c.load(), 10);
+        assert!(!c.sc(stale, 99), "SC must fail despite the value matching");
+        assert_eq!(c.load(), 10);
+    }
+
+    #[test]
+    fn validate_reflects_staleness() {
+        let c = LlScCell::new(0);
+        let (_, link) = c.ll();
+        assert!(c.validate(link));
+        c.store(0); // same value, but a store happened
+        assert!(!c.validate(link));
+    }
+
+    #[test]
+    fn store_bumps_tag() {
+        let c = LlScCell::new(0);
+        let t0 = c.tag();
+        c.store(5);
+        c.store(6);
+        assert_eq!(c.tag(), t0 + 2);
+        assert_eq!(c.load(), 6);
+    }
+
+    #[test]
+    fn link_value_accessor() {
+        let c = LlScCell::new(42);
+        let (_, link) = c.ll();
+        assert_eq!(link.value(), 42);
+    }
+
+    #[test]
+    fn concurrent_sc_only_one_wins() {
+        // Many threads LL the same state and race to SC; exactly one SC per
+        // tag generation can succeed.
+        let c = Arc::new(LlScCell::new(0));
+        let threads = 8;
+        let iters = 200;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut wins = 0u32;
+                for i in 0..iters {
+                    let (_, link) = c.ll();
+                    if c.sc(link, (t * iters + i) as u32) {
+                        wins += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                wins
+            }));
+        }
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Total successful SCs equals the tag advance.
+        assert_eq!(total, c.tag());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the LL/SC emulation: the cell must behave as a
+//! linearizable register whose `SC` succeeds exactly when no store
+//! intervened since the matching `LL` — including A→B→A histories.
+
+use bq_llsc::LlScCell;
+use proptest::prelude::*;
+
+/// A script of operations against one cell, replayed against a reference
+/// model that tracks the true modification count.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Take (or retake) the link via LL into register `r` (0..4).
+    Ll(usize),
+    /// Attempt SC through register `r` with this value.
+    Sc(usize, u32),
+    /// Unconditional store.
+    Store(u32),
+}
+
+fn step_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..4).prop_map(Step::Ll),
+            ((0usize..4), any::<u32>()).prop_map(|(r, v)| Step::Sc(r, v)),
+            any::<u32>().prop_map(Step::Store),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sc_succeeds_iff_no_intervening_store(steps in step_strategy(), init in any::<u32>()) {
+        let cell = LlScCell::new(init);
+        // Model: current value + a global modification counter; each link
+        // register remembers the counter at its LL.
+        let mut value = init;
+        let mut mods = 0u64;
+        let mut links: [Option<(u64, bq_llsc::Link)>; 4] = [None, None, None, None];
+
+        for step in steps {
+            match step {
+                Step::Ll(r) => {
+                    let (v, link) = cell.ll();
+                    prop_assert_eq!(v, value, "LL must read the current value");
+                    links[r] = Some((mods, link));
+                }
+                Step::Sc(r, new) => {
+                    let Some((seen_mods, link)) = links[r] else { continue };
+                    let expect_ok = seen_mods == mods;
+                    let ok = cell.sc(link, new);
+                    prop_assert_eq!(
+                        ok, expect_ok,
+                        "SC outcome must track intervening stores exactly"
+                    );
+                    if ok {
+                        value = new;
+                        mods += 1;
+                        // The successful SC invalidates every other link.
+                    }
+                }
+                Step::Store(v) => {
+                    cell.store(v);
+                    value = v;
+                    mods += 1;
+                }
+            }
+            prop_assert_eq!(cell.load(), value);
+        }
+    }
+
+    #[test]
+    fn aba_always_detected(a in any::<u32>(), b in any::<u32>()) {
+        prop_assume!(a != b);
+        let cell = LlScCell::new(a);
+        let (_, stale) = cell.ll();
+        cell.store(b);
+        cell.store(a); // value restored — tag is not
+        prop_assert!(!cell.sc(stale, 99), "A→B→A must invalidate the link");
+        prop_assert_eq!(cell.load(), a);
+    }
+}

@@ -1,0 +1,187 @@
+//! Structural memory accounting.
+//!
+//! Every queue in this workspace reports where its bytes go, split into the
+//! paper's two categories: **element storage** (the `C` value-locations that
+//! any bounded queue of capacity `C` must have) and **overhead** (everything
+//! else). The overhead entries are further classified so the experiment
+//! tables can show *why* an implementation pays what it pays.
+
+use std::fmt;
+
+/// Classification of an overhead contribution, used to aggregate the
+/// experiment tables. The variants mirror the mechanisms discussed in the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverheadClass {
+    /// Positioning counters (`enqueues`/`dequeues`, head/tail).
+    Counters,
+    /// Per-slot metadata co-located with elements (sequence numbers, epochs,
+    /// versioned nulls wider than the value, LL/SC emulation tags).
+    PerSlotMetadata,
+    /// Operation descriptors (DCSS descriptors, `EnqOp` descriptors).
+    Descriptors,
+    /// Announcement/"ops" arrays indexed by thread.
+    Announcement,
+    /// Per-node linkage in linked structures (next pointers, segment ids).
+    Linkage,
+    /// Synchronization primitives (locks, condvars).
+    Locks,
+    /// Anything else (padding, container headers, …).
+    Other,
+}
+
+impl fmt::Display for OverheadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OverheadClass::Counters => "counters",
+            OverheadClass::PerSlotMetadata => "per-slot metadata",
+            OverheadClass::Descriptors => "descriptors",
+            OverheadClass::Announcement => "announcement array",
+            OverheadClass::Linkage => "linkage",
+            OverheadClass::Locks => "locks",
+            OverheadClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named contribution to a queue's memory footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintEntry {
+    /// Human-readable label, e.g. `"ops announcement array (T slots)"`.
+    pub label: String,
+    /// Bytes attributed to this entry.
+    pub bytes: usize,
+    /// Aggregation class.
+    pub class: OverheadClass,
+}
+
+impl FootprintEntry {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, bytes: usize, class: OverheadClass) -> Self {
+        FootprintEntry {
+            label: label.into(),
+            bytes,
+            class,
+        }
+    }
+}
+
+/// A complete structural footprint: element bytes plus an itemized overhead
+/// list.
+#[derive(Debug, Clone, Default)]
+pub struct FootprintBreakdown {
+    /// Bytes used by the `C` value-locations themselves.
+    pub element_bytes: usize,
+    /// Itemized overhead entries.
+    pub overhead: Vec<FootprintEntry>,
+}
+
+impl FootprintBreakdown {
+    /// Start a breakdown with the given element-storage size.
+    pub fn with_elements(element_bytes: usize) -> Self {
+        FootprintBreakdown {
+            element_bytes,
+            overhead: Vec::new(),
+        }
+    }
+
+    /// Add an overhead entry (builder style).
+    pub fn add(mut self, label: impl Into<String>, bytes: usize, class: OverheadClass) -> Self {
+        self.overhead.push(FootprintEntry::new(label, bytes, class));
+        self
+    }
+
+    /// Total overhead bytes.
+    pub fn overhead_bytes(&self) -> usize {
+        self.overhead.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total footprint: elements + overhead.
+    pub fn total_bytes(&self) -> usize {
+        self.element_bytes + self.overhead_bytes()
+    }
+
+    /// Sum of overhead bytes in a given class.
+    pub fn class_bytes(&self, class: OverheadClass) -> usize {
+        self.overhead
+            .iter()
+            .filter(|e| e.class == class)
+            .map(|e| e.bytes)
+            .sum()
+    }
+}
+
+/// Structural memory accounting, implemented by every queue in the
+/// workspace.
+///
+/// Implementations must report their *actual* current memory: a queue whose
+/// overhead varies at runtime (e.g. the segment queue of Listing 1, whose
+/// live segment count depends on head/tail positions) reports the
+/// instantaneous value.
+pub trait MemoryFootprint {
+    /// Itemized breakdown of this structure's memory.
+    fn footprint(&self) -> FootprintBreakdown;
+
+    /// Bytes dedicated to element storage (the `C` value-locations).
+    fn element_bytes(&self) -> usize {
+        self.footprint().element_bytes
+    }
+
+    /// Bytes of overhead — the paper's metric.
+    fn overhead_bytes(&self) -> usize {
+        self.footprint().overhead_bytes()
+    }
+
+    /// Total bytes.
+    fn total_bytes(&self) -> usize {
+        self.footprint().total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums() {
+        let b = FootprintBreakdown::with_elements(8 * 1024)
+            .add("head+tail", 16, OverheadClass::Counters)
+            .add("per-slot seq", 8 * 1024, OverheadClass::PerSlotMetadata)
+            .add("descriptors", 640, OverheadClass::Descriptors);
+        assert_eq!(b.element_bytes, 8192);
+        assert_eq!(b.overhead_bytes(), 16 + 8192 + 640);
+        assert_eq!(b.total_bytes(), 8192 + 16 + 8192 + 640);
+        assert_eq!(b.class_bytes(OverheadClass::Counters), 16);
+        assert_eq!(b.class_bytes(OverheadClass::PerSlotMetadata), 8192);
+        assert_eq!(b.class_bytes(OverheadClass::Locks), 0);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let b = FootprintBreakdown::default();
+        assert_eq!(b.total_bytes(), 0);
+        assert_eq!(b.overhead_bytes(), 0);
+    }
+
+    struct Fake;
+    impl MemoryFootprint for Fake {
+        fn footprint(&self) -> FootprintBreakdown {
+            FootprintBreakdown::with_elements(100).add("x", 7, OverheadClass::Other)
+        }
+    }
+
+    #[test]
+    fn trait_defaults_delegate() {
+        let f = Fake;
+        assert_eq!(f.element_bytes(), 100);
+        assert_eq!(f.overhead_bytes(), 7);
+        assert_eq!(f.total_bytes(), 107);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(OverheadClass::Descriptors.to_string(), "descriptors");
+        assert_eq!(OverheadClass::Announcement.to_string(), "announcement array");
+    }
+}

@@ -1,0 +1,34 @@
+//! # bq-memtrack — memory accounting substrate
+//!
+//! The paper *Memory Bounds for Concurrent Bounded Queues* (PPoPP 2024)
+//! defines the **memory overhead** of a bounded queue implementation as the
+//! amount of memory that must be allocated *on top of* the fixed memory
+//! required for storing the queue elements (capacity `C` slots).
+//!
+//! This crate provides the two complementary measurement tools used by the
+//! reproduction:
+//!
+//! 1. [`counting`] — a global counting allocator ([`counting::TrackingAlloc`])
+//!    that intercepts every heap allocation and maintains live/peak byte and
+//!    block counters. Benchmarks and examples install it with
+//!    `#[global_allocator]` and use [`counting::AllocScope`] to measure the
+//!    exact heap footprint of constructing a queue.
+//! 2. [`footprint`] — a structural accounting trait
+//!    ([`footprint::MemoryFootprint`]) that every queue in this workspace
+//!    implements, reporting an analytical breakdown: how many bytes store
+//!    elements (`C` value-locations) and how many bytes are overhead
+//!    (counters, descriptors, announcement arrays, per-slot metadata, …).
+//!
+//! The two views cross-check each other: structural `total_bytes()` must be
+//! consistent with what the counting allocator observes (up to allocator
+//! rounding), and the *overhead* column is what experiments E1–E9 plot.
+
+#![deny(missing_docs)]
+
+pub mod counting;
+pub mod footprint;
+pub mod report;
+
+pub use counting::{AllocScope, AllocStats, TrackingAlloc};
+pub use footprint::{FootprintBreakdown, FootprintEntry, MemoryFootprint, OverheadClass};
+pub use report::OverheadRow;

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for the overhead experiments.
+//!
+//! The bench binaries collect [`OverheadRow`]s (one per queue × parameter
+//! point) and render them with [`render_table`] in the same spirit as the
+//! tables a paper evaluation section would show.
+
+use crate::footprint::FootprintBreakdown;
+
+/// One row of an overhead table: a queue at a specific `(C, T)` point.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Queue/algorithm name.
+    pub name: String,
+    /// Capacity used.
+    pub capacity: usize,
+    /// Thread bound used (1 when not applicable).
+    pub threads: usize,
+    /// Structural breakdown at measurement time.
+    pub breakdown: FootprintBreakdown,
+    /// Heap bytes measured by the counting allocator (None if not measured).
+    pub measured_heap_bytes: Option<usize>,
+}
+
+impl OverheadRow {
+    /// Overhead expressed in 8-byte words, the unit the paper reasons in
+    /// ("memory locations").
+    pub fn overhead_words(&self) -> usize {
+        self.breakdown.overhead_bytes().div_ceil(8)
+    }
+
+    /// Overhead per element slot, a scale-free comparison number.
+    pub fn overhead_per_slot(&self) -> f64 {
+        self.breakdown.overhead_bytes() as f64 / self.capacity.max(1) as f64
+    }
+}
+
+/// Render rows as an aligned plain-text table.
+pub fn render_table(rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>4} {:>12} {:>12} {:>10} {:>12}\n",
+        "queue", "C", "T", "elem bytes", "ovh bytes", "ovh words", "ovh/slot"
+    ));
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>4} {:>12} {:>12} {:>10} {:>12.3}\n",
+            r.name,
+            r.capacity,
+            r.threads,
+            r.breakdown.element_bytes,
+            r.breakdown.overhead_bytes(),
+            r.overhead_words(),
+            r.overhead_per_slot(),
+        ));
+    }
+    out
+}
+
+/// Render the itemized breakdown of a single row (used by `--verbose`).
+pub fn render_breakdown(row: &OverheadRow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (C={}, T={}): total {} bytes\n",
+        row.name,
+        row.capacity,
+        row.threads,
+        row.breakdown.total_bytes()
+    ));
+    out.push_str(&format!(
+        "  element storage: {} bytes\n",
+        row.breakdown.element_bytes
+    ));
+    for e in &row.breakdown.overhead {
+        out.push_str(&format!("  [{}] {}: {} bytes\n", e.class, e.label, e.bytes));
+    }
+    if let Some(m) = row.measured_heap_bytes {
+        out.push_str(&format!("  measured heap (counting allocator): {m} bytes\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::OverheadClass;
+
+    fn row() -> OverheadRow {
+        OverheadRow {
+            name: "test-queue".into(),
+            capacity: 64,
+            threads: 4,
+            breakdown: FootprintBreakdown::with_elements(512).add(
+                "counters",
+                16,
+                OverheadClass::Counters,
+            ),
+            measured_heap_bytes: Some(544),
+        }
+    }
+
+    #[test]
+    fn words_round_up() {
+        let r = row();
+        assert_eq!(r.overhead_words(), 2); // 16 bytes = 2 words
+        let mut r2 = row();
+        r2.breakdown.overhead[0].bytes = 17;
+        assert_eq!(r2.overhead_words(), 3);
+    }
+
+    #[test]
+    fn per_slot() {
+        let r = row();
+        assert!((r.overhead_per_slot() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let rows = vec![row(), row()];
+        let t = render_table(&rows);
+        assert_eq!(t.matches("test-queue").count(), 2);
+        assert!(t.contains("ovh bytes"));
+    }
+
+    #[test]
+    fn breakdown_render_mentions_entries() {
+        let s = render_breakdown(&row());
+        assert!(s.contains("counters"));
+        assert!(s.contains("measured heap"));
+        assert!(s.contains("element storage: 512"));
+    }
+}

@@ -1,0 +1,474 @@
+//! The packaged lower-bound adversary experiments (E4 / E8).
+//!
+//! Theorem 3.12 of the paper says a linearizable, obstruction-free,
+//! value-independent bounded queue over read/write/CAS needs Ω(T) extra
+//! value-locations. The proof poises threads before CASes on
+//! value-locations and then replays fill/empty procedures so that one
+//! poised CAS replaces an element *in the middle* of the queue (Figure 3).
+//!
+//! This module runs that construction concretely against the simulated
+//! algorithms:
+//!
+//! * [`run_middle_steal`] — a dequeue poised on `CAS(a[i], v, ⊥)` fires a
+//!   round later, after `v` was re-enqueued into the same slot (values may
+//!   repeat: value-independence!), stealing it from the middle of the
+//!   queue. Non-linearizable for the constant-overhead strawman **and** for
+//!   Listing 2 once its distinct-elements assumption is violated; harmless
+//!   for the Θ(T)-overhead DCSS queue.
+//! * [`run_enqueue_hole`] — an enqueue poised on `CAS(a[i], ⊥, y)` fires a
+//!   round later into a mid-queue hole. For the strawman this drives the
+//!   `tail` counter past positions that hold no element and ultimately
+//!   makes a *failed* enqueue's value observable — again non-linearizable.
+//!
+//! Each experiment returns an [`AdversaryReport`] with the full history (in
+//! the paper's `enq`/`deq →` notation) and the verdict of the
+//! linearizability checker, which is what `bq-bench`'s `adversary` binary
+//! prints for EXPERIMENTS.md.
+
+use crate::algos::counter_queue::{dcss, distinct, naive, two_null, CounterQueue, Flavor};
+use crate::algos::optimal_model::{HelpMode, OptimalModel};
+use crate::controller::{RunOutcome, Sim};
+use crate::lincheck::{check_history, History, LinResult};
+use crate::machine::{Op, Ret, SimQueue};
+use crate::mem::{LocKind, SimMemory};
+
+/// Outcome of one adversary run against one algorithm.
+#[derive(Debug, Clone)]
+pub struct AdversaryReport {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// The recorded concurrent history.
+    pub history: History,
+    /// Checker verdict.
+    pub verdict: LinResult,
+    /// Number of value-locations in the layout (the lower bound's subject).
+    pub value_locations: usize,
+    /// Number of metadata-locations in the layout.
+    pub metadata_locations: usize,
+}
+
+impl AdversaryReport {
+    /// `true` iff the recorded execution is linearizable.
+    pub fn linearizable(&self) -> bool {
+        self.verdict.is_linearizable()
+    }
+
+    /// Render a human-readable report block.
+    pub fn render(&self) -> String {
+        format!(
+            "algorithm: {}\nscenario:  {}\nvalue-locations: {} | metadata-locations: {}\n\
+             history:\n{}verdict: {}\n",
+            self.algorithm,
+            self.scenario,
+            self.value_locations,
+            self.metadata_locations,
+            self.history.render(),
+            if self.linearizable() {
+                "LINEARIZABLE"
+            } else {
+                "NOT LINEARIZABLE"
+            }
+        )
+    }
+}
+
+const STEPS: usize = 10_000;
+
+fn build(flavor: Flavor, c: usize, threads: usize) -> Sim<CounterQueue> {
+    let mut mem = SimMemory::new();
+    let q = match flavor {
+        Flavor::Naive => naive(c, &mut mem),
+        Flavor::Distinct => distinct(c, &mut mem),
+        Flavor::TwoNull => two_null(c, &mut mem),
+        Flavor::Dcss => dcss(c, &mut mem),
+    };
+    Sim::new(q, mem, threads)
+}
+
+fn poise_before_value_update<Q: SimQueue>(sim: &mut Sim<Q>, tid: usize) -> RunOutcome {
+    sim.run_until(tid, STEPS, |a, m| {
+        a.is_update() && m.kind(a.target()) == LocKind::Value
+    })
+}
+
+fn report<Q: SimQueue>(sim: Sim<Q>, scenario: &'static str) -> AdversaryReport {
+    let verdict = check_history(sim.history(), sim.queue.capacity());
+    AdversaryReport {
+        algorithm: sim.queue.name(),
+        scenario,
+        value_locations: sim.mem.value_location_count(),
+        metadata_locations: sim.mem.metadata_location_count(),
+        history: sim.history().clone(),
+        verdict,
+    }
+}
+
+/// The **middle-steal** construction (Figure 3, dequeue side).
+///
+/// Thread 1's dequeue is poised on `CAS(a[1], 7, ⊥)`; the queue is drained
+/// and refilled so that slot 1 again holds the (repeated) value 7 — now as
+/// the *newest* element behind 11, 12, 13 — and the poised CAS is released.
+pub fn run_middle_steal(flavor: Flavor) -> AdversaryReport {
+    let mut sim = build(flavor, 4, 2);
+
+    // Round 0: [1, 7]; consume the 1.
+    assert_eq!(sim.run_op(0, Op::Enqueue(1), STEPS), Ret::EnqOk);
+    assert_eq!(sim.run_op(0, Op::Enqueue(7), STEPS), Ret::EnqOk);
+    assert_eq!(sim.run_op(0, Op::Dequeue, STEPS), Ret::DeqVal(1));
+
+    // Thread 1 starts dequeuing the 7 but is poised just before its
+    // value-location update (Definition 3.5).
+    sim.invoke(1, Op::Dequeue);
+    let poised = poise_before_value_update(&mut sim, 1);
+    assert!(
+        matches!(poised, RunOutcome::Poised(_)),
+        "victim failed to reach a value-location update: {poised:?}"
+    );
+
+    // Main thread consumes the 7 and refills: [11, 12, 13, 7]. The second
+    // 7 lands in the same slot the victim covers.
+    assert_eq!(sim.run_op(0, Op::Dequeue, STEPS), Ret::DeqVal(7));
+    for v in [11, 12, 13, 7] {
+        assert_eq!(sim.run_op(0, Op::Enqueue(v), STEPS), Ret::EnqOk);
+    }
+
+    // Release the victim; then drain.
+    sim.run_to_completion(1, STEPS);
+    for _ in 0..5 {
+        if sim.run_op(0, Op::Dequeue, STEPS) == Ret::DeqEmpty {
+            break;
+        }
+    }
+    report(sim, "middle-steal (poised dequeue CAS, repeated value)")
+}
+
+/// The **enqueue-into-hole** construction (Figure 3, enqueue side).
+///
+/// Thread 1's `enq(99)` is poised on `CAS(a[2], ⊥, 99)`; a round later
+/// slot 2 is a mid-queue hole (its round-0 element was dequeued, the
+/// round-1 enqueue for it has not happened). The released CAS plants 99
+/// there; for the strawman the `tail` counter is then helped past
+/// positions that never received an element, the poised enqueue reports
+/// `full` — and its value is dequeued anyway.
+pub fn run_enqueue_hole(flavor: Flavor) -> AdversaryReport {
+    let mut sim = build(flavor, 4, 2);
+
+    // tail = 2 so the victim targets slot 2.
+    assert_eq!(sim.run_op(0, Op::Enqueue(1), STEPS), Ret::EnqOk);
+    assert_eq!(sim.run_op(0, Op::Enqueue(2), STEPS), Ret::EnqOk);
+
+    sim.invoke(1, Op::Enqueue(99));
+    let poised = poise_before_value_update(&mut sim, 1);
+    assert!(
+        matches!(poised, RunOutcome::Poised(_)),
+        "victim failed to reach a value-location update: {poised:?}"
+    );
+
+    // Complete round 0 in slots 2,3; drain three; push two more so that
+    // head=3, tail=6 and slot 2 is an interior hole awaiting position 6.
+    assert_eq!(sim.run_op(0, Op::Enqueue(3), STEPS), Ret::EnqOk);
+    assert_eq!(sim.run_op(0, Op::Enqueue(4), STEPS), Ret::EnqOk);
+    for expect in [1, 2, 3] {
+        assert_eq!(sim.run_op(0, Op::Dequeue, STEPS), Ret::DeqVal(expect));
+    }
+    assert_eq!(sim.run_op(0, Op::Enqueue(5), STEPS), Ret::EnqOk);
+    assert_eq!(sim.run_op(0, Op::Enqueue(6), STEPS), Ret::EnqOk);
+
+    // Release the victim enqueue, then drain everything.
+    sim.run_to_completion(1, STEPS);
+    for _ in 0..8 {
+        if sim.run_op(0, Op::Dequeue, STEPS) == Ret::DeqEmpty {
+            break;
+        }
+    }
+    report(sim, "enqueue-into-hole (poised enqueue CAS into interior ⊥)")
+}
+
+/// The **two-round sleep** construction — the paper's §4 critique of
+/// Tsigas–Zhang made executable.
+///
+/// With only two alternating nulls, a slot's "empty" state *recurs* after
+/// exactly two rounds. Thread 1's `enq(99)` is poised on
+/// `CAS(a[0], ⊥₀, 99)`; the main thread then runs two complete
+/// fill/empty rounds (so slot 0 holds `⊥₀` again) and the poised CAS is
+/// released — planting 99 into a position whose round it does not own.
+/// Listing 2's unbounded versions close exactly this window.
+pub fn run_two_round_sleep(flavor: Flavor) -> AdversaryReport {
+    let mut sim = build(flavor, 2, 2);
+
+    // Victim targets position 0 / slot 0 on the empty queue.
+    sim.invoke(1, Op::Enqueue(99));
+    let poised = poise_before_value_update(&mut sim, 1);
+    assert!(
+        matches!(poised, RunOutcome::Poised(_)),
+        "victim failed to reach a value-location update: {poised:?}"
+    );
+
+    // Two complete rounds: every slot's null state cycles ⊥₀ → ⊥₁ → ⊥₀.
+    for (a, b) in [(1u64, 2u64), (3, 4)] {
+        assert_eq!(sim.run_op(0, Op::Enqueue(a), STEPS), Ret::EnqOk);
+        assert_eq!(sim.run_op(0, Op::Enqueue(b), STEPS), Ret::EnqOk);
+        assert_eq!(sim.run_op(0, Op::Dequeue, STEPS), Ret::DeqVal(a));
+        assert_eq!(sim.run_op(0, Op::Dequeue, STEPS), Ret::DeqVal(b));
+    }
+
+    // Release the victim after its two-round sleep, then drain.
+    sim.run_to_completion(1, STEPS);
+    for _ in 0..4 {
+        if sim.run_op(0, Op::Dequeue, STEPS) == Ret::DeqEmpty {
+            break;
+        }
+    }
+    report(sim, "two-round sleep (poised enqueue across two null cycles)")
+}
+
+/// The **Lemma A.2 interleaving** — the regression experiment for the
+/// Listing 5 pseudo-code issue documented in DESIGN.md §7.
+///
+/// Schedule (capacity 1, four threads, `OptimalModel`):
+///
+/// 1. V's `enq(10)` succeeds logically (descriptor successful, covering
+///    cell 0) and is poised inside `completeOp`, before the array
+///    write-back.
+/// 2. A helper `enq(99)` observes V's descriptor, helps the counter to 1,
+///    and correctly reports full.
+/// 3. A dequeue returns 10 *through the announcement* (`readElem`).
+/// 4. Z's `enq(20)` (at counter 1) finds V's previous-round descriptor and
+///    is poised on its replacement CAS.
+/// 5. V resumes: stale write-back `a[0] = 10`, counter CAS fails, slot
+///    cleared. Z's replacement CAS now fails.
+/// 6. **Paper-faithful help**: Z still executes `CAS(enqueues, 1, 2)`,
+///    which succeeds although no successful descriptor for position 1
+///    exists; Z then sees "full" and returns false; the next dequeue reads
+///    the resurrected `a[0] = 10` — the value is dequeued twice. The
+///    checker certifies the history non-linearizable.
+///    **Evidence help** (the fix, as implemented by
+///    `bq_core::OptimalQueue`): Z re-reads the slot, finds no evidence,
+///    retries, and enqueues 20 normally — linearizable.
+pub fn run_lemma_a2_interleaving(mode: HelpMode) -> AdversaryReport {
+    use crate::machine::Access;
+
+    let mut mem = SimMemory::new();
+    let q = OptimalModel::new(mode, 1, &mut mem);
+    let ops_loc = q.ops_loc();
+    let mut sim = Sim::new(q, mem, 4);
+
+    // (1) V logically enqueues 10, poised before the array write-back.
+    sim.invoke(1, Op::Enqueue(10));
+    let poised = poise_before_value_update(&mut sim, 1);
+    assert!(matches!(poised, RunOutcome::Poised(_)), "{poised:?}");
+
+    // (2) helper observes the descriptor and pushes the counter to 1.
+    assert_eq!(sim.run_op(3, Op::Enqueue(99), STEPS), Ret::EnqFull);
+
+    // (3) the element is consumed through the announcement.
+    assert_eq!(sim.run_op(0, Op::Dequeue, STEPS), Ret::DeqVal(10));
+
+    // (4) Z reaches its previous-round replacement CAS and is poised.
+    sim.invoke(2, Op::Enqueue(20));
+    let z = sim.run_until(2, STEPS, |a, _| {
+        matches!(a, Access::Cas { loc, exp, .. } if *loc == ops_loc && *exp != 0)
+    });
+    assert!(matches!(z, RunOutcome::Poised(_)), "{z:?}");
+
+    // (5) V completes: stale write-back, slot cleared.
+    sim.run_to_completion(1, STEPS);
+
+    // (6) Z resumes — the two modes diverge here.
+    sim.run_to_completion(2, STEPS);
+
+    // Drain.
+    for _ in 0..3 {
+        if sim.run_op(0, Op::Dequeue, STEPS) == Ret::DeqEmpty {
+            break;
+        }
+    }
+    report(sim, "Lemma A.2 interleaving (counter help without a descriptor)")
+}
+
+/// Lemma 3.7 in miniature: with a victim poised on a value-location CAS, a
+/// solo thread must still drive an up-to-date fill/empty pair to completion
+/// (obstruction-freedom of the others).
+pub fn solo_fill_empty_with_poised_victim(flavor: Flavor) -> bool {
+    let mut sim = build(flavor, 4, 2);
+    sim.invoke(1, Op::Enqueue(1000));
+    let _ = poise_before_value_update(&mut sim, 1);
+
+    let fills = sim.fill(0, &[21, 22, 23, 24], STEPS);
+    if fills.iter().any(|r| *r != Ret::EnqOk) {
+        return false;
+    }
+    let outs = sim.empty(0, 4, STEPS);
+    outs == vec![
+        Ret::DeqVal(21),
+        Ret::DeqVal(22),
+        Ret::DeqVal(23),
+        Ret::DeqVal(24),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn middle_steal_breaks_the_strawman() {
+        let r = run_middle_steal(Flavor::Naive);
+        assert!(
+            !r.linearizable(),
+            "the Θ(1)-overhead strawman must be non-linearizable:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn middle_steal_breaks_listing2_under_duplicates() {
+        // E4: Listing 2 is only correct under distinct elements; the
+        // adversary reuses value 7 and the Figure 3 violation appears.
+        let r = run_middle_steal(Flavor::Distinct);
+        assert!(
+            !r.linearizable(),
+            "Listing 2 with duplicate values must be non-linearizable:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn middle_steal_harmless_for_dcss() {
+        // Positive control: the Θ(T)-overhead DCSS queue survives the same
+        // schedule — the poised DCSS fails its counter comparison.
+        let r = run_middle_steal(Flavor::Dcss);
+        assert!(
+            r.linearizable(),
+            "Listing 4 must stay linearizable:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn enqueue_hole_breaks_the_strawman() {
+        let r = run_enqueue_hole(Flavor::Naive);
+        assert!(
+            !r.linearizable(),
+            "counter runaway must yield a non-linearizable history:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn enqueue_hole_harmless_for_listing2_and_dcss() {
+        // The versioned null defeats the stale enqueue CAS (its expected
+        // ⊥₀ is gone); the DCSS counter guard does the same.
+        for flavor in [Flavor::Distinct, Flavor::Dcss] {
+            let r = run_enqueue_hole(flavor);
+            assert!(
+                r.linearizable(),
+                "{:?} must stay linearizable:\n{}",
+                flavor,
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn poised_victims_do_not_block_others() {
+        for flavor in [
+            Flavor::Naive,
+            Flavor::Distinct,
+            Flavor::TwoNull,
+            Flavor::Dcss,
+        ] {
+            assert!(
+                solo_fill_empty_with_poised_victim(flavor),
+                "solo fill/empty must complete with a poised victim ({flavor:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn two_round_sleep_breaks_tsigas_zhang() {
+        // The paper §4: "if one process becomes asleep for two rounds …
+        // waking up it can incorrectly place the element into the queue."
+        let r = run_two_round_sleep(Flavor::TwoNull);
+        assert!(
+            !r.linearizable(),
+            "two-null queue must fail after a two-round sleep:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn two_round_sleep_also_breaks_naive() {
+        let r = run_two_round_sleep(Flavor::Naive);
+        assert!(!r.linearizable(), "{}", r.render());
+    }
+
+    #[test]
+    fn two_round_sleep_harmless_with_unbounded_versions_or_dcss() {
+        // Listing 2's version counter never recurs; DCSS checks the
+        // counter. Both survive the same schedule.
+        for flavor in [Flavor::Distinct, Flavor::Dcss] {
+            let r = run_two_round_sleep(flavor);
+            assert!(
+                r.linearizable(),
+                "{:?} must survive the two-round sleep:\n{}",
+                flavor,
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn two_null_queue_correct_without_stalls() {
+        // Within its (unstated) stall bound, the two-null queue behaves:
+        // sequential rounds are fine, matching our real TwoNullQueue tests.
+        let mut mem = SimMemory::new();
+        let q = two_null(2, &mut mem);
+        let mut sim = Sim::new(q, mem, 1);
+        for round in 0..6u64 {
+            let a = 10 + round * 2;
+            let b = 11 + round * 2;
+            assert_eq!(sim.fill(0, &[a, b], 1000), vec![Ret::EnqOk; 2]);
+            assert_eq!(
+                sim.empty(0, 2, 1000),
+                vec![Ret::DeqVal(a), Ret::DeqVal(b)]
+            );
+        }
+        assert!(check_history(sim.history(), 2).is_linearizable());
+    }
+
+    #[test]
+    fn lemma_a2_paper_faithful_help_is_unsound() {
+        // The regression test for DESIGN.md §7(1): the paper's
+        // unconditional line-40 help admits a double dequeue.
+        let r = run_lemma_a2_interleaving(HelpMode::PaperFaithful);
+        assert!(
+            !r.linearizable(),
+            "the paper-faithful helping discipline must exhibit the bug:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn lemma_a2_evidence_help_is_sound() {
+        // The fix used by bq_core::OptimalQueue survives the identical
+        // schedule.
+        let r = run_lemma_a2_interleaving(HelpMode::Evidence);
+        assert!(
+            r.linearizable(),
+            "the evidence-based helping discipline must survive:\n{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run_middle_steal(Flavor::Naive);
+        let s = r.render();
+        assert!(s.contains("NOT LINEARIZABLE"));
+        assert!(s.contains("value-locations: 4"));
+        assert!(s.contains("enq(11)"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Simulator ports of the paper's counter-based queue algorithms.
+//!
+//! All three share the Figure 1 layout — `C` value-location slots plus
+//! `head`/`tail` metadata counters — and the same operation skeleton
+//! (snapshot, validate, slot update, counter help). They differ only in how
+//! the slot update is protected:
+//!
+//! * [`naive`] — plain CAS against a single `⊥` (the unsound strawman);
+//! * [`distinct`] — CAS against the round's versioned `⊥` (Listing 2);
+//! * [`dcss`] — DCSS guarded by the positioning counter (Listing 4, with
+//!   DCSS as a primitive; the descriptor machinery lives in `bq-dcss` for
+//!   the real implementation).
+//!
+//! The shared skeleton lives in [`counter_queue`]; each algorithm is a
+//! flavor of it.
+
+pub mod counter_queue;
+pub mod optimal_model;
+
+pub use counter_queue::{dcss, distinct, naive, two_null, Flavor};
+pub use optimal_model::{HelpMode, OptimalModel};

@@ -1,0 +1,564 @@
+//! A simulator model of **Listing 5**'s announcement/counter protocol,
+//! built to exhibit — and regression-test — the pseudo-code issue
+//! documented in DESIGN.md §7.
+//!
+//! ## What is modelled
+//!
+//! The protocol skeleton that the correctness of Listing 5 hinges on:
+//! `EnqOp` descriptors with a `successful` verdict, a covered-cell
+//! announcement slot, `completeOp`'s write-back/counter/clear sequence,
+//! the previous-round *replacement* path, and the enqueue counter helping
+//! discipline. Coarsenings (all documented):
+//!
+//! * **One announcement slot** (`T = 1` in the `ops` array): the
+//!   interleaving of interest involves a single covered cell, and with one
+//!   slot `findOp` is a single read — so the model stays small without
+//!   hiding any of the relevant races.
+//! * Descriptor *fields* (`e`, `x`, `i`) are immutable host-side data
+//!   reached through the packed reference; only the locations the races
+//!   run through (`a[]`, counters, `ops`) live in simulated memory.
+//!   The `active_op` serialization is elided (vacuous with one slot).
+//! * Descriptors are allocated per attempt instead of recycled —
+//!   recycling affects memory bounds, not the logic under test.
+//!
+//! ## The two helping modes
+//!
+//! [`HelpMode::PaperFaithful`] — a failed `apply` still executes the
+//! paper's line-40 `CAS(&enqueues, e, e+1)` unconditionally.
+//! [`HelpMode::Evidence`] — the fix used by the real
+//! `bq_core::OptimalQueue`: a failed attempt helps only after re-observing
+//! a successful descriptor with `op.e ≥ e`.
+//!
+//! The adversary schedule in `adversary::run_lemma_a2_interleaving` drives
+//! the model into the state where these differ: under `PaperFaithful` the
+//! counter advances past a position that no successful descriptor ever
+//! owned, a stale `completeOp` write-back resurfaces the previous round's
+//! element, and the checker certifies the double-dequeue history
+//! non-linearizable. Under `Evidence` the same schedule stays correct.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::machine::{Access, Op, OpMachine, Ret, SimQueue, Status};
+use crate::mem::{Loc, LocKind, SimMemory};
+
+/// Counter-helping discipline on a failed enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelpMode {
+    /// Unconditional help, exactly as printed in the paper's Listing 5.
+    PaperFaithful,
+    /// Help only with observed evidence (the DESIGN.md §7 fix).
+    Evidence,
+}
+
+/// One `EnqOp` descriptor (host-side immutable fields + verdict).
+#[derive(Debug, Clone)]
+struct Desc {
+    e: u64,
+    x: u64,
+    i: usize,
+    successful: bool,
+}
+
+#[derive(Debug, Default)]
+struct DescTable {
+    descs: Vec<Desc>,
+}
+
+impl DescTable {
+    /// Allocate; packed reference = index + 1 (0 is ⊥).
+    fn alloc(&mut self, e: u64, x: u64, i: usize) -> u64 {
+        self.descs.push(Desc {
+            e,
+            x,
+            i,
+            successful: false,
+        });
+        self.descs.len() as u64
+    }
+
+    fn get(&self, packed: u64) -> &Desc {
+        &self.descs[(packed - 1) as usize]
+    }
+
+    fn set_successful(&mut self, packed: u64) {
+        self.descs[(packed - 1) as usize].successful = true;
+    }
+}
+
+/// The Listing 5 protocol model (see module docs for scope).
+pub struct OptimalModel {
+    mode: HelpMode,
+    c: usize,
+    slots: Loc,
+    enqueues: Loc,
+    dequeues: Loc,
+    /// The single announcement slot.
+    ops0: Loc,
+    table: Rc<RefCell<DescTable>>,
+}
+
+impl OptimalModel {
+    /// Lay the model out in `mem`.
+    pub fn new(mode: HelpMode, c: usize, mem: &mut SimMemory) -> Self {
+        assert!(c > 0);
+        let slots = mem.alloc_array(LocKind::Value, c, 0);
+        let enqueues = mem.alloc(LocKind::Metadata, 0);
+        let dequeues = mem.alloc(LocKind::Metadata, 0);
+        let ops0 = mem.alloc(LocKind::Metadata, 0);
+        OptimalModel {
+            mode,
+            c,
+            slots,
+            enqueues,
+            dequeues,
+            ops0,
+            table: Rc::new(RefCell::new(DescTable::default())),
+        }
+    }
+
+    /// The announcement slot's location (for adversary poise predicates).
+    pub fn ops_loc(&self) -> Loc {
+        self.ops0
+    }
+}
+
+impl SimQueue for OptimalModel {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            HelpMode::PaperFaithful => "listing5-model (paper-faithful help)",
+            HelpMode::Evidence => "listing5-model (evidence help)",
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.c
+    }
+
+    fn make(&self, op: Op) -> Box<dyn OpMachine> {
+        match op {
+            Op::Enqueue(x) => Box::new(EnqMachine {
+                mode: self.mode,
+                c: self.c as u64,
+                slots: self.slots,
+                enqueues: self.enqueues,
+                dequeues: self.dequeues,
+                ops0: self.ops0,
+                table: Rc::clone(&self.table),
+                x,
+                state: EState::ReadE,
+            }),
+            Op::Dequeue => Box::new(DeqMachine {
+                c: self.c as u64,
+                slots: self.slots,
+                enqueues: self.enqueues,
+                dequeues: self.dequeues,
+                ops0: self.ops0,
+                table: Rc::clone(&self.table),
+                state: DState::ReadD,
+            }),
+        }
+    }
+
+    fn value_locations(&self) -> Vec<Loc> {
+        (0..self.c).map(|i| Loc(self.slots.0 + i)).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EState {
+    ReadE,
+    ReadD { e: u64 },
+    ValE { e: u64, d: u64 },
+    /// `findOp`: read the announcement slot.
+    FindOp { e: u64, me: u64 },
+    /// Previous-round replacement CAS.
+    ReplaceCas { e: u64, me: u64, cur: u64 },
+    /// Evidence mode: re-read `ops` after a failed replacement.
+    ReFind { e: u64 },
+    /// Claim the empty announcement slot.
+    PutCas { e: u64, me: u64 },
+    /// `tryPut`: re-read the counter to decide the verdict.
+    TryPutReadE { e: u64, me: u64 },
+    /// Clean the slot after a failed `tryPut`.
+    ClearCas { e: u64, me: u64 },
+    /// `completeOp`: read the (possibly replaced) current descriptor.
+    CompRead { e: u64 },
+    /// `completeOp`: write the element back to the array.
+    CompWrite { e: u64, q: u64 },
+    /// `completeOp`: help the counter for the completed descriptor.
+    CompBump { e: u64, q: u64 },
+    /// `completeOp`: release the cell.
+    CompClear { e: u64, q: u64 },
+    /// Line 40: help the counter, then finish successfully.
+    BumpThenDone { e: u64 },
+    /// Line 40 on the *failure* path (paper-faithful mode only).
+    BumpThenRestart { e: u64 },
+}
+
+struct EnqMachine {
+    mode: HelpMode,
+    c: u64,
+    slots: Loc,
+    enqueues: Loc,
+    dequeues: Loc,
+    ops0: Loc,
+    table: Rc<RefCell<DescTable>>,
+    x: u64,
+    state: EState,
+}
+
+impl EnqMachine {
+    fn slot(&self, i: usize) -> Loc {
+        Loc(self.slots.0 + i)
+    }
+}
+
+impl OpMachine for EnqMachine {
+    fn next_access(&self) -> Access {
+        match self.state {
+            EState::ReadE => Access::Read(self.enqueues),
+            EState::ReadD { .. } => Access::Read(self.dequeues),
+            EState::ValE { .. } => Access::Read(self.enqueues),
+            EState::FindOp { .. } | EState::ReFind { .. } => Access::Read(self.ops0),
+            EState::ReplaceCas { me, cur, .. } => Access::Cas {
+                loc: self.ops0,
+                exp: cur,
+                new: me,
+            },
+            EState::PutCas { me, .. } => Access::Cas {
+                loc: self.ops0,
+                exp: 0,
+                new: me,
+            },
+            EState::TryPutReadE { .. } => Access::Read(self.enqueues),
+            EState::ClearCas { me, .. } => Access::Cas {
+                loc: self.ops0,
+                exp: me,
+                new: 0,
+            },
+            EState::CompRead { .. } => Access::Read(self.ops0),
+            EState::CompWrite { q, .. } => {
+                let d = self.table.borrow();
+                let desc = d.get(q);
+                Access::Write(self.slot(desc.i), desc.x)
+            }
+            EState::CompBump { q, .. } => {
+                let e = self.table.borrow().get(q).e;
+                Access::Cas {
+                    loc: self.enqueues,
+                    exp: e,
+                    new: e + 1,
+                }
+            }
+            EState::CompClear { q, .. } => Access::Cas {
+                loc: self.ops0,
+                exp: q,
+                new: 0,
+            },
+            EState::BumpThenDone { e } | EState::BumpThenRestart { e } => Access::Cas {
+                loc: self.enqueues,
+                exp: e,
+                new: e + 1,
+            },
+        }
+    }
+
+    fn apply(&mut self, observed: u64) -> Status {
+        match self.state {
+            EState::ReadE => {
+                self.state = EState::ReadD { e: observed };
+                Status::Running
+            }
+            EState::ReadD { e } => {
+                self.state = EState::ValE { e, d: observed };
+                Status::Running
+            }
+            EState::ValE { e, d } => {
+                if observed != e {
+                    self.state = EState::ReadE;
+                    return Status::Running;
+                }
+                if e == d + self.c {
+                    return Status::Done(Ret::EnqFull);
+                }
+                let i = (e % self.c) as usize;
+                let me = self.table.borrow_mut().alloc(e, self.x, i);
+                self.state = EState::FindOp { e, me };
+                Status::Running
+            }
+            EState::FindOp { e, me } => {
+                let p = observed;
+                let my_i = (e % self.c) as usize;
+                let found = p != 0 && {
+                    let t = self.table.borrow();
+                    let d = t.get(p);
+                    d.successful && d.i == my_i
+                };
+                if found {
+                    let cur_e = self.table.borrow().get(p).e;
+                    if cur_e >= e {
+                        // A descriptor for this (or a later) round exists:
+                        // helping is safe in both modes.
+                        self.state = EState::BumpThenRestart { e };
+                    } else {
+                        // Previous round: replace it, pre-marked successful.
+                        self.table.borrow_mut().set_successful(me);
+                        self.state = EState::ReplaceCas { e, me, cur: p };
+                    }
+                } else {
+                    // Not covered (or covered by an unsuccessful desc —
+                    // the put CAS below fails then and we retry).
+                    self.state = EState::PutCas { e, me };
+                }
+                Status::Running
+            }
+            EState::ReplaceCas { e, me: _, cur } => {
+                if observed == cur {
+                    // Replacement succeeded: the covering thread will
+                    // complete us; help the counter and return.
+                    self.state = EState::BumpThenDone { e };
+                } else {
+                    match self.mode {
+                        // Paper line 40: unconditional help on the retry
+                        // path — the unsound step.
+                        HelpMode::PaperFaithful => {
+                            self.state = EState::BumpThenRestart { e };
+                        }
+                        // Fix: help only with re-observed evidence.
+                        HelpMode::Evidence => {
+                            self.state = EState::ReFind { e };
+                        }
+                    }
+                }
+                Status::Running
+            }
+            EState::ReFind { e } => {
+                let p = observed;
+                let evidence = p != 0 && {
+                    let t = self.table.borrow();
+                    let d = t.get(p);
+                    d.successful && d.e >= e
+                };
+                self.state = if evidence {
+                    EState::BumpThenRestart { e }
+                } else {
+                    EState::ReadE
+                };
+                Status::Running
+            }
+            EState::PutCas { e, me } => {
+                if observed == 0 {
+                    self.state = EState::TryPutReadE { e, me };
+                } else {
+                    // Slot occupied by a racing descriptor; restart.
+                    self.state = EState::ReadE;
+                }
+                Status::Running
+            }
+            EState::TryPutReadE { e, me } => {
+                if observed == e {
+                    self.table.borrow_mut().set_successful(me);
+                    self.state = EState::CompRead { e };
+                } else {
+                    self.state = EState::ClearCas { e, me };
+                }
+                Status::Running
+            }
+            EState::ClearCas { e, me } => {
+                debug_assert_eq!(observed, me, "only the owner clears a failed desc");
+                // tryPut failed because the counter moved; the paper still
+                // helps here (line 40) and so do we — the CAS from the old
+                // `e` is harmless since `enqueues ≠ e` was just observed…
+                // except it may have moved back? Counters are monotone, so
+                // the help CAS simply fails. Keep modes symmetric here.
+                self.state = EState::BumpThenRestart { e };
+                Status::Running
+            }
+            EState::CompRead { e } => {
+                let q = observed;
+                debug_assert_ne!(q, 0, "covered slot emptied by someone else");
+                self.state = EState::CompWrite { e, q };
+                Status::Running
+            }
+            EState::CompWrite { e, q } => {
+                self.state = EState::CompBump { e, q };
+                Status::Running
+            }
+            EState::CompBump { e, q } => {
+                self.state = EState::CompClear { e, q };
+                Status::Running
+            }
+            EState::CompClear { e, q } => {
+                if observed == q {
+                    // Cleared; our own operation was successful.
+                    self.state = EState::BumpThenDone { e };
+                } else {
+                    // Replaced mid-completion: complete the new one too.
+                    self.state = EState::CompRead { e };
+                }
+                Status::Running
+            }
+            EState::BumpThenDone { .. } => Status::Done(Ret::EnqOk),
+            EState::BumpThenRestart { .. } => {
+                self.state = EState::ReadE;
+                Status::Running
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DState {
+    ReadD,
+    ReadE { d: u64 },
+    /// `readElem`: check the announcement slot first.
+    ReadOps { d: u64, e: u64 },
+    /// Fall back to the array.
+    ReadSlot { d: u64, e: u64 },
+    ValD { d: u64, e: u64, x: u64 },
+    CasD { d: u64, x: u64 },
+}
+
+struct DeqMachine {
+    c: u64,
+    slots: Loc,
+    enqueues: Loc,
+    dequeues: Loc,
+    ops0: Loc,
+    table: Rc<RefCell<DescTable>>,
+    state: DState,
+}
+
+impl OpMachine for DeqMachine {
+    fn next_access(&self) -> Access {
+        match self.state {
+            DState::ReadD => Access::Read(self.dequeues),
+            DState::ReadE { .. } => Access::Read(self.enqueues),
+            DState::ReadOps { .. } => Access::Read(self.ops0),
+            DState::ReadSlot { d, .. } => Access::Read(Loc(self.slots.0 + (d % self.c) as usize)),
+            DState::ValD { .. } => Access::Read(self.dequeues),
+            DState::CasD { d, .. } => Access::Cas {
+                loc: self.dequeues,
+                exp: d,
+                new: d + 1,
+            },
+        }
+    }
+
+    fn apply(&mut self, observed: u64) -> Status {
+        match self.state {
+            DState::ReadD => {
+                self.state = DState::ReadE { d: observed };
+                Status::Running
+            }
+            DState::ReadE { d } => {
+                self.state = DState::ReadOps { d, e: observed };
+                Status::Running
+            }
+            DState::ReadOps { d, e } => {
+                let p = observed;
+                let i = (d % self.c) as usize;
+                let hit = p != 0 && {
+                    let t = self.table.borrow();
+                    let desc = t.get(p);
+                    desc.successful && desc.i == i
+                };
+                if hit {
+                    let x = self.table.borrow().get(p).x;
+                    self.state = DState::ValD { d, e, x };
+                } else {
+                    self.state = DState::ReadSlot { d, e };
+                }
+                Status::Running
+            }
+            DState::ReadSlot { d, e } => {
+                self.state = DState::ValD { d, e, x: observed };
+                Status::Running
+            }
+            DState::ValD { d, e, x } => {
+                if observed != d {
+                    self.state = DState::ReadD;
+                    return Status::Running;
+                }
+                if e == d {
+                    return Status::Done(Ret::DeqEmpty);
+                }
+                self.state = DState::CasD { d, x };
+                Status::Running
+            }
+            DState::CasD { d, x } => {
+                if observed == d {
+                    Status::Done(Ret::DeqVal(x))
+                } else {
+                    self.state = DState::ReadD;
+                    Status::Running
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Sim;
+    use crate::lincheck::check_history;
+    use crate::machine::Ret;
+
+    fn sim_of(mode: HelpMode, c: usize, threads: usize) -> Sim<OptimalModel> {
+        let mut mem = SimMemory::new();
+        let q = OptimalModel::new(mode, c, &mut mem);
+        Sim::new(q, mem, threads)
+    }
+
+    #[test]
+    fn sequential_fifo_both_modes() {
+        for mode in [HelpMode::PaperFaithful, HelpMode::Evidence] {
+            let mut sim = sim_of(mode, 2, 1);
+            assert_eq!(sim.fill(0, &[5, 6], 2000), vec![Ret::EnqOk; 2]);
+            assert_eq!(sim.run_op(0, Op::Enqueue(7), 2000), Ret::EnqFull);
+            assert_eq!(
+                sim.empty(0, 3, 2000),
+                vec![Ret::DeqVal(5), Ret::DeqVal(6), Ret::DeqEmpty]
+            );
+        }
+    }
+
+    #[test]
+    fn wraparound_both_modes() {
+        for mode in [HelpMode::PaperFaithful, HelpMode::Evidence] {
+            let mut sim = sim_of(mode, 1, 1);
+            for v in 1..=30u64 {
+                assert_eq!(sim.run_op(0, Op::Enqueue(v), 2000), Ret::EnqOk);
+                assert_eq!(sim.run_op(0, Op::Dequeue, 2000), Ret::DeqVal(v));
+            }
+            assert!(check_history(sim.history(), 1).is_linearizable());
+        }
+    }
+
+    #[test]
+    fn dequeue_reads_through_announcement() {
+        // An enqueue paused inside completeOp (element announced, not yet
+        // written back) must still be visible to dequeuers — the paper's
+        // readElem. Counter must be advanced by a helper first.
+        let mut sim = sim_of(HelpMode::Evidence, 1, 3);
+        sim.invoke(1, Op::Enqueue(10));
+        // Pause right before the completeOp write-back to the array.
+        let out = sim.run_until(1, 2000, |a, m| {
+            a.is_update() && m.kind(a.target()) == crate::mem::LocKind::Value
+        });
+        assert!(matches!(out, crate::controller::RunOutcome::Poised(_)));
+        // A rival enqueue finds the successful descriptor (queue full at
+        // C=1) and helps the counter along the way.
+        assert_eq!(sim.run_op(2, Op::Enqueue(99), 2000), Ret::EnqFull);
+        // The dequeuer now sees the element *through the descriptor*.
+        assert_eq!(sim.run_op(0, Op::Dequeue, 2000), Ret::DeqVal(10));
+        sim.run_to_completion(1, 2000);
+        assert!(
+            check_history(sim.history(), 1).is_linearizable(),
+            "{}",
+            sim.history().render()
+        );
+    }
+}

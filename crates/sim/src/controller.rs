@@ -1,0 +1,246 @@
+//! The adversary controller: schedules step machines over simulated memory
+//! and records the resulting concurrent history.
+//!
+//! The API mirrors the proof's vocabulary: a thread can be *poised* (run up
+//! to, but not through, a primitive matching a predicate — Definition 3.5),
+//! *resumed* (single-stepped through its poised access), or run *in
+//! isolation* to completion (the proof's solo extensions, Lemma 3.7).
+
+use crate::lincheck::{History, HistoryEvent};
+use crate::machine::{Access, Op, OpMachine, Ret, SimQueue, Status};
+use crate::mem::SimMemory;
+
+/// Identifier of an invoked operation within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId(pub usize);
+
+/// Result of driving a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The thread is paused right before this access.
+    Poised(Access),
+    /// The thread's operation completed.
+    Completed(Ret),
+    /// The step budget ran out (the thread is still mid-operation).
+    Budget,
+}
+
+struct ThreadState {
+    machine: Option<(OpId, Box<dyn OpMachine>)>,
+}
+
+/// A deterministic simulation: one algorithm instance, `T` threads, a
+/// recorded history.
+pub struct Sim<Q: SimQueue> {
+    /// The simulated shared memory.
+    pub mem: SimMemory,
+    /// The algorithm under test.
+    pub queue: Q,
+    threads: Vec<ThreadState>,
+    history: History,
+    next_op: usize,
+}
+
+impl<Q: SimQueue> Sim<Q> {
+    /// Create a simulation with `threads` schedulable threads over an
+    /// already-laid-out algorithm and its memory.
+    pub fn new(queue: Q, mem: SimMemory, threads: usize) -> Self {
+        Sim {
+            mem,
+            queue,
+            threads: (0..threads).map(|_| ThreadState { machine: None }).collect(),
+            history: History::new(),
+            next_op: 0,
+        }
+    }
+
+    /// Number of schedulable threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The recorded history so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Is the thread currently inside an operation?
+    pub fn is_busy(&self, tid: usize) -> bool {
+        self.threads[tid].machine.is_some()
+    }
+
+    /// Invoke `op` on thread `tid` (which must be idle). Records the
+    /// invocation event; no steps are taken yet.
+    pub fn invoke(&mut self, tid: usize, op: Op) -> OpId {
+        assert!(!self.is_busy(tid), "thread {tid} already has an operation");
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.history.push(HistoryEvent::Invoke { id, tid, op });
+        self.threads[tid].machine = Some((id, self.queue.make(op)));
+        id
+    }
+
+    /// Execute exactly one primitive of thread `tid`.
+    pub fn step(&mut self, tid: usize) -> RunOutcome {
+        let (id, machine) = self.threads[tid]
+            .machine
+            .as_mut()
+            .expect("thread has no operation in flight");
+        let access = machine.next_access();
+        let observed = self.mem.exec(access);
+        match machine.apply(observed) {
+            Status::Running => RunOutcome::Poised(machine.next_access()),
+            Status::Done(ret) => {
+                let id = *id;
+                self.history.push(HistoryEvent::Return { id, ret });
+                self.threads[tid].machine = None;
+                RunOutcome::Completed(ret)
+            }
+        }
+    }
+
+    /// The access thread `tid` is about to execute.
+    pub fn pending_access(&self, tid: usize) -> Access {
+        self.threads[tid]
+            .machine
+            .as_ref()
+            .expect("thread has no operation in flight")
+            .1
+            .next_access()
+    }
+
+    /// Run `tid` until its next access satisfies `pred` (poising it there),
+    /// or until the operation completes, or until `max_steps` primitives
+    /// have executed.
+    pub fn run_until(
+        &mut self,
+        tid: usize,
+        max_steps: usize,
+        mut pred: impl FnMut(&Access, &SimMemory) -> bool,
+    ) -> RunOutcome {
+        for _ in 0..max_steps {
+            let access = self.pending_access(tid);
+            if pred(&access, &self.mem) {
+                return RunOutcome::Poised(access);
+            }
+            if let RunOutcome::Completed(ret) = self.step(tid) {
+                return RunOutcome::Completed(ret);
+            }
+        }
+        RunOutcome::Budget
+    }
+
+    /// Run `tid` in isolation until its operation completes.
+    ///
+    /// # Panics
+    /// If the operation does not complete within `max_steps` — for an
+    /// obstruction-free algorithm a solo run must terminate, so exhausting
+    /// the budget indicates a progress bug.
+    pub fn run_to_completion(&mut self, tid: usize, max_steps: usize) -> Ret {
+        for _ in 0..max_steps {
+            if let RunOutcome::Completed(ret) = self.step(tid) {
+                return ret;
+            }
+        }
+        panic!(
+            "thread {tid} did not finish within {max_steps} solo steps — \
+             obstruction-freedom violated?"
+        );
+    }
+
+    /// Invoke and run an operation to completion on an idle thread
+    /// (convenience for the proof's solo segments).
+    pub fn run_op(&mut self, tid: usize, op: Op, max_steps: usize) -> Ret {
+        self.invoke(tid, op);
+        self.run_to_completion(tid, max_steps)
+    }
+
+    /// The paper's *fill procedure* (Definition 3.6): thread `tid` enqueues
+    /// `values` (typically `C` fresh ones) in isolation. Returns each
+    /// enqueue's result.
+    pub fn fill(&mut self, tid: usize, values: &[u64], max_steps: usize) -> Vec<Ret> {
+        values
+            .iter()
+            .map(|&v| self.run_op(tid, Op::Enqueue(v), max_steps))
+            .collect()
+    }
+
+    /// The paper's *empty procedure*: `count` dequeues in isolation.
+    pub fn empty(&mut self, tid: usize, count: usize, max_steps: usize) -> Vec<Ret> {
+        (0..count)
+            .map(|_| self.run_op(tid, Op::Dequeue, max_steps))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::counter_queue::{naive, CounterQueue};
+    use crate::mem::LocKind;
+
+    fn mk(c: usize, threads: usize) -> Sim<CounterQueue> {
+        let mut mem = SimMemory::new();
+        let q = naive(c, &mut mem);
+        Sim::new(q, mem, threads)
+    }
+
+    #[test]
+    fn solo_enqueue_dequeue() {
+        let mut sim = mk(2, 1);
+        assert_eq!(sim.run_op(0, Op::Enqueue(5), 100), Ret::EnqOk);
+        assert_eq!(sim.run_op(0, Op::Dequeue, 100), Ret::DeqVal(5));
+        assert_eq!(sim.run_op(0, Op::Dequeue, 100), Ret::DeqEmpty);
+    }
+
+    #[test]
+    fn fill_then_full_then_empty() {
+        let mut sim = mk(3, 1);
+        let rets = sim.fill(0, &[1, 2, 3], 100);
+        assert!(rets.iter().all(|r| *r == Ret::EnqOk));
+        assert_eq!(sim.run_op(0, Op::Enqueue(4), 100), Ret::EnqFull);
+        let outs = sim.empty(0, 4, 100);
+        assert_eq!(
+            outs,
+            vec![Ret::DeqVal(1), Ret::DeqVal(2), Ret::DeqVal(3), Ret::DeqEmpty]
+        );
+    }
+
+    #[test]
+    fn poise_before_value_cas() {
+        let mut sim = mk(2, 2);
+        sim.invoke(1, Op::Enqueue(9));
+        let out = sim.run_until(1, 100, |a, m| {
+            a.is_update() && m.kind(a.target()) == LocKind::Value
+        });
+        match out {
+            RunOutcome::Poised(Access::Cas { exp, new, .. }) => {
+                assert_eq!(exp, 0, "enqueue CAS expects ⊥");
+                assert_eq!(new, 9);
+            }
+            other => panic!("expected poised CAS, got {other:?}"),
+        }
+        // The poised thread has not modified memory: another thread can
+        // still run (obstruction-freedom of the *other* threads).
+        assert_eq!(sim.run_op(0, Op::Enqueue(1), 100), Ret::EnqOk);
+    }
+
+    #[test]
+    fn history_records_invoke_return_pairs() {
+        let mut sim = mk(2, 1);
+        sim.run_op(0, Op::Enqueue(3), 100);
+        sim.run_op(0, Op::Dequeue, 100);
+        let h = sim.history();
+        assert_eq!(h.events().len(), 4);
+        assert!(matches!(h.events()[0], HistoryEvent::Invoke { .. }));
+        assert!(matches!(h.events()[1], HistoryEvent::Return { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an operation")]
+    fn double_invoke_panics() {
+        let mut sim = mk(2, 1);
+        sim.invoke(0, Op::Dequeue);
+        sim.invoke(0, Op::Dequeue);
+    }
+}

@@ -1,0 +1,147 @@
+//! Queue operations as explicit step machines.
+//!
+//! A machine exposes [`OpMachine::next_access`] — a pure function of its
+//! internal state — *before* executing it, so the adversary can pause the
+//! thread exactly there ("poising" it, Definition 3.5 of the paper). The
+//! controller then executes the access against [`crate::mem::SimMemory`]
+//! and feeds the observation back through [`OpMachine::apply`].
+
+use crate::mem::Loc;
+
+/// A queue operation to invoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `enqueue(value)`.
+    Enqueue(u64),
+    /// `dequeue()`.
+    Dequeue,
+}
+
+/// One shared-memory primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Atomic load.
+    Read(Loc),
+    /// Atomic store.
+    Write(Loc, u64),
+    /// Compare-and-set; observation is the *old* value.
+    Cas {
+        /// Target location.
+        loc: Loc,
+        /// Expected value.
+        exp: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Double-compare-single-set (primitive form, for the Listing 4
+    /// control); observation is 1/0 success.
+    Dcss {
+        /// Updated location.
+        loc1: Loc,
+        /// Expected value at `loc1`.
+        exp1: u64,
+        /// Replacement for `loc1`.
+        new1: u64,
+        /// Guard location (only compared).
+        loc2: Loc,
+        /// Expected value at `loc2`.
+        exp2: u64,
+    },
+}
+
+impl Access {
+    /// The location this access targets (the updated one for DCSS).
+    pub fn target(&self) -> Loc {
+        match *self {
+            Access::Read(l) | Access::Write(l, _) => l,
+            Access::Cas { loc, .. } => loc,
+            Access::Dcss { loc1, .. } => loc1,
+        }
+    }
+
+    /// Is this an update attempt (write/CAS/DCSS, as opposed to a read)?
+    pub fn is_update(&self) -> bool {
+        !matches!(self, Access::Read(_))
+    }
+}
+
+/// Operation result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ret {
+    /// `enqueue` succeeded (`true` in the paper).
+    EnqOk,
+    /// `enqueue` observed a full queue (`false`).
+    EnqFull,
+    /// `dequeue` returned an element.
+    DeqVal(u64),
+    /// `dequeue` observed an empty queue (`⊥`).
+    DeqEmpty,
+}
+
+/// Machine progress after consuming one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// More steps to take.
+    Running,
+    /// The operation completed with this result.
+    Done(Ret),
+}
+
+/// A queue operation in flight: a deterministic automaton over shared
+/// memory, in the sense of the paper's §3.2 implementation model.
+pub trait OpMachine {
+    /// The primitive this machine will execute next. Must be deterministic
+    /// in the machine's state (it may not consult the memory).
+    fn next_access(&self) -> Access;
+
+    /// Consume the observation produced by executing [`next_access`]
+    /// against the memory, advancing the machine.
+    ///
+    /// [`next_access`]: OpMachine::next_access
+    fn apply(&mut self, observed: u64) -> Status;
+}
+
+/// Algorithms the simulator can run: a memory layout plus a machine
+/// factory.
+pub trait SimQueue {
+    /// Human-readable algorithm name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Queue capacity `C`.
+    fn capacity(&self) -> usize;
+
+    /// Create the step machine for `op`.
+    fn make(&self, op: Op) -> Box<dyn OpMachine>;
+
+    /// The value-locations of this layout (for the adversary's catch
+    /// criteria and the E8 location-count report).
+    fn value_locations(&self) -> Vec<Loc>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_target_and_kind() {
+        let r = Access::Read(Loc(3));
+        assert_eq!(r.target(), Loc(3));
+        assert!(!r.is_update());
+        let c = Access::Cas {
+            loc: Loc(5),
+            exp: 0,
+            new: 1,
+        };
+        assert_eq!(c.target(), Loc(5));
+        assert!(c.is_update());
+        let d = Access::Dcss {
+            loc1: Loc(7),
+            exp1: 0,
+            new1: 1,
+            loc2: Loc(8),
+            exp2: 0,
+        };
+        assert_eq!(d.target(), Loc(7));
+        assert!(d.is_update());
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated shared memory with value/metadata location labelling.
+//!
+//! The paper's model (§3.3) assumes "a clear separation between
+//! value-locations, used exclusively to store queue elements, and
+//! metadata-locations, used to store everything else". The adversary's
+//! catch criteria are phrased over value-locations, so the simulator tags
+//! every allocated cell.
+
+use crate::machine::Access;
+
+/// Index of a simulated memory cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub usize);
+
+/// The paper's location classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocKind {
+    /// May hold queue elements.
+    Value,
+    /// Counters, descriptors, announcements, …
+    Metadata,
+}
+
+/// A flat simulated shared memory.
+#[derive(Debug, Clone)]
+pub struct SimMemory {
+    cells: Vec<u64>,
+    kinds: Vec<LocKind>,
+}
+
+impl SimMemory {
+    /// Empty memory.
+    pub fn new() -> Self {
+        SimMemory {
+            cells: Vec::new(),
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Allocate one cell.
+    pub fn alloc(&mut self, kind: LocKind, init: u64) -> Loc {
+        self.cells.push(init);
+        self.kinds.push(kind);
+        Loc(self.cells.len() - 1)
+    }
+
+    /// Allocate `n` consecutive cells, returning the first.
+    pub fn alloc_array(&mut self, kind: LocKind, n: usize, init: u64) -> Loc {
+        let base = Loc(self.cells.len());
+        for _ in 0..n {
+            self.alloc(kind, init);
+        }
+        base
+    }
+
+    /// Read a cell without it counting as a step (for assertions/UI).
+    pub fn peek(&self, loc: Loc) -> u64 {
+        self.cells[loc.0]
+    }
+
+    /// Location kind.
+    pub fn kind(&self, loc: Loc) -> LocKind {
+        self.kinds[loc.0]
+    }
+
+    /// Number of value-locations — the quantity the paper's lower bound is
+    /// about.
+    pub fn value_location_count(&self) -> usize {
+        self.kinds
+            .iter()
+            .filter(|k| matches!(k, LocKind::Value))
+            .count()
+    }
+
+    /// Number of metadata-locations.
+    pub fn metadata_location_count(&self) -> usize {
+        self.kinds.len() - self.value_location_count()
+    }
+
+    /// Execute one primitive. Returns the observation the issuing machine
+    /// feeds back into its `apply`:
+    ///
+    /// * `Read` → the value read;
+    /// * `Write` → 0;
+    /// * `Cas` → the **old** value (success iff it equals `exp`);
+    /// * `Dcss` → 1 on success, 0 on failure.
+    pub fn exec(&mut self, access: Access) -> u64 {
+        match access {
+            Access::Read(l) => self.cells[l.0],
+            Access::Write(l, v) => {
+                self.cells[l.0] = v;
+                0
+            }
+            Access::Cas { loc, exp, new } => {
+                let old = self.cells[loc.0];
+                if old == exp {
+                    self.cells[loc.0] = new;
+                }
+                old
+            }
+            Access::Dcss {
+                loc1,
+                exp1,
+                new1,
+                loc2,
+                exp2,
+            } => {
+                if self.cells[loc1.0] == exp1 && self.cells[loc2.0] == exp2 {
+                    self.cells[loc1.0] = new1;
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+impl Default for SimMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_peek() {
+        let mut m = SimMemory::new();
+        let a = m.alloc(LocKind::Value, 7);
+        let b = m.alloc(LocKind::Metadata, 9);
+        assert_eq!(m.peek(a), 7);
+        assert_eq!(m.peek(b), 9);
+        assert_eq!(m.kind(a), LocKind::Value);
+        assert_eq!(m.value_location_count(), 1);
+        assert_eq!(m.metadata_location_count(), 1);
+    }
+
+    #[test]
+    fn array_alloc_is_contiguous() {
+        let mut m = SimMemory::new();
+        let base = m.alloc_array(LocKind::Value, 4, 0);
+        assert_eq!(base, Loc(0));
+        for i in 0..4 {
+            assert_eq!(m.peek(Loc(base.0 + i)), 0);
+        }
+        assert_eq!(m.value_location_count(), 4);
+    }
+
+    #[test]
+    fn cas_returns_old_value() {
+        let mut m = SimMemory::new();
+        let l = m.alloc(LocKind::Value, 5);
+        assert_eq!(
+            m.exec(Access::Cas {
+                loc: l,
+                exp: 5,
+                new: 6
+            }),
+            5
+        );
+        assert_eq!(m.peek(l), 6);
+        assert_eq!(
+            m.exec(Access::Cas {
+                loc: l,
+                exp: 5,
+                new: 7
+            }),
+            6,
+            "failed CAS reports the current value"
+        );
+        assert_eq!(m.peek(l), 6);
+    }
+
+    #[test]
+    fn dcss_semantics() {
+        let mut m = SimMemory::new();
+        let a = m.alloc(LocKind::Value, 1);
+        let b = m.alloc(LocKind::Metadata, 2);
+        let hit = Access::Dcss {
+            loc1: a,
+            exp1: 1,
+            new1: 10,
+            loc2: b,
+            exp2: 2,
+        };
+        assert_eq!(m.exec(hit), 1);
+        assert_eq!(m.peek(a), 10);
+        let miss = Access::Dcss {
+            loc1: a,
+            exp1: 10,
+            new1: 11,
+            loc2: b,
+            exp2: 99,
+        };
+        assert_eq!(m.exec(miss), 0);
+        assert_eq!(m.peek(a), 10, "failed DCSS leaves A untouched");
+    }
+}

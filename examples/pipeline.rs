@@ -1,0 +1,105 @@
+//! A three-stage stream-processing pipeline over SPSC rings — the
+//! DPDK/SPDK-style usage the paper's §1 cites, exercising the §5
+//! single-producer/single-consumer relaxation where **constant overhead is
+//! actually achievable** (see `bq_core::spsc`).
+//!
+//! ```text
+//! cargo run --release --example pipeline
+//! ```
+//!
+//! parse → checksum → aggregate, one thread per stage, each pair of stages
+//! connected by a wait-free Lamport ring with two counters of overhead.
+
+use membq::core::spsc::{spsc_ring, SpscConsumer, SpscProducer};
+use membq::prelude::MemoryFootprint;
+
+const PACKETS: u64 = 200_000;
+const RING: usize = 256;
+
+/// Stage 1: "parse" — tag each raw packet id with a length field.
+fn parse(mut input_ids: std::ops::RangeInclusive<u64>, mut out: SpscProducer) {
+    for id in &mut input_ids {
+        // Packed "packet": id in low 48 bits, synthetic length above.
+        let len = 64 + (id * 37) % 1400;
+        let mut pkt = (len << 48) | id;
+        loop {
+            match out.enqueue(pkt) {
+                Ok(()) => break,
+                Err(back) => {
+                    pkt = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Stage 2: "checksum" — fold a cheap hash over the packet word.
+fn checksum(mut inp: SpscConsumer, mut out: SpscProducer, count: u64) {
+    let mut done = 0u64;
+    while done < count {
+        let Some(pkt) = inp.dequeue() else {
+            std::thread::yield_now();
+            continue;
+        };
+        let sum = pkt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            .wrapping_add(pkt >> 48);
+        // Keep low 16 bits of the checksum with the id.
+        let id = pkt & ((1 << 48) - 1);
+        let mut rec = (sum & 0xFFFF) << 48 | id;
+        loop {
+            match out.enqueue(rec) {
+                Ok(()) => break,
+                Err(back) => {
+                    rec = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        done += 1;
+    }
+}
+
+fn main() {
+    let (p1, c1) = spsc_ring(RING);
+    let (p2, c2) = spsc_ring(RING);
+    println!(
+        "stage links: two SPSC rings of {RING} slots, {} bytes overhead each \
+         (constant — the §5 SPSC relaxation)",
+        p1.overhead_bytes()
+    );
+
+    let start = std::time::Instant::now();
+    let t1 = std::thread::spawn(move || parse(1..=PACKETS, p1));
+    let t2 = std::thread::spawn(move || checksum(c1, p2, PACKETS));
+
+    // Stage 3 (this thread): aggregate.
+    let mut inp = c2;
+    let mut seen = 0u64;
+    let mut checksum_mix = 0u64;
+    let mut next_expected_id = 1u64;
+    while seen < PACKETS {
+        let Some(rec) = inp.dequeue() else {
+            std::thread::yield_now();
+            continue;
+        };
+        let id = rec & ((1 << 48) - 1);
+        assert_eq!(id, next_expected_id, "SPSC chains preserve order end-to-end");
+        next_expected_id += 1;
+        checksum_mix ^= rec >> 48;
+        seen += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    t1.join().unwrap();
+    t2.join().unwrap();
+
+    println!(
+        "processed {PACKETS} packets through 3 stages in {:.3}s \
+         ({:.2} M packets/s end-to-end), checksum mix {checksum_mix:#06x}",
+        secs,
+        PACKETS as f64 / secs / 1e6
+    );
+    println!("order preserved across both hops; zero CAS instructions on the data path");
+}

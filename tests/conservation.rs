@@ -1,0 +1,179 @@
+//! Concurrent conservation tests: under multi-producer/multi-consumer
+//! load, every sound queue must deliver each enqueued token exactly once
+//! (no loss, no duplication) and preserve per-producer FIFO order.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use membq::bench_registry::{DynQueue, QueueKind, ALL_KINDS};
+
+fn mpmc_conservation(q: Arc<Box<dyn DynQueue>>, producers: usize, consumers: usize, per: u64) {
+    let total = per * producers as u64;
+    let consumed = Arc::new(AtomicU64::new(0));
+    let mut outputs: Vec<Vec<u64>> = Vec::new();
+
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let base = 1 + p as u64 * per;
+                for i in 0..per {
+                    while !q.enqueue(p, base + i) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let mut handles = Vec::new();
+        for c in 0..consumers {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            handles.push(s.spawn(move || {
+                let tid = producers + c;
+                let mut got = Vec::new();
+                loop {
+                    let done = consumed.load(Ordering::Relaxed) >= total;
+                    match q.dequeue(tid) {
+                        Some(v) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                            got.push(v);
+                        }
+                        None if done => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            }));
+        }
+        outputs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+
+    // Exactly-once delivery.
+    let mut seen = HashSet::new();
+    for out in &outputs {
+        for &v in out {
+            assert!(seen.insert(v), "{}: duplicate token {v}", q.name());
+        }
+    }
+    assert_eq!(seen.len() as u64, total, "{}: tokens lost", q.name());
+
+    // Per-producer FIFO within each consumer's stream (a weaker but
+    // schedule-independent consequence of linearizability).
+    for out in &outputs {
+        let mut last = vec![0u64; producers];
+        for &v in out {
+            let p = ((v - 1) / per) as usize;
+            assert!(
+                v > last[p],
+                "{}: consumer saw producer {p}'s tokens out of order",
+                q.name()
+            );
+            last[p] = v;
+        }
+    }
+    assert_eq!(q.dequeue(0), None, "{}: residue after conservation", q.name());
+}
+
+#[test]
+fn mpmc_conservation_all_sound_queues() {
+    for kind in ALL_KINDS {
+        let q = kind.build(16, 4);
+        if !q.sound() {
+            continue;
+        }
+        mpmc_conservation(Arc::new(q), 2, 2, 2_000);
+    }
+}
+
+#[test]
+fn mpmc_conservation_tiny_capacity_high_churn() {
+    // Capacity 2 maximizes wraparound pressure: every slot is reused
+    // thousands of times.
+    for kind in [
+        QueueKind::Distinct,
+        QueueKind::Dcss,
+        QueueKind::Optimal,
+        QueueKind::Segment,
+        QueueKind::LlSc,
+        QueueKind::Vyukov,
+    ] {
+        let q = kind.build(2, 4);
+        mpmc_conservation(Arc::new(q), 2, 2, 1_500);
+    }
+}
+
+#[test]
+fn spsc_strict_fifo_all_sound_queues() {
+    for kind in ALL_KINDS {
+        let q = kind.build(8, 2);
+        if !q.sound() {
+            continue;
+        }
+        let q = Arc::new(q);
+        let n = 4_000u64;
+        std::thread::scope(|s| {
+            let qp = Arc::clone(&q);
+            s.spawn(move || {
+                for v in 1..=n {
+                    while !qp.enqueue(0, v) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            let mut expect = 1u64;
+            while expect <= n {
+                match q.dequeue(1) {
+                    Some(v) => {
+                        assert_eq!(v, expect, "{}: SPSC order broken", q.name());
+                        expect += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn repeated_value_storm_on_value_independent_queues() {
+    // Every producer enqueues the SAME token: the regime where Listing 2's
+    // assumption fails but the value-independent designs must stay exact.
+    for kind in [
+        QueueKind::Dcss,
+        QueueKind::Optimal,
+        QueueKind::Segment,
+        QueueKind::LlSc,
+        QueueKind::Vyukov,
+        QueueKind::Scq,
+        QueueKind::MutexRing,
+        QueueKind::Crossbeam,
+        QueueKind::Ms,
+    ] {
+        let q = Arc::new(kind.build(4, 3));
+        let per = 2_500u64;
+        std::thread::scope(|s| {
+            for p in 0..2 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        while !q.enqueue(p, 42) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut got = 0u64;
+            while got < 2 * per {
+                match q.dequeue(2) {
+                    Some(v) => {
+                        assert_eq!(v, 42, "{}", q.name());
+                        got += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        });
+        assert_eq!(q.dequeue(0), None, "{}: exact count", q.name());
+    }
+}

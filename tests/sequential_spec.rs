@@ -1,0 +1,101 @@
+//! Property-based sequential specification tests: every queue in the
+//! workspace, driven single-threaded through an arbitrary operation
+//! sequence, must behave exactly like the sequential bounded queue of
+//! Figure 1 (modelled by `VecDeque` with a capacity check).
+
+use std::collections::VecDeque;
+
+use membq::bench_registry::{DynQueue, ALL_KINDS};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    Enq,
+    Deq,
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<OpKind>> {
+    prop::collection::vec(
+        prop_oneof![Just(OpKind::Enq), Just(OpKind::Deq)],
+        1..200,
+    )
+}
+
+fn run_against_model(q: &dyn DynQueue, ops: &[OpKind]) {
+    let c = q.capacity();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut next_token = 1u64;
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            OpKind::Enq => {
+                let v = next_token;
+                next_token += 1;
+                let accepted = q.enqueue(0, v);
+                let model_accepts = model.len() < c;
+                assert_eq!(
+                    accepted, model_accepts,
+                    "{}: step {step}: enqueue acceptance diverged (len {})",
+                    q.name(),
+                    model.len()
+                );
+                if model_accepts {
+                    model.push_back(v);
+                }
+            }
+            OpKind::Deq => {
+                let got = q.dequeue(0);
+                let want = model.pop_front();
+                assert_eq!(
+                    got,
+                    want,
+                    "{}: step {step}: dequeue diverged",
+                    q.name()
+                );
+            }
+        }
+    }
+    // Drain and compare the residue.
+    while let Some(want) = model.pop_front() {
+        assert_eq!(q.dequeue(0), Some(want), "{}: residue diverged", q.name());
+    }
+    assert_eq!(q.dequeue(0), None, "{}: queue must end empty", q.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_queues_match_the_sequential_spec(ops in op_strategy(), cap in 1usize..9) {
+        for kind in ALL_KINDS {
+            // Vyukov's sequence encoding requires C ≥ 2 (see its docs).
+            if cap < 2 && matches!(kind, membq::bench_registry::QueueKind::Vyukov) {
+                continue;
+            }
+            let q = kind.build(cap, 1);
+            run_against_model(&*q, &ops);
+        }
+    }
+
+    #[test]
+    fn wraparound_heavy_sequences(cap in 2usize..5, rounds in 1usize..40) {
+        // Alternating fill/empty exercises many rounds through each slot —
+        // the regime where versioned nulls, sequence numbers and descriptor
+        // rounds must all keep working.
+        for kind in ALL_KINDS {
+            let q = kind.build(cap, 1);
+            let mut next = 1u64;
+            for _ in 0..rounds {
+                for _ in 0..cap {
+                    assert!(q.enqueue(0, next), "{}", q.name());
+                    next += 1;
+                }
+                assert!(!q.enqueue(0, next), "{} must report full", q.name());
+                for i in 0..cap {
+                    let want = next - (cap - i) as u64;
+                    assert_eq!(q.dequeue(0), Some(want), "{}", q.name());
+                }
+                assert_eq!(q.dequeue(0), None, "{} must report empty", q.name());
+            }
+        }
+    }
+}
