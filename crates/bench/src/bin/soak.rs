@@ -1,0 +1,37 @@
+//! Liveness soak: hammer the contended workloads on every sound queue and
+//! print progress per round, so a rare hang identifies its algorithm (the
+//! last line printed is the one that stuck).
+//!
+//! Run: `cargo run --release -p bq-bench --bin soak [rounds]`
+
+use std::io::Write;
+
+use bq_bench::registry::ALL_KINDS;
+use bq_bench::workload::{pairs_throughput, producer_consumer_throughput};
+
+fn main() {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    for round in 0..rounds {
+        for kind in ALL_KINDS {
+            {
+                let probe = kind.build(4, 1);
+                if !probe.sound() {
+                    continue;
+                }
+            }
+            print!("round {round}: {} pairs ... ", kind.name());
+            std::io::stdout().flush().unwrap();
+            let q = kind.build(16, 2);
+            let r = pairs_throughput(&*q, 2, 200);
+            print!("ok ({} ops); pc ... ", r.ops);
+            std::io::stdout().flush().unwrap();
+            let q = kind.build(8, 4);
+            let r = producer_consumer_throughput(&*q, 2, 500);
+            println!("ok ({} ops)", r.ops);
+        }
+    }
+    println!("soak complete: {rounds} rounds");
+}

@@ -271,9 +271,14 @@ impl OptimalQueue {
     }
 
     /// Current verdict of an incarnation: `None` = undecided,
-    /// `Some(true/false)` = success/failure. `Some(false)` is also returned
-    /// for ended incarnations (a freed descriptor's verdict no longer
-    /// matters to readers).
+    /// `Some(true/false)` = success/failure. `Some(false)` is also
+    /// returned for ended incarnations — which makes this **unsafe to act
+    /// on wherever the descriptor may have been freed concurrently**: a
+    /// replaced-and-freed descriptor was necessarily *successful*, the
+    /// opposite of what this returns (the race of DESIGN.md §7.1).
+    /// `read_op`/`put_op`/`complete_op` therefore read `status` directly
+    /// and handle the ended case explicitly; this helper remains only for
+    /// debug assertions on descriptors the caller provably still owns.
     fn verdict(&self, view: OpView) -> Option<bool> {
         let st = self.pool[view.index].status.load(Ordering::SeqCst);
         if st >> 2 != view.seq {
@@ -312,9 +317,19 @@ impl OptimalQueue {
                 // content must have changed — re-read it.
                 continue;
             };
-            return match self.verdict(view) {
-                Some(true) => Some(view),
-                _ => None,
+            let st = self.pool[view.index].status.load(Ordering::SeqCst);
+            if st >> 2 != view.seq {
+                // The incarnation ended between validation and the status
+                // read. A parked descriptor is freed only after being
+                // removed from the slot, so the slot has changed — re-read
+                // it rather than reporting "no cover" and letting a caller
+                // miss the replacement that is already installed.
+                continue;
+            }
+            return if st & 0b11 == ST_SUCCESS {
+                Some(view)
+            } else {
+                None
             };
         }
     }
@@ -390,16 +405,32 @@ impl OptimalQueue {
             let _ = self
                 .active_op
                 .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst);
-            if self.verdict(view) == Some(true) {
-                return Some(slot);
+            // Read the verdict. `try_put` always decides before returning,
+            // so the only states are FAILURE, SUCCESS, or "incarnation
+            // ended". The last one means a *replacer* already removed and
+            // freed our descriptor — and replacers only ever remove
+            // successful descriptors (`read_op` filters on the verdict) —
+            // so an ended incarnation proves the operation took effect and
+            // the announcement chain in `slot` is ours to complete. (The
+            // window is real: helpers can decide us successful and the
+            // queue can wrap all the way back to our cell while we are
+            // preempted right here.)
+            let st = self.pool[view.index].status.load(Ordering::SeqCst);
+            if st >> 2 == view.seq && st & 0b11 == ST_FAILURE {
+                // Clean the slot. Unsuccessful descriptors are never
+                // replaced or completed by others, so this CAS is ours to
+                // win.
+                let cleaned = self.ops[slot]
+                    .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+                debug_assert!(cleaned, "foreign clear of an unsuccessful descriptor");
+                return None;
             }
-            // Clean the slot. Unsuccessful descriptors are never replaced
-            // or completed by others, so this CAS is ours to win.
-            let cleaned = self.ops[slot]
-                .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok();
-            debug_assert!(cleaned, "foreign clear of an unsuccessful descriptor");
-            return None;
+            debug_assert!(
+                st >> 2 != view.seq || st & 0b11 == ST_SUCCESS,
+                "try_put returned with an undecided verdict"
+            );
+            return Some(slot);
         }
     }
 
@@ -408,12 +439,21 @@ impl OptimalQueue {
     /// until its clearing CAS wins, then releases the cell.
     fn complete_op(&self, slot: usize) {
         loop {
-            let Some(view) = self.read_op(slot) else {
-                // Unreachable in a correct run: only the covering thread
-                // (us) clears a covered slot. Defensive exit.
+            let p = self.ops[slot].load(Ordering::SeqCst);
+            if p == 0 {
+                // Unreachable in a correct run: our clearing CAS below is
+                // the only legitimate way a covered slot empties.
                 debug_assert!(false, "covered slot emptied by someone else");
                 return;
+            }
+            let Some(view) = self.view_packed(p) else {
+                // A replacer removed and freed the descriptor between our
+                // two loads; the slot already holds its successor — re-read.
+                continue;
             };
+            // Every descriptor reachable here is successful: ours was
+            // decided before `complete_op`, and replacements are pre-marked
+            // successful before installation.
             self.a[view.i].store(view.x, Ordering::SeqCst);
             let _ = self.enqueues.compare_exchange(
                 view.e,

@@ -44,9 +44,16 @@ const OP_READ: u8 = 1;
 const OP_WRITE: u8 = 2;
 const STATUS_OK: u8 = 0x7F;
 
+/// Tiny-workload mode for the example smoke test (`MEMBQ_SMOKE=1`);
+/// unset, empty, or `"0"` means full size. Same convention in every
+/// heavy example.
+fn smoke_mode() -> bool {
+    std::env::var("MEMBQ_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn main() {
     const RING_DEPTH: usize = 64;
-    const REQUESTS: u64 = 10_000;
+    let requests: u64 = if smoke_mode() { 1_000 } else { 10_000 };
 
     let sq = Arc::new(DistinctQueue::with_capacity(RING_DEPTH));
     let cq = Arc::new(DistinctQueue::with_capacity(RING_DEPTH));
@@ -65,7 +72,7 @@ fn main() {
         let mut served = 0u64;
         let mut reads = 0u64;
         let mut writes = 0u64;
-        while served < REQUESTS {
+        while served < requests {
             let Some(tok) = kernel_sq.dequeue(&mut sqh) else {
                 std::thread::yield_now();
                 continue;
@@ -98,10 +105,10 @@ fn main() {
     let mut cqh = cq.register();
     let mut submitted = 0u64;
     let mut reaped = 0u64;
-    let mut completed = vec![false; REQUESTS as usize];
-    while reaped < REQUESTS {
+    let mut completed = vec![false; requests as usize];
+    while reaped < requests {
         // Submit as long as the SQ accepts (backpressure = ring full).
-        while submitted < REQUESTS {
+        while submitted < requests {
             let opcode = if submitted.is_multiple_of(3) { OP_WRITE } else { OP_READ };
             match sq.enqueue(&mut sqh, sqe(opcode, submitted)) {
                 Ok(()) => submitted += 1,
@@ -121,7 +128,7 @@ fn main() {
 
     let (reads, writes) = kernel.join().unwrap();
     assert!(completed.iter().all(|&b| b), "every request completed");
-    assert_eq!(reads + writes, REQUESTS);
-    println!("served {REQUESTS} requests ({reads} reads, {writes} writes), all completed exactly once");
+    assert_eq!(reads + writes, requests);
+    println!("served {requests} requests ({reads} reads, {writes} writes), all completed exactly once");
     println!("in-flight bound held at ring depth {RING_DEPTH} throughout");
 }

@@ -13,8 +13,24 @@
 use membq::core::spsc::{spsc_ring, SpscConsumer, SpscProducer};
 use membq::prelude::MemoryFootprint;
 
-const PACKETS: u64 = 200_000;
 const RING: usize = 256;
+
+/// Tiny-workload mode for the example smoke test (`MEMBQ_SMOKE=1`);
+/// unset, empty, or `"0"` means full size. Same convention in every
+/// heavy example.
+fn smoke_mode() -> bool {
+    std::env::var("MEMBQ_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Packet count: full-size by default, tiny under smoke mode (the CI
+/// run that keeps examples from rotting).
+fn packet_count() -> u64 {
+    if smoke_mode() {
+        5_000
+    } else {
+        200_000
+    }
+}
 
 /// Stage 1: "parse" — tag each raw packet id with a length field.
 fn parse(mut input_ids: std::ops::RangeInclusive<u64>, mut out: SpscProducer) {
@@ -71,16 +87,17 @@ fn main() {
         p1.overhead_bytes()
     );
 
+    let packets = packet_count();
     let start = std::time::Instant::now();
-    let t1 = std::thread::spawn(move || parse(1..=PACKETS, p1));
-    let t2 = std::thread::spawn(move || checksum(c1, p2, PACKETS));
+    let t1 = std::thread::spawn(move || parse(1..=packets, p1));
+    let t2 = std::thread::spawn(move || checksum(c1, p2, packets));
 
     // Stage 3 (this thread): aggregate.
     let mut inp = c2;
     let mut seen = 0u64;
     let mut checksum_mix = 0u64;
     let mut next_expected_id = 1u64;
-    while seen < PACKETS {
+    while seen < packets {
         let Some(rec) = inp.dequeue() else {
             std::thread::yield_now();
             continue;
@@ -96,10 +113,10 @@ fn main() {
     t2.join().unwrap();
 
     println!(
-        "processed {PACKETS} packets through 3 stages in {:.3}s \
+        "processed {packets} packets through 3 stages in {:.3}s \
          ({:.2} M packets/s end-to-end), checksum mix {checksum_mix:#06x}",
         secs,
-        PACKETS as f64 / secs / 1e6
+        packets as f64 / secs / 1e6
     );
     println!("order preserved across both hops; zero CAS instructions on the data path");
 }

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a minimal harness behind the criterion API subset the benches
+//! use: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`measurement_time`/`warm_up_time`/`throughput`,
+//! `bench_function`/`bench_with_input`, and `Bencher::iter`.
+//!
+//! Measurement model: each sample times a batch of iterations sized to
+//! the configured measurement time; the harness reports the median
+//! sample (ns/iter and, when a throughput was declared, elements/sec).
+//! No plots, no statistics beyond the median — enough to compare the
+//! workspace's queues against each other on one machine.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure being benchmarked; runs and times the payload.
+pub struct Bencher<'a> {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results_ns_per_iter: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also used to size the per-sample batch.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.samples.max(1) as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            samples.push(elapsed * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.results_ns_per_iter.push(samples[samples.len() / 2]);
+    }
+}
+
+/// An opaque black box inhibiting constant-folding of benchmark payloads.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Declare the work performed per iteration (enables rate reporting).
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut results = Vec::new();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            results_ns_per_iter: &mut results,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        for ns in &results {
+            match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    let rate = n as f64 / (ns * 1e-9);
+                    println!("{full}: {ns:.1} ns/iter ({rate:.3e} elem/s)");
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let rate = n as f64 / (ns * 1e-9);
+                    println!("{full}: {ns:.1} ns/iter ({rate:.3e} B/s)");
+                }
+                None => println!("{full}: {ns:.1} ns/iter"),
+            }
+        }
+        self.criterion.completed += 1;
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher<'_>)) {
+        let mut f = f;
+        self.run_one(id.to_string(), |b| f(b));
+    }
+
+    /// Benchmark a closure receiving `input` under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher<'_>, &I),
+    ) {
+        let mut f = f;
+        self.run_one(id.id.clone(), |b| f(b, input));
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness context.
+#[derive(Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Parse CLI configuration (no-op in the shim; accepts and ignores
+    /// the harness arguments cargo-bench passes, e.g. `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher<'_>)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Print the run summary.
+    pub fn final_summary(&self) {
+        println!("criterion shim: {} benchmarks completed", self.completed);
+    }
+}
+
+/// Collect benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generate the `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,543 @@
+//! Offline stand-in for the `crossbeam-epoch` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a small but *real* epoch-based-reclamation engine behind the subset of
+//! the crossbeam-epoch API the queues use: [`Atomic`], [`Owned`],
+//! [`Shared`], [`Guard`], [`pin`] and [`unprotected`].
+//!
+//! Reclamation protocol (classic three-epoch EBR):
+//!
+//! * every thread registers a participant record on first [`pin`];
+//! * [`pin`] publishes the global epoch in the participant record;
+//! * garbage is tagged with the epoch at retirement; it may run once the
+//!   global epoch has advanced **two** steps past it (no pinned thread can
+//!   still hold a reference by then);
+//! * the global epoch advances when every currently-pinned participant has
+//!   observed it.
+//!
+//! Deferred closures run on whichever thread unpins and finds eligible
+//! garbage. This is simpler (one global garbage bag guarded by a lock)
+//! and slower than real crossbeam, but semantically equivalent, which is
+//! what the memory-bound experiments need.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Global epoch machinery
+// ---------------------------------------------------------------------------
+
+/// A retired object: a closure that frees it, plus the epoch at retirement.
+struct Deferred {
+    epoch: usize,
+    run: Box<dyn FnOnce()>,
+}
+
+// SAFETY: deferred closures capture raw pointers to retired objects. They
+// are executed exactly once, after the grace period, by an arbitrary
+// thread — the same contract as crossbeam's `defer_unchecked`.
+unsafe impl Send for Deferred {}
+
+struct Participant {
+    /// Epoch the thread was pinned at, LSB set while pinned.
+    state: AtomicUsize,
+}
+
+impl Participant {
+    fn is_pinned(&self) -> (bool, usize) {
+        let s = self.state.load(Ordering::SeqCst);
+        (s & 1 == 1, s >> 1)
+    }
+}
+
+struct Global {
+    epoch: AtomicUsize,
+    /// Number of deferred closures awaiting their grace period. Checked
+    /// before taking any lock so that garbage-free pin/unpin cycles (the
+    /// common case in benchmarks) never serialize on the mutexes below.
+    garbage_count: AtomicUsize,
+    participants: Mutex<Vec<Arc<Participant>>>,
+    garbage: Mutex<Vec<Deferred>>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: AtomicUsize::new(2),
+        garbage_count: AtomicUsize::new(0),
+        participants: Mutex::new(Vec::new()),
+        garbage: Mutex::new(Vec::new()),
+    })
+}
+
+impl Global {
+    /// Try to advance the global epoch, then run every deferred closure
+    /// whose grace period has elapsed. No-op (lock-free) without garbage.
+    fn collect(&self) {
+        if self.garbage_count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let e = self.epoch.load(Ordering::SeqCst);
+        let all_observed = {
+            let parts = self.participants.lock().unwrap();
+            parts.iter().all(|p| {
+                let (pinned, at) = p.is_pinned();
+                !pinned || at == e
+            })
+        };
+        if all_observed {
+            let _ = self
+                .epoch
+                .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+        }
+        let now = self.epoch.load(Ordering::SeqCst);
+        let ready: Vec<Deferred> = {
+            let mut bag = self.garbage.lock().unwrap();
+            if bag.is_empty() {
+                return;
+            }
+            let mut ready = Vec::new();
+            bag.retain_mut(|d| {
+                if d.epoch + 2 <= now {
+                    ready.push(Deferred {
+                        epoch: d.epoch,
+                        run: std::mem::replace(&mut d.run, Box::new(|| ())),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        self.garbage_count
+            .fetch_sub(ready.len(), Ordering::SeqCst);
+        for d in ready {
+            (d.run)();
+        }
+    }
+}
+
+struct LocalHandle {
+    participant: Arc<Participant>,
+    pin_depth: Cell<usize>,
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        let mut parts = global().participants.lock().unwrap();
+        parts.retain(|p| !Arc::ptr_eq(p, &self.participant));
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalHandle = {
+        let participant = Arc::new(Participant {
+            state: AtomicUsize::new(0),
+        });
+        global().participants.lock().unwrap().push(Arc::clone(&participant));
+        LocalHandle {
+            participant,
+            pin_depth: Cell::new(0),
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------------
+
+/// Keeps the current thread pinned; retired objects stay alive while any
+/// guard that may have observed them is held.
+///
+/// Like real crossbeam-epoch, a guard is `!Send` — it must drop on the
+/// thread that pinned:
+///
+/// ```compile_fail
+/// let g = crossbeam_epoch::pin();
+/// std::thread::spawn(move || drop(g)); // error: `Guard` is not `Send`
+/// ```
+pub struct Guard {
+    /// `false` for the [`unprotected`] pseudo-guard, whose deferred
+    /// closures run immediately.
+    protected: bool,
+    /// `Drop` mutates the *pinning thread's* state, so a guard must not
+    /// migrate to another thread — suppress auto-`Send`, matching real
+    /// crossbeam-epoch's `!Send` guard.
+    _not_send: PhantomData<*mut ()>,
+}
+
+// SAFETY: the unprotected guard is shared as a `&'static Guard`; it holds
+// no thread-local state.
+unsafe impl Sync for Guard {}
+
+/// Pin the current thread and return a guard.
+pub fn pin() -> Guard {
+    LOCAL.with(|local| {
+        let depth = local.pin_depth.get();
+        if depth == 0 {
+            let e = global().epoch.load(Ordering::SeqCst);
+            local.participant.state.store((e << 1) | 1, Ordering::SeqCst);
+        }
+        local.pin_depth.set(depth + 1);
+    });
+    Guard {
+        protected: true,
+        _not_send: PhantomData,
+    }
+}
+
+/// Return a dummy guard for contexts with exclusive access (construction,
+/// `Drop`). Deferred closures run immediately.
+///
+/// # Safety
+///
+/// The caller must guarantee that no other thread can concurrently access
+/// the data structure.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard {
+        protected: false,
+        _not_send: PhantomData,
+    };
+    &UNPROTECTED
+}
+
+impl Guard {
+    /// Defer `f` until the grace period has elapsed.
+    ///
+    /// # Safety
+    ///
+    /// `f` typically frees memory; the caller must ensure the object is
+    /// unreachable to threads pinned after this call.
+    pub unsafe fn defer_unchecked<F: FnOnce() + 'static>(&self, f: F) {
+        if !self.protected {
+            f();
+            return;
+        }
+        let g = global();
+        let epoch = g.epoch.load(Ordering::SeqCst);
+        // Count first, push second: the counter must never lag the bag,
+        // or a concurrent drain could subtract an uncounted item.
+        g.garbage_count.fetch_add(1, Ordering::SeqCst);
+        g.garbage.lock().unwrap().push(Deferred {
+            epoch,
+            run: Box::new(f),
+        });
+    }
+
+    /// Defer dropping the heap allocation behind `shared`.
+    ///
+    /// # Safety
+    ///
+    /// `shared` must have come from [`Owned::into_shared`] and be
+    /// unreachable to threads pinned after this call.
+    pub unsafe fn defer_destroy<T: 'static>(&self, shared: Shared<'_, T>) {
+        let raw = shared.ptr as usize;
+        self.defer_unchecked(move || {
+            drop(Box::from_raw(raw as *mut T));
+        });
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if !self.protected {
+            return;
+        }
+        let depth = LOCAL.try_with(|local| {
+            let depth = local.pin_depth.get() - 1;
+            local.pin_depth.set(depth);
+            if depth == 0 {
+                local.participant.state.store(0, Ordering::SeqCst);
+            }
+            depth
+        });
+        if depth == Ok(0) {
+            global().collect();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointer types
+// ---------------------------------------------------------------------------
+
+/// Types that carry (ownership of) a raw pointer: [`Owned`] and [`Shared`].
+pub trait Pointer<T> {
+    /// The raw pointer value.
+    fn as_ptr_value(&self) -> *mut T;
+    /// Consume `self` without dropping the pointee.
+    fn into_ptr_value(self) -> *mut T;
+}
+
+/// An owned heap allocation (like `Box<T>`) that can be published into an
+/// [`Atomic`].
+pub struct Owned<T> {
+    ptr: *mut T,
+}
+
+impl<T> Owned<T> {
+    /// Allocate `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned {
+            ptr: Box::into_raw(Box::new(value)),
+        }
+    }
+
+    /// Convert back into a `Box`.
+    pub fn into_box(self) -> Box<T> {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        // SAFETY: `ptr` came from `Box::into_raw` and ownership is unique.
+        unsafe { Box::from_raw(ptr) }
+    }
+
+    /// Publish under `guard`, yielding a [`Shared`] view.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> From<Box<T>> for Owned<T> {
+    fn from(b: Box<T>) -> Self {
+        Owned {
+            ptr: Box::into_raw(b),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: `ptr` is a live unique allocation owned by `self`.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, and `&mut self` gives exclusive access.
+        unsafe { &mut *self.ptr }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // SAFETY: still-owned allocation (not consumed by into_*).
+        unsafe { drop(Box::from_raw(self.ptr)) }
+    }
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn as_ptr_value(&self) -> *mut T {
+        self.ptr
+    }
+    fn into_ptr_value(self) -> *mut T {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        ptr
+    }
+}
+
+/// A pointer protected by a [`Guard`]'s lifetime. `Copy`, possibly null.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.ptr, other.ptr)
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Shared {
+            ptr: std::ptr::null_mut(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn from_ptr(ptr: *mut T) -> Self {
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Is this the null pointer?
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// The raw pointer value.
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Dereference.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and protected (loaded under the guard,
+    /// from a location whose pointees outlive the guard's grace period).
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.ptr
+    }
+
+    /// Reclaim ownership.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointee.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned { ptr: self.ptr }
+    }
+}
+
+impl<T> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shared({:p})", self.ptr)
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn as_ptr_value(&self) -> *mut T {
+        self.ptr
+    }
+    fn into_ptr_value(self) -> *mut T {
+        self.ptr
+    }
+}
+
+/// Error type of [`Atomic::compare_exchange`]: the value actually found
+/// plus the not-installed new value, returned to the caller.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic held at the failed exchange.
+    pub current: Shared<'g, T>,
+    /// The new value, handed back to the caller.
+    pub new: P,
+}
+
+/// An atomic pointer cell holding null or a heap object.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+// SAFETY: same contract as crossbeam — the cell itself is just an atomic
+// pointer; safe traversal is the user's obligation via guards.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// A cell holding null.
+    pub fn null() -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Allocate `value` and store it.
+    pub fn new(value: T) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// Load under `guard`.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared::from_ptr(self.ptr.load(ord))
+    }
+
+    /// Store `new` (an [`Owned`] or [`Shared`]).
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.ptr.store(new.into_ptr_value(), ord);
+    }
+
+    /// Compare-and-exchange: install `new` if the cell holds `current`.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_ptr = new.as_ptr_value();
+        match self
+            .ptr
+            .compare_exchange(current.ptr, new_ptr, success, failure)
+        {
+            Ok(_) => {
+                let _ = new.into_ptr_value();
+                Ok(Shared::from_ptr(new_ptr))
+            }
+            Err(found) => Err(CompareExchangeError {
+                current: Shared::from_ptr(found),
+                new,
+            }),
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Counts(#[allow(dead_code)] u64);
+    impl Drop for Counts {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn deferred_destruction_runs_after_grace_period() {
+        let a: Atomic<Counts> = Atomic::new(Counts(1));
+        {
+            let guard = pin();
+            let s = a.load(Ordering::SeqCst, &guard);
+            unsafe { guard.defer_destroy(s) };
+        }
+        // A few pin/unpin cycles advance the epoch twice and run garbage.
+        for _ in 0..8 {
+            drop(pin());
+        }
+        assert!(DROPS.load(Ordering::SeqCst) >= 1, "deferred drop must run");
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam-queue` crate ([`ArrayQueue`] only).
+//!
+//! Vendored because the build environment has no crates.io access. The
+//! real `ArrayQueue` is a lock-free Vyukov-lineage ring; this shim keeps
+//! the exact bounded-queue semantics (strict full/empty, works at
+//! capacity 1, FIFO per producer) behind the same API but implements the
+//! interior with a mutex-guarded ring. It is a *reference point* in the
+//! experiment tables, so semantic fidelity matters more than raw speed;
+//! the footprint tables account the documented layout of the real
+//! crossbeam queue, not this stand-in.
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct ArrayQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> ArrayQueue<T> {
+    /// Create a queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (same as crossbeam).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be non-zero");
+        ArrayQueue {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            capacity: cap,
+        }
+    }
+
+    /// Push, failing with the value when full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() == self.capacity {
+            return Err(value);
+        }
+        q.push_back(value);
+        Ok(())
+    }
+
+    /// Pop the oldest element, `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is the queue full?
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for `serde_derive`: a dependency-free
+//! `#[derive(Serialize)]` that handles plain structs with named fields
+//! (the only shape this workspace serializes). Generates an impl of the
+//! shim `serde::Serialize` trait that writes a JSON object field by field.
+
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut name: Option<String> = None;
+    let mut fields: Vec<String> = Vec::new();
+
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive(Serialize) shim: expected struct name, got {other:?}"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive(Serialize) shim does not support generic structs");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = parse_named_fields(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive(Serialize) shim does not support tuple structs");
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("derive(Serialize) shim: no struct found");
+    assert!(
+        !fields.is_empty(),
+        "derive(Serialize) shim: struct {name} has no named fields"
+    );
+
+    let mut body = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::write_json(&self.{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    );
+    impl_src.parse().expect("derive(Serialize) shim: generated code failed to parse")
+}
+
+/// Extract field names from the token stream of a `{ ... }` fields block.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Optional `pub(...)` restriction group.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("derive(Serialize) shim: unexpected token {other:?} in fields")
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive(Serialize) shim: expected `:` after {name}, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type tokens up to the next top-level comma (tracking
+        // angle-bracket depth so `Map<K, V>` commas don't split fields).
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}

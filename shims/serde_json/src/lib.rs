@@ -1,0 +1,113 @@
+//! Offline stand-in for `serde_json`: renders values implementing the shim
+//! `serde::Serialize` trait. Vendored because the build environment has no
+//! crates.io access. Serialization cannot fail for the supported types, so
+//! the `Result` layer exists purely for API compatibility.
+
+#![deny(missing_docs)]
+
+use serde::Serialize;
+
+/// Serialization error (never produced; API compatibility only).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indent a compact JSON document. Tracks string/escape state so
+/// structural characters inside string literals are left alone.
+fn prettify(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    // Keep empty containers on one line.
+                    out.push(chars.next().unwrap());
+                } else {
+                    depth += 1;
+                    indent(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&Some(1usize)).unwrap(), "1");
+        assert_eq!(to_string(&None::<usize>).unwrap(), "null");
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn pretty_preserves_strings() {
+        let pretty = to_string_pretty(&vec!["a{b".to_string(), "c,d".to_string()]).unwrap();
+        assert!(pretty.contains("\"a{b\""), "{pretty}");
+        assert!(pretty.contains("\"c,d\""), "{pretty}");
+    }
+}
