@@ -1,0 +1,68 @@
+//! **Experiment E11** — the scale layer's shard × batch sweep.
+//!
+//! Sweeps `ShardedQueue<OptimalQueue>` over shard counts `S` and batch
+//! sizes `B` on the mixed-pairs workload, then isolates the batching win
+//! on the fixed registry configurations (single-element path vs batched
+//! path at equal element counts).
+//!
+//! Hardware note (ROADMAP open item): on a single-core host the shard
+//! dimension cannot show parallel speedup — sharding removes counter
+//! contention, which only materializes with real parallelism. The batch
+//! dimension amortizes per-call costs (handle lock, shard scan, epoch
+//! pin, tail CAS) and shows up even solo.
+//!
+//! Run: `cargo run --release -p bq-bench --bin shard_sweep`
+
+use bq_bench::registry::{sharded_optimal, QueueKind};
+use bq_bench::workload::{batched_pairs_throughput, print_batch_win_table};
+
+fn main() {
+    let smoke = std::env::var("MEMBQ_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let c = 1024;
+    let threads = 2usize;
+    let total_elems_per_thread: u64 = if smoke { 4_096 } else { 65_536 };
+    let shard_counts = [1usize, 2, 4, 8];
+    let batches = [1usize, 8, 64];
+
+    println!("=== E11: shard × batch sweep — ShardedQueue<OptimalQueue> ===");
+    println!(
+        "C = {c}, {threads} threads, {total_elems_per_thread} pairs/thread \
+         (constant element count per cell)\n"
+    );
+    print!("{:>8}", "S \\ B");
+    for b in batches {
+        print!(" {:>12}", format!("B={b} Mops"));
+    }
+    println!();
+    for s in shard_counts {
+        print!("{:>8}", s);
+        for b in batches {
+            let q = sharded_optimal(c, s, threads);
+            let rounds = total_elems_per_thread / b as u64;
+            let r = batched_pairs_throughput(&*q, threads, rounds, b);
+            print!(" {:>12.3}", r.mops());
+        }
+        println!();
+    }
+
+    println!("\n=== E11b: batched vs single-element path (B=32 vs B=1) ===\n");
+    print_batch_win_table(
+        &[
+            QueueKind::Optimal,
+            QueueKind::ShardedOptimal,
+            QueueKind::Segment,
+            QueueKind::ShardedSegment,
+            QueueKind::Vyukov,
+        ],
+        c,
+        threads,
+        total_elems_per_thread,
+        32,
+    );
+    println!(
+        "\nReading: batching amortizes the per-operation fixed costs (registry\n\
+         handle lock, shard selection, epoch pin, find_segment walk, one tail\n\
+         CAS per Vyukov slot run); the shard dimension needs multi-core\n\
+         hardware to show its contention win — see the ROADMAP open item."
+    );
+}

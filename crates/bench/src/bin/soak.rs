@@ -1,13 +1,18 @@
 //! Liveness soak: hammer the contended workloads on every sound queue and
 //! print progress per round, so a rare hang identifies its algorithm (the
-//! last line printed is the one that stuck).
+//! last line printed is the one that stuck). Since the scale layer landed
+//! this includes the batched paths and the sharded compositions — the
+//! descriptor-verdict class of race (DESIGN.md §7.1) is exactly what this
+//! binary exists to catch pre-merge (CI runs a bounded number of rounds).
 //!
 //! Run: `cargo run --release -p bq-bench --bin soak [rounds]`
 
 use std::io::Write;
 
-use bq_bench::registry::ALL_KINDS;
-use bq_bench::workload::{pairs_throughput, producer_consumer_throughput};
+use bq_bench::registry::{sharded_optimal, ALL_KINDS};
+use bq_bench::workload::{
+    batched_pairs_throughput, pairs_throughput, producer_consumer_throughput,
+};
 
 fn main() {
     let rounds: u64 = std::env::args()
@@ -26,10 +31,22 @@ fn main() {
             std::io::stdout().flush().unwrap();
             let q = kind.build(16, 2);
             let r = pairs_throughput(&*q, 2, 200);
+            print!("ok ({} ops); batched ... ", r.ops);
+            std::io::stdout().flush().unwrap();
+            let q = kind.build(16, 2);
+            let r = batched_pairs_throughput(&*q, 2, 50, 4);
             print!("ok ({} ops); pc ... ", r.ops);
             std::io::stdout().flush().unwrap();
             let q = kind.build(8, 4);
             let r = producer_consumer_throughput(&*q, 2, 500);
+            println!("ok ({} ops)", r.ops);
+        }
+        // Non-default shard counts only reachable through the sweep builder.
+        for s in [2usize, 8] {
+            print!("round {round}: sharded-optimal(S={s}) batched ... ");
+            std::io::stdout().flush().unwrap();
+            let q = sharded_optimal(32, s, 4);
+            let r = batched_pairs_throughput(&*q, 4, 50, 4);
             println!("ok ({} ops)", r.ops);
         }
     }

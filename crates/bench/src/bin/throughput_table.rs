@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use bq_bench::registry::{QueueKind, ALL_KINDS};
-use bq_bench::workload::pairs_throughput;
+use bq_bench::workload::{pairs_throughput, print_batch_win_table};
 use bq_core::{ConcurrentQueue, OptimalQueue};
 
 fn main() {
@@ -44,6 +44,21 @@ fn main() {
         }
         println!();
     }
+
+    println!("\n=== E10d: batched pairs (B = 32) — the scale layer's batch win ===");
+    println!("same element count as one E10a cell; see shard_sweep for the full E11 grid\n");
+    print_batch_win_table(
+        &[
+            QueueKind::Optimal,
+            QueueKind::ShardedOptimal,
+            QueueKind::Segment,
+            QueueKind::Vyukov,
+        ],
+        c,
+        2,
+        ops,
+        32,
+    );
 
     println!("\n=== E10b: Listing 5 per-op cost vs thread bound T (solo thread) ===");
     println!("the announcement array is scanned on every op → cost grows ~linearly in T\n");

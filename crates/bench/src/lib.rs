@@ -11,10 +11,16 @@
 //! * `cargo run --release -p bq-bench --bin k_sweep` — E2
 //! * `cargo run --release -p bq-bench --bin adversary` — E4/E8
 //! * `cargo run --release -p bq-bench --bin throughput_table` — E10
+//! * `cargo run --release -p bq-bench --bin shard_sweep` — E11 (shard × batch)
+//! * `cargo run --release -p bq-bench --bin soak [rounds]` — liveness soak
 //! * `cargo bench -p bq-bench` — criterion microbenchmarks (E2/E7/E10)
 
 pub mod registry;
 pub mod workload;
 
-pub use registry::{all_queues, queue_by_name, DynQueue, QueueKind, ALL_KINDS};
-pub use workload::{pairs_throughput, producer_consumer_throughput, WorkloadResult};
+pub use registry::{
+    all_queues, queue_by_name, sharded_optimal, DynQueue, QueueKind, ALL_KINDS, DEFAULT_SHARDS,
+};
+pub use workload::{
+    batched_pairs_throughput, pairs_throughput, producer_consumer_throughput, WorkloadResult,
+};

@@ -14,6 +14,7 @@ use bq_baselines::{
 };
 use bq_core::{
     ConcurrentQueue, DcssQueue, DistinctQueue, LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue,
+    ShardedQueue,
 };
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint};
 
@@ -37,21 +38,39 @@ pub trait DynQueue: Send + Sync {
     /// strawman and the two-null model — they are included to *show* the
     /// lower bound, not to compete.)
     fn sound(&self) -> bool;
+    /// Does this implementation preserve **global FIFO** order? `false`
+    /// for the sharded compositions, which relax it to per-shard FIFO
+    /// (DESIGN.md §8) — the sequential-spec and strict-FIFO suites skip
+    /// those rows and the pool-spec suites cover them instead.
+    fn fifo(&self) -> bool;
+    /// Batch enqueue on behalf of thread `tid`: accepts a prefix of `vs`
+    /// (through the queue's native batch path where one exists) and
+    /// returns the count.
+    fn enqueue_many(&self, tid: usize, vs: &[u64]) -> usize;
+    /// Batch dequeue on behalf of thread `tid`: up to `max` elements
+    /// appended to `out`; returns the count.
+    fn dequeue_many(&self, tid: usize, max: usize, out: &mut Vec<u64>) -> usize;
 }
 
 struct Registered<Q: ConcurrentQueue + MemoryFootprint> {
     name: &'static str,
     sound: bool,
+    fifo: bool,
     q: Q,
     handles: Vec<Mutex<Q::Handle>>,
 }
 
 impl<Q: ConcurrentQueue + MemoryFootprint> Registered<Q> {
     fn new(name: &'static str, sound: bool, q: Q, threads: usize) -> Self {
+        Self::with_fifo(name, sound, true, q, threads)
+    }
+
+    fn with_fifo(name: &'static str, sound: bool, fifo: bool, q: Q, threads: usize) -> Self {
         let handles = (0..threads).map(|_| Mutex::new(q.register())).collect();
         Registered {
             name,
             sound,
+            fifo,
             q,
             handles,
         }
@@ -92,6 +111,20 @@ impl<Q: ConcurrentQueue + MemoryFootprint> DynQueue for Registered<Q> {
     fn sound(&self) -> bool {
         self.sound
     }
+
+    fn fifo(&self) -> bool {
+        self.fifo
+    }
+
+    fn enqueue_many(&self, tid: usize, vs: &[u64]) -> usize {
+        let mut h = self.handles[tid].lock();
+        self.q.enqueue_many(&mut h, vs)
+    }
+
+    fn dequeue_many(&self, tid: usize, max: usize, out: &mut Vec<u64>) -> usize {
+        let mut h = self.handles[tid].lock();
+        self.q.dequeue_many(&mut h, max, out)
+    }
 }
 
 /// Identifiers for every queue implementation in the workspace.
@@ -123,6 +156,11 @@ pub enum QueueKind {
     MutexRing,
     /// crossbeam ArrayQueue.
     Crossbeam,
+    /// Scale layer: 4 shards of Listing 5 — Θ(S·T) overhead, per-shard
+    /// FIFO (DESIGN.md §8).
+    ShardedOptimal,
+    /// Scale layer: 4 shards of Listing 1 segments.
+    ShardedSegment,
 }
 
 /// All kinds, in the order the paper discusses them.
@@ -140,7 +178,13 @@ pub const ALL_KINDS: &[QueueKind] = &[
     QueueKind::TwoNull,
     QueueKind::MutexRing,
     QueueKind::Crossbeam,
+    QueueKind::ShardedOptimal,
+    QueueKind::ShardedSegment,
 ];
+
+/// Default shard count for the registry's sharded kinds (the sweep binary
+/// varies `S` explicitly via [`sharded_optimal`]).
+pub const DEFAULT_SHARDS: usize = 4;
 
 impl QueueKind {
     /// Stable name used in tables and CLI arguments.
@@ -159,6 +203,8 @@ impl QueueKind {
             QueueKind::TwoNull => "tsigas-zhang-2null",
             QueueKind::MutexRing => "mutex-ring",
             QueueKind::Crossbeam => "crossbeam-array",
+            QueueKind::ShardedOptimal => "sharded4-optimal",
+            QueueKind::ShardedSegment => "sharded4-segment",
         }
     }
 
@@ -179,6 +225,8 @@ impl QueueKind {
             QueueKind::TwoNull => "Θ(1) [unsound]",
             QueueKind::MutexRing => "Θ(1) [blocking]",
             QueueKind::Crossbeam => "Θ(C)",
+            QueueKind::ShardedOptimal => "Θ(S·T)",
+            QueueKind::ShardedSegment => "Θ(C/K + S·T·K)",
         }
     }
 
@@ -266,8 +314,35 @@ impl QueueKind {
                 CrossbeamArrayQueue::with_capacity(c),
                 t,
             )),
+            QueueKind::ShardedOptimal => Box::new(Registered::with_fifo(
+                self.name(),
+                true,
+                false, // per-shard FIFO only
+                ShardedQueue::<OptimalQueue>::optimal(c, DEFAULT_SHARDS, t),
+                t,
+            )),
+            QueueKind::ShardedSegment => Box::new(Registered::with_fifo(
+                self.name(),
+                true,
+                false,
+                ShardedQueue::<SegmentQueue>::segmented(c, DEFAULT_SHARDS),
+                t,
+            )),
         }
     }
+}
+
+/// Build a `ShardedQueue<OptimalQueue>` with an explicit shard count `s`
+/// behind the `DynQueue` interface — the shard/batch sweep binary (E11)
+/// varies `S` beyond the registry's fixed default.
+pub fn sharded_optimal(c: usize, s: usize, t: usize) -> Box<dyn DynQueue> {
+    Box::new(Registered::with_fifo(
+        "sharded-optimal",
+        true,
+        s <= 1, // a single shard degenerates to the plain FIFO queue
+        ShardedQueue::<OptimalQueue>::optimal(c, s, t),
+        t,
+    ))
 }
 
 /// Build every implementation at `(c, t)`.
@@ -313,6 +388,41 @@ mod tests {
                 QueueKind::Naive | QueueKind::TwoNull
             );
             assert_eq!(q.sound(), expected, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn every_kind_batch_round_trips() {
+        for q in all_queues(16, 2) {
+            let vs: Vec<u64> = (1..=10).collect();
+            assert_eq!(q.enqueue_many(0, &vs), 10, "{}", q.name());
+            let mut out = Vec::new();
+            assert_eq!(q.dequeue_many(1, 10, &mut out), 10, "{}", q.name());
+            out.sort_unstable();
+            assert_eq!(out, vs, "{}: batch conservation", q.name());
+            assert_eq!(q.dequeue_many(0, 1, &mut out), 0, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn fifo_flags_mark_only_sharded_kinds_relaxed() {
+        for q in all_queues(8, 1) {
+            let expected = !matches!(
+                queue_by_name(q.name()).unwrap(),
+                QueueKind::ShardedOptimal | QueueKind::ShardedSegment
+            );
+            assert_eq!(q.fifo(), expected, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn sharded_optimal_builder_varies_shard_count() {
+        for s in [1, 2, 8] {
+            let q = sharded_optimal(16, s, 2);
+            assert_eq!(q.capacity(), 16);
+            assert_eq!(q.fifo(), s <= 1);
+            assert!(q.enqueue(0, 5));
+            assert_eq!(q.dequeue(1), Some(5));
         }
     }
 

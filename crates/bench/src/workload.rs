@@ -37,11 +37,7 @@ impl WorkloadResult {
 /// Mixed enqueue/dequeue pairs: `threads` workers each perform
 /// `ops_per_thread` enqueue+dequeue pairs on a queue pre-filled to half
 /// capacity. Returns aggregate throughput.
-pub fn pairs_throughput(
-    q: &dyn DynQueue,
-    threads: usize,
-    ops_per_thread: u64,
-) -> WorkloadResult {
+pub fn pairs_throughput(q: &dyn DynQueue, threads: usize, ops_per_thread: u64) -> WorkloadResult {
     assert!(threads <= q.threads());
     // Pre-fill to C/2 so both operations usually succeed.
     for i in 0..(q.capacity() / 2) as u64 {
@@ -70,6 +66,112 @@ pub fn pairs_throughput(
     WorkloadResult {
         ops: 2 * threads as u64 * ops_per_thread,
         secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Batched mixed pairs: like [`pairs_throughput`], but each worker moves
+/// elements `batch` at a time through the queue's batch interface —
+/// `rounds_per_thread` iterations of `enqueue_many(batch)` followed by
+/// `dequeue_many(batch)` on a half-full queue. With `batch == 1` this
+/// degenerates to the single-element path (same call overhead shape), so
+/// `batched_pairs_throughput(q, t, r, b)` vs `…(q, t, r·b, 1)` isolates
+/// the amortization win of batching (experiment E11).
+pub fn batched_pairs_throughput(
+    q: &dyn DynQueue,
+    threads: usize,
+    rounds_per_thread: u64,
+    batch: usize,
+) -> WorkloadResult {
+    assert!(threads <= q.threads());
+    assert!(batch > 0, "batch must be positive");
+    // Every worker must be able to finish its in-flight batch without any
+    // other worker dequeuing, or the workload can wedge with all workers
+    // stuck mid-batch on a full queue.
+    assert!(
+        threads * batch <= q.capacity() - q.capacity() / 2,
+        "threads × batch must fit in the post-prefill free space"
+    );
+    for i in 0..(q.capacity() / 2) as u64 {
+        assert!(q.enqueue(0, 1 + i), "pre-fill failed");
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let q = &*q;
+            s.spawn(move || {
+                // Token generation and buffers live outside the measured
+                // per-element path: a per-thread counter and reused
+                // vectors, so the B = 1 column pays no per-element
+                // harness cost the B = 32 column amortizes — the speedup
+                // isolates the queue's batch path, not the driver.
+                let mut next = 1_000_000 + tid as u64 * rounds_per_thread * batch as u64;
+                let mut vs = vec![0u64; batch];
+                let mut buf = Vec::with_capacity(batch);
+                for _ in 0..rounds_per_thread {
+                    for slot in vs.iter_mut() {
+                        *slot = next;
+                        next += 1;
+                    }
+                    let mut sent = 0;
+                    while sent < batch {
+                        let n = q.enqueue_many(tid, &vs[sent..]);
+                        sent += n;
+                        if n == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let mut got = 0;
+                    while got < batch {
+                        buf.clear();
+                        let n = q.dequeue_many(tid, batch - got, &mut buf);
+                        got += n;
+                        if n == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    WorkloadResult {
+        ops: 2 * threads as u64 * rounds_per_thread * batch as u64,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Print the batched-vs-single comparison table shared by
+/// `throughput_table` (E10d) and `shard_sweep` (E11b): for each kind,
+/// move `elems_per_thread` elements per thread through the pairs
+/// workload once with `B = 1` and once with `B = batch`, and report the
+/// speedup. One implementation so the two published tables cannot drift
+/// methodologically.
+pub fn print_batch_win_table(
+    kinds: &[crate::registry::QueueKind],
+    c: usize,
+    threads: usize,
+    elems_per_thread: u64,
+    batch: usize,
+) {
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "queue",
+        "single Mops",
+        format!("B={batch} Mops"),
+        "speedup"
+    );
+    for kind in kinds {
+        let q1 = kind.build(c, threads);
+        let single = batched_pairs_throughput(&*q1, threads, elems_per_thread, 1);
+        let qb = kind.build(c, threads);
+        let batched =
+            batched_pairs_throughput(&*qb, threads, elems_per_thread / batch as u64, batch);
+        println!(
+            "{:<24} {:>12.3} {:>12.3} {:>8.2}x",
+            kind.name(),
+            single.mops(),
+            batched.mops(),
+            batched.mops() / single.mops()
+        );
     }
 }
 
@@ -137,6 +239,29 @@ mod tests {
             assert!(r.secs > 0.0);
             assert!(r.mops() > 0.0);
         }
+    }
+
+    #[test]
+    fn batched_pairs_runs_on_every_sound_queue() {
+        for kind in crate::registry::ALL_KINDS {
+            let q = kind.build(16, 2);
+            if !q.sound() {
+                continue;
+            }
+            let r = batched_pairs_throughput(&*q, 2, 50, 4);
+            assert_eq!(r.ops, 800, "{}", q.name());
+            assert!(r.mops() > 0.0);
+            // Pairs preserve the pre-fill level.
+            let mut out = Vec::new();
+            assert_eq!(q.dequeue_many(0, 16, &mut out), 8, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn batched_pairs_batch_one_equals_single_path_ops() {
+        let q = crate::registry::QueueKind::ShardedOptimal.build(16, 2);
+        let r = batched_pairs_throughput(&*q, 1, 100, 1);
+        assert_eq!(r.ops, 200);
     }
 
     #[test]

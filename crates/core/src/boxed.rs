@@ -106,6 +106,55 @@ impl<T: Send, Q: PointerCapable> BoxedQueue<T, Q> {
         Some(*unsafe { Box::from_raw(token as *mut T) })
     }
 
+    /// Batch enqueue passthrough: boxes every item, hands the token run to
+    /// the inner queue's (possibly native) `enqueue_many`, and returns the
+    /// rejected suffix unboxed. An empty return vector means everything
+    /// was accepted.
+    pub fn enqueue_many(&self, h: &mut BoxedHandle<Q>, items: Vec<T>) -> Vec<T> {
+        let tokens: Vec<u64> = items
+            .into_iter()
+            .map(|item| Box::into_raw(Box::new(item)) as u64)
+            .collect();
+        let n = self.inner.enqueue_many(&mut h.inner, &tokens);
+        tokens[n..]
+            .iter()
+            // SAFETY: tokens beyond the accepted prefix were rejected, so
+            // we still own their boxes.
+            .map(|&t| *unsafe { Box::from_raw(t as *mut T) })
+            .collect()
+    }
+
+    /// Box a value into its token form. Internal: pairs with
+    /// [`enqueue_tokens`](Self::enqueue_tokens) so the blocking façade can
+    /// retry a parked batch without re-boxing it on every wake.
+    pub(crate) fn box_token(value: T) -> u64 {
+        Box::into_raw(Box::new(value)) as u64
+    }
+
+    /// Enqueue already-boxed tokens (prefix accepted); returns the count.
+    /// The caller retains ownership of — and responsibility for — the
+    /// rejected suffix.
+    pub(crate) fn enqueue_tokens(&self, h: &mut BoxedHandle<Q>, tokens: &[u64]) -> usize {
+        self.inner.enqueue_many(&mut h.inner, tokens)
+    }
+
+    /// Batch dequeue passthrough: drains up to `max` values through the
+    /// inner queue's `dequeue_many`, appending to `out`; returns the count.
+    pub fn dequeue_many(&self, h: &mut BoxedHandle<Q>, max: usize, out: &mut Vec<T>) -> usize {
+        // Grows on demand rather than pre-sizing: a miss (empty queue)
+        // then allocates nothing, which matters in parked retry loops.
+        let mut tokens = Vec::new();
+        let n = self.inner.dequeue_many(&mut h.inner, max, &mut tokens);
+        out.extend(
+            tokens
+                .into_iter()
+                // SAFETY: as in `dequeue` — each token is surrendered by
+                // the inner queue exactly once.
+                .map(|t| *unsafe { Box::from_raw(t as *mut T) }),
+        );
+        n
+    }
+
     /// Capacity of the underlying queue.
     pub fn capacity(&self) -> usize {
         self.inner.capacity()
@@ -199,6 +248,22 @@ mod tests {
             // 4 left inside.
         }
         assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn batch_passthrough_roundtrip_and_rejection() {
+        let q: BoxedQueue<String, OptimalQueue> =
+            BoxedQueue::new(OptimalQueue::with_capacity_and_threads(3, 1));
+        let mut h = q.register();
+        let rejected = q.enqueue_many(
+            &mut h,
+            vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()],
+        );
+        assert_eq!(rejected, vec!["d".to_string(), "e".to_string()]);
+        let mut out: Vec<String> = Vec::new();
+        assert_eq!(q.dequeue_many(&mut h, 10, &mut out), 3);
+        assert_eq!(out, vec!["a", "b", "c"]);
+        assert_eq!(q.dequeue_many(&mut h, 1, &mut out), 0);
     }
 
     #[test]

@@ -14,9 +14,17 @@
 //! | [`LlScQueue`] | Listing 3 | Θ(1)† | LL/SC primitive |
 //! | [`DcssQueue`] | Listing 4 | Θ(T) | slots may hold descriptors |
 //! | [`OptimalQueue`] | Listing 5 / Appendix A | Θ(T) | none — matches the lower bound |
+//! | [`ShardedQueue<Q>`](ShardedQueue) | scale layer (DESIGN.md §8) | Θ(S · ovh(Q)) | relaxes global FIFO to per-shard FIFO |
 //!
 //! † conceptually; our software LL/SC emulation spends 4 tag bytes per slot,
 //! reported honestly in the footprint (see `bq-llsc`).
+//!
+//! Beyond the paper's listings, the crate grows a **scale layer**: a batch
+//! extension on [`ConcurrentQueue`] (`enqueue_many`/`dequeue_many`, with
+//! native run-based fast paths where the algorithm permits) and
+//! [`ShardedQueue`], which composes `S` sub-queues behind per-thread shard
+//! affinity — `ShardedQueue<OptimalQueue>` keeps the overhead story honest
+//! at **Θ(S·T)**. See DESIGN.md §8 for the exact relaxation contract.
 //!
 //! The paper's main theorem (Theorem 3.12) shows that Θ(1) overhead is
 //! **impossible** for an obstruction-free, linearizable, value-independent
@@ -49,6 +57,7 @@ pub mod naive;
 pub mod optimal;
 pub mod queue;
 pub mod segment;
+pub mod sharded;
 pub mod spsc;
 pub mod token;
 
@@ -62,4 +71,5 @@ pub use naive::{NaiveHandle, NaiveQueue};
 pub use optimal::{OptimalHandle, OptimalQueue};
 pub use queue::{ConcurrentQueue, EnqueueError, Full, SeqRingQueue};
 pub use segment::{SegmentHandle, SegmentQueue};
+pub use sharded::{ShardedHandle, ShardedQueue};
 pub use token::{InvalidToken, TokenGen, MAX_TOKEN, NULL};

@@ -71,6 +71,50 @@ pub trait ConcurrentQueue: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    // ---- batch extension (scale layer, DESIGN.md §8) ---------------------
+
+    /// Enqueue a **prefix** of `vs`, returning how many elements were
+    /// accepted. Stops at the first rejection (queue full).
+    ///
+    /// This is an *amortization* construct, not an atomic multi-enqueue:
+    /// each element linearizes as an individual `enqueue`, in slice order,
+    /// somewhere inside this call. Implementations override the default
+    /// one-at-a-time loop where the algorithm admits a cheaper run
+    /// ([`SegmentQueue`](crate::SegmentQueue) stays inside one segment,
+    /// Vyukov-style rings claim a whole slot run with one CAS); the
+    /// default is correct for every queue.
+    fn enqueue_many(&self, h: &mut Self::Handle, vs: &[u64]) -> usize {
+        let mut n = 0;
+        for &v in vs {
+            if self.enqueue(h, v).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Dequeue up to `max` elements, appending them to `out` in dequeue
+    /// order; returns how many were taken. Stops early when the queue
+    /// reports empty.
+    ///
+    /// Same contract as [`enqueue_many`](ConcurrentQueue::enqueue_many):
+    /// every element is an individually linearizable `dequeue`; the batch
+    /// only amortizes per-call costs.
+    fn dequeue_many(&self, h: &mut Self::Handle, max: usize, out: &mut Vec<u64>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.dequeue(h) {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// The sequential bounded queue of **Figure 1**: an array of `C` slots plus
@@ -138,6 +182,36 @@ impl SeqRingQueue {
         let v = self.slots[(self.head % c) as usize];
         self.head += 1;
         Some(v)
+    }
+
+    /// Enqueue a prefix of `vs`; returns how many fit. The sequential
+    /// specification of the batch extension: the property tests replay
+    /// concurrent `enqueue_many` results against this oracle.
+    pub fn enqueue_many(&mut self, vs: &[u64]) -> usize {
+        let mut n = 0;
+        for &v in vs {
+            if self.enqueue(v).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Dequeue up to `max` elements into `out` (oldest first); returns the
+    /// count. The sequential specification of `dequeue_many`.
+    pub fn dequeue_many(&mut self, max: usize, out: &mut Vec<u64>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.dequeue() {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
     }
 
     /// Peek at the oldest element without removing it.
@@ -240,5 +314,27 @@ mod tests {
     #[test]
     fn full_error_display() {
         assert!(Full(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn batch_oracle_accepts_prefix_and_drains_in_order() {
+        let mut q = SeqRingQueue::with_capacity(4);
+        assert_eq!(q.enqueue_many(&[1, 2]), 2);
+        assert_eq!(q.enqueue_many(&[3, 4, 5, 6]), 2, "only 2 fit");
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_many(3, &mut out), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(q.dequeue_many(10, &mut out), 1, "stops when empty");
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(q.dequeue_many(1, &mut out), 0);
+    }
+
+    #[test]
+    fn batch_oracle_empty_batch_is_noop() {
+        let mut q = SeqRingQueue::with_capacity(2);
+        assert_eq!(q.enqueue_many(&[]), 0);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_many(0, &mut out), 0);
+        assert!(q.is_empty());
     }
 }

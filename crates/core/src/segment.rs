@@ -354,6 +354,114 @@ impl ConcurrentQueue for SegmentQueue {
         }
     }
 
+    /// Native batch fast path: **segment-local runs**. One epoch pin per
+    /// batch, and the segment located for the first element is reused for
+    /// every following element that lands in the same segment — the
+    /// `find_segment` walk runs once per segment instead of once per
+    /// element. Each element still linearizes individually (cell CAS +
+    /// counter CAS), so the batch contract of the trait holds unchanged.
+    fn enqueue_many(&self, _h: &mut SegmentHandle, vs: &[u64]) -> usize {
+        for &v in vs {
+            assert!(
+                v != NULL && v != TAKEN,
+                "segment queue tokens must not be 0 or u64::MAX"
+            );
+        }
+        let c = self.capacity as u64;
+        let k = self.k as u64;
+        let mut done = 0usize;
+        // Pinning once per batch (not per element) delays reclamation by at
+        // most one batch length — the amortization this path exists for.
+        let guard = epoch::pin();
+        let mut cached: Option<Shared<'_, Segment>> = None;
+        'next: while done < vs.len() {
+            let v = vs[done];
+            loop {
+                let t = self.tail.load(Ordering::SeqCst);
+                let h = self.head.load(Ordering::SeqCst);
+                if t != self.tail.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if t == h + c {
+                    return done;
+                }
+                // Segment-local run: reuse the cached segment while the
+                // position stays inside it.
+                let seg = match cached {
+                    Some(s) if unsafe { s.deref() }.id == t / k => s,
+                    _ => {
+                        let Some(s) = self.find_segment(&self.tail_seg, t / k, &guard) else {
+                            continue;
+                        };
+                        self.move_hint_forward(s, false, &guard);
+                        cached = Some(s);
+                        s
+                    }
+                };
+                let cell = &unsafe { seg.deref() }.cells[(t % k) as usize];
+                let won = cell
+                    .compare_exchange(NULL, v, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+                let _ = self
+                    .tail
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);
+                if won {
+                    done += 1;
+                    continue 'next;
+                }
+            }
+        }
+        done
+    }
+
+    /// Native batch dequeue: the mirror segment-local run over the head
+    /// counter (one pin, one segment walk per segment crossed).
+    fn dequeue_many(&self, _h: &mut SegmentHandle, max: usize, out: &mut Vec<u64>) -> usize {
+        let k = self.k as u64;
+        let mut done = 0usize;
+        let guard = epoch::pin();
+        let mut cached: Option<Shared<'_, Segment>> = None;
+        'next: while done < max {
+            loop {
+                let t = self.tail.load(Ordering::SeqCst);
+                let h = self.head.load(Ordering::SeqCst);
+                if t != self.tail.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if t == h {
+                    return done;
+                }
+                let seg = match cached {
+                    Some(s) if unsafe { s.deref() }.id == h / k => s,
+                    _ => {
+                        let Some(s) = self.find_segment(&self.head_seg, h / k, &guard) else {
+                            continue;
+                        };
+                        self.move_hint_forward(s, true, &guard);
+                        cached = Some(s);
+                        s
+                    }
+                };
+                let cell = &unsafe { seg.deref() }.cells[(h % k) as usize];
+                let e = cell.load(Ordering::SeqCst);
+                let won = e != NULL
+                    && e != TAKEN
+                    && cell
+                        .compare_exchange(e, TAKEN, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok();
+                let _ = self
+                    .head
+                    .compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::SeqCst);
+                if won {
+                    out.push(e);
+                    done += 1;
+                    continue 'next;
+                }
+            }
+        }
+        done
+    }
+
     fn capacity(&self) -> usize {
         self.capacity
     }
@@ -585,6 +693,61 @@ mod tests {
             }
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn batch_runs_cross_segments_and_match_fifo() {
+        let q = SegmentQueue::with_capacity_and_segment_size(8, 3);
+        let mut h = q.register();
+        // Run spans 3 segments; the batch path must walk them all.
+        assert_eq!(q.enqueue_many(&mut h, &(1..=8).collect::<Vec<_>>()), 8);
+        assert_eq!(q.enqueue_many(&mut h, &[9]), 0, "full stops the run");
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_many(&mut h, 5, &mut out), 5);
+        assert_eq!(out, vec![1, 2, 3, 4, 5], "segment runs preserve FIFO");
+        assert_eq!(q.enqueue_many(&mut h, &[9, 10]), 2, "wraps into new segments");
+        assert_eq!(q.dequeue_many(&mut h, 10, &mut out), 5);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn concurrent_batch_producers_conserve() {
+        let q = Arc::new(SegmentQueue::with_capacity_and_segment_size(32, 4));
+        let per = 2_000u64;
+        let producers = 2u64;
+        let total = per * producers;
+        let mut ths = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            ths.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                let vals: Vec<u64> = (0..per).map(|i| 1 + p * per + i).collect();
+                let mut sent = 0usize;
+                while sent < vals.len() {
+                    let batch_end = (sent + 16).min(vals.len());
+                    sent += q.enqueue_many(&mut h, &vals[sent..batch_end]);
+                    if sent < batch_end {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut seen = std::collections::HashSet::new();
+        let mut buf = Vec::new();
+        while (seen.len() as u64) < total {
+            buf.clear();
+            if q.dequeue_many(&mut h, 16, &mut buf) == 0 {
+                std::thread::yield_now();
+            }
+            for &v in &buf {
+                assert!(seen.insert(v), "duplicate {v}");
+            }
+        }
+        for t in ths {
+            t.join().unwrap();
+        }
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use adversary::{
 };
 pub use fuzz::{fuzz_round, FuzzConfig};
 pub use controller::{OpId, RunOutcome, Sim};
-pub use lincheck::{check_history, History, HistoryEvent, LinResult};
+pub use lincheck::{check_history, check_history_pool, History, HistoryEvent, LinResult};
 pub use machine::{Access, Op, OpMachine, Ret, Status};
 pub use mem::{Loc, LocKind, SimMemory};
 pub use theorem::{step1_catch, CatchReport};

@@ -1,6 +1,7 @@
-//! A multi-worker task scheduler over the memory-optimal bounded queue —
-//! the kind of system the paper's introduction motivates ("resource
-//! management systems and task schedulers").
+//! A multi-worker task scheduler over a **batched sharded** bounded queue
+//! — the kind of system the paper's introduction motivates ("resource
+//! management systems and task schedulers"), scaled with the DESIGN.md §8
+//! layer.
 //!
 //! ```text
 //! cargo run --release --example task_scheduler
@@ -8,13 +9,18 @@
 //!
 //! A fixed-capacity queue gives the scheduler natural backpressure: when
 //! the queue is full, submitters must wait (or shed load) instead of
-//! growing an unbounded backlog. Workers pull tasks, execute them, and
-//! push results through a second bounded queue.
+//! growing an unbounded backlog. Here both queues are
+//! `BoxedQueue<_, ShardedQueue<OptimalQueue>>`: submitters hand in whole
+//! task *batches* (one shard-affine batch call instead of per-task CAS
+//! traffic), workers pull batches, and results flow back the same way.
+//! Task completion is verified exactly-once — the sharded layer keeps
+//! per-shard FIFO only, which a scheduler doesn't need.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use membq::prelude::*;
+use membq::core::{BoxedQueue, OptimalQueue, ShardedQueue};
+use membq::prelude::MemoryFootprint;
 
 /// A unit of work: compute the sum of a range (stand-in for real work).
 struct Task {
@@ -28,54 +34,64 @@ struct TaskResult {
     sum: u64,
 }
 
+type SchedQueue<T> = BoxedQueue<T, ShardedQueue<OptimalQueue>>;
+
 fn main() {
     const WORKERS: usize = 3;
     const SUBMITTERS: usize = 2;
     const TASKS_PER_SUBMITTER: u64 = 500;
     const QUEUE_DEPTH: usize = 32;
+    const SHARDS: usize = 4;
+    const BATCH: usize = 8;
 
     // T = submitters + workers + main thread.
-    let task_q: Arc<BoxedQueue<Task, OptimalQueue>> = Arc::new(BoxedQueue::new(
-        OptimalQueue::with_capacity_and_threads(QUEUE_DEPTH, SUBMITTERS + WORKERS + 1),
+    let task_q: Arc<SchedQueue<Task>> = Arc::new(BoxedQueue::new(
+        ShardedQueue::<OptimalQueue>::optimal(QUEUE_DEPTH, SHARDS, SUBMITTERS + WORKERS + 1),
     ));
-    let result_q: Arc<BoxedQueue<TaskResult, OptimalQueue>> = Arc::new(BoxedQueue::new(
-        OptimalQueue::with_capacity_and_threads(QUEUE_DEPTH, WORKERS + 1),
-    ));
+    let result_q: Arc<SchedQueue<TaskResult>> =
+        Arc::new(BoxedQueue::new(ShardedQueue::<OptimalQueue>::optimal(
+            QUEUE_DEPTH,
+            SHARDS,
+            WORKERS + 1,
+        )));
 
     let backpressure_events = Arc::new(AtomicU64::new(0));
     let total_tasks = SUBMITTERS as u64 * TASKS_PER_SUBMITTER;
 
     std::thread::scope(|s| {
-        // Submitters: produce tasks, honoring backpressure.
+        // Submitters: produce task batches, honoring backpressure.
         for sub in 0..SUBMITTERS {
             let task_q = Arc::clone(&task_q);
             let backpressure = Arc::clone(&backpressure_events);
             s.spawn(move || {
                 let mut h = task_q.register();
-                for i in 0..TASKS_PER_SUBMITTER {
-                    let id = sub as u64 * TASKS_PER_SUBMITTER + i;
-                    let mut task = Task {
-                        id,
-                        from: i * 10,
-                        to: i * 10 + 100,
-                    };
+                let mut i = 0u64;
+                while i < TASKS_PER_SUBMITTER {
+                    let end = (i + BATCH as u64).min(TASKS_PER_SUBMITTER);
+                    let mut batch: Vec<Task> = (i..end)
+                        .map(|j| Task {
+                            id: sub as u64 * TASKS_PER_SUBMITTER + j,
+                            from: j * 10,
+                            to: j * 10 + 100,
+                        })
+                        .collect();
+                    i = end;
+                    // Whatever the full queue rejects comes back and is
+                    // resubmitted: bounded capacity is the backpressure
+                    // signal.
                     loop {
-                        match task_q.enqueue(&mut h, task) {
-                            Ok(()) => break,
-                            Err(back) => {
-                                // Queue full: the bounded capacity is the
-                                // backpressure signal.
-                                backpressure.fetch_add(1, Ordering::Relaxed);
-                                task = back;
-                                std::thread::yield_now();
-                            }
+                        batch = task_q.enqueue_many(&mut h, batch);
+                        if batch.is_empty() {
+                            break;
                         }
+                        backpressure.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        std::thread::yield_now();
                     }
                 }
             });
         }
 
-        // Workers: drain tasks, compute, emit results.
+        // Workers: drain task batches, compute, emit result batches.
         let completed = Arc::new(AtomicU64::new(0));
         for _ in 0..WORKERS {
             let task_q = Arc::clone(&task_q);
@@ -84,60 +100,72 @@ fn main() {
             s.spawn(move || {
                 let mut th = task_q.register();
                 let mut rh = result_q.register();
+                let mut tasks: Vec<Task> = Vec::with_capacity(BATCH);
                 while completed.load(Ordering::Relaxed) < total_tasks {
-                    let Some(task) = task_q.dequeue(&mut th) else {
+                    tasks.clear();
+                    if task_q.dequeue_many(&mut th, BATCH, &mut tasks) == 0 {
                         std::thread::yield_now();
                         continue;
-                    };
-                    let sum: u64 = (task.from..task.to).sum();
-                    let mut result = TaskResult { id: task.id, sum };
-                    loop {
-                        match result_q.enqueue(&mut rh, result) {
-                            Ok(()) => break,
-                            Err(back) => {
-                                result = back;
-                                std::thread::yield_now();
-                            }
-                        }
                     }
-                    completed.fetch_add(1, Ordering::Relaxed);
+                    let n = tasks.len() as u64;
+                    let mut results: Vec<TaskResult> = tasks
+                        .drain(..)
+                        .map(|task| TaskResult {
+                            id: task.id,
+                            sum: (task.from..task.to).sum(),
+                        })
+                        .collect();
+                    loop {
+                        results = result_q.enqueue_many(&mut rh, results);
+                        if results.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    completed.fetch_add(n, Ordering::Relaxed);
                 }
             });
         }
 
-        // Main thread: collect and verify results.
+        // Main thread: collect and verify results in batches.
         let mut rh = result_q.register();
         let mut seen = vec![false; total_tasks as usize];
         let mut collected = 0u64;
+        let mut results: Vec<TaskResult> = Vec::with_capacity(BATCH);
         while collected < total_tasks {
-            let Some(r) = result_q.dequeue(&mut rh) else {
+            results.clear();
+            if result_q.dequeue_many(&mut rh, BATCH, &mut results) == 0 {
                 std::thread::yield_now();
                 continue;
-            };
-            assert!(!seen[r.id as usize], "task {} completed twice", r.id);
-            seen[r.id as usize] = true;
-            // Independent check of the work.
-            let i = r.id % TASKS_PER_SUBMITTER;
-            let expect: u64 = (i * 10..i * 10 + 100).sum();
-            assert_eq!(r.sum, expect, "task {} computed wrong sum", r.id);
-            collected += 1;
+            }
+            for r in results.drain(..) {
+                assert!(!seen[r.id as usize], "task {} completed twice", r.id);
+                seen[r.id as usize] = true;
+                // Independent check of the work.
+                let i = r.id % TASKS_PER_SUBMITTER;
+                let expect: u64 = (i * 10..i * 10 + 100).sum();
+                assert_eq!(r.sum, expect, "task {} computed wrong sum", r.id);
+                collected += 1;
+            }
         }
         assert!(seen.iter().all(|&b| b), "every task completed exactly once");
     });
 
     println!(
-        "scheduled {} tasks across {} workers through a {}-deep bounded queue",
-        total_tasks, WORKERS, QUEUE_DEPTH
+        "scheduled {} tasks across {} workers through a {}-deep, {}-sharded \
+         bounded queue in batches of {}",
+        total_tasks, WORKERS, QUEUE_DEPTH, SHARDS, BATCH
     );
     println!(
-        "backpressure events (full queue rejections): {}",
+        "backpressure events (full-queue rejections): {}",
         backpressure_events.load(Ordering::Relaxed)
     );
     println!(
-        "scheduler queue overhead: {} bytes for T = {} threads — independent of depth",
-        // Rebuild an identical queue for the footprint (the Arc'd one is
-        // inside the scope's Drop by now conceptually; this is the figure).
-        OptimalQueue::with_capacity_and_threads(QUEUE_DEPTH, SUBMITTERS + WORKERS + 1)
+        "scheduler queue overhead: {} bytes for S = {SHARDS}, T = {} threads \
+         — Θ(S·T), independent of depth",
+        // Rebuild an identical queue for the figure (the live one is owned
+        // by the scope above).
+        ShardedQueue::<OptimalQueue>::optimal(QUEUE_DEPTH, SHARDS, SUBMITTERS + WORKERS + 1)
             .overhead_bytes(),
         SUBMITTERS + WORKERS + 1,
     );

@@ -35,8 +35,8 @@ pub use bq_bench::registry as bench_registry;
 pub mod prelude {
     pub use bq_core::{
         spsc_ring, BlockingQueue, BoxedQueue, ConcurrentQueue, DcssQueue, DistinctQueue, Full,
-        LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue, SeqRingQueue, SpscConsumer,
-        SpscProducer, TokenGen,
+        LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue, SeqRingQueue, ShardedQueue,
+        SpscConsumer, SpscProducer, TokenGen,
     };
     pub use bq_memtrack::MemoryFootprint;
 }

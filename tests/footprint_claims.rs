@@ -131,6 +131,89 @@ fn e9_ordering_holds_at_reference_point() {
 }
 
 #[test]
+fn sharded_optimal_is_theta_s_t() {
+    // The scale layer's headline claim (DESIGN.md §8): composing S
+    // Listing 5 shards multiplies the Θ(T) overhead by S and nothing
+    // else — flat in C, linear in T, and exactly S sub-queue overheads
+    // plus the constant shard directory.
+    use membq::core::{OptimalQueue, ShardedQueue};
+    use membq::prelude::MemoryFootprint;
+
+    // Flat in C (registry kind, fixed S = 4).
+    assert_flat_in_c(QueueKind::ShardedOptimal);
+    // Linear in T with a uniform per-thread cost.
+    assert_linear_in_t(QueueKind::ShardedOptimal);
+
+    // The structural breakdown, numerically: S × ovh(OptimalQueue(C/S, T))
+    // plus the 24-byte directory (boxed-slice fat pointer + tid
+    // counter), at several (S, T) points.
+    for (c, s, t) in [(1024usize, 4usize, 8usize), (4096, 8, 4), (256, 2, 16)] {
+        let sharded = ShardedQueue::<OptimalQueue>::optimal(c, s, t);
+        let single = OptimalQueue::with_capacity_and_threads(c / s, t);
+        assert_eq!(
+            sharded.overhead_bytes(),
+            s * single.overhead_bytes() + 24,
+            "S={s}, T={t}: Θ(S·T) breakdown must be exactly S sub-queue overheads + directory"
+        );
+        assert_eq!(
+            sharded.element_bytes(),
+            c * 8,
+            "element storage stays exactly C value-locations"
+        );
+        // The per-thread slope of the composition is S × the single
+        // queue's slope.
+        let single_hi = OptimalQueue::with_capacity_and_threads(c / s, 2 * t);
+        let sharded_hi = ShardedQueue::<OptimalQueue>::optimal(c, s, 2 * t);
+        assert_eq!(
+            sharded_hi.overhead_bytes() - sharded.overhead_bytes(),
+            s * (single_hi.overhead_bytes() - single.overhead_bytes()),
+            "per-thread cost multiplies by S"
+        );
+    }
+
+    // Per-class accounting survives the aggregation: S announcement
+    // arrays and S descriptor pools.
+    let sharded = ShardedQueue::<OptimalQueue>::optimal(1024, 4, 8);
+    let single = OptimalQueue::with_capacity_and_threads(256, 8);
+    for class in [
+        membq::memtrack::OverheadClass::Announcement,
+        membq::memtrack::OverheadClass::Descriptors,
+        membq::memtrack::OverheadClass::Counters,
+    ] {
+        assert_eq!(
+            sharded.footprint().class_bytes(class),
+            4 * single.footprint().class_bytes(class),
+            "{class}: class bytes must scale by S"
+        );
+    }
+}
+
+#[test]
+fn sharded_ordering_extends_e9_table() {
+    // Where the composition sits in the E9 ordering, S = 4, T = 8: above
+    // the plain Θ(T) queue (S× its overhead) at any C, and below the Θ(C)
+    // designs once C clears the S·T working set (at C = 1024 the two are
+    // within ~1% of each other — the honest crossover; by C = 16384 the
+    // Θ(C) row is ~60× larger while the sharded row has not moved).
+    for c in [1024usize, 16384] {
+        let theta_t = overhead(QueueKind::Optimal, c, 8);
+        let theta_st = overhead(QueueKind::ShardedOptimal, c, 8);
+        assert!(theta_t < theta_st, "Θ(T) < Θ(S·T): {theta_t} vs {theta_st}");
+    }
+    assert_eq!(
+        overhead(QueueKind::ShardedOptimal, 1024, 8),
+        overhead(QueueKind::ShardedOptimal, 16384, 8),
+        "sharded overhead is flat in C"
+    );
+    let theta_st = overhead(QueueKind::ShardedOptimal, 16384, 8);
+    let theta_c = overhead(QueueKind::Vyukov, 16384, 8);
+    assert!(
+        theta_st < theta_c,
+        "Θ(S·T) < Θ(C) when C ≫ S·T: {theta_st} vs {theta_c}"
+    );
+}
+
+#[test]
 fn segment_queue_tradeoff_in_k() {
     // E2 (pass/fail form): at steady state, K too small pays headers;
     // the √C choice beats both extremes on total overhead under churn is
