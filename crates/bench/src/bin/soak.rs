@@ -9,6 +9,7 @@
 
 use std::io::Write;
 
+use bq_bench::facade::ALL_FACADES;
 use bq_bench::registry::{sharded_optimal, ALL_KINDS};
 use bq_bench::workload::{
     batched_pairs_throughput, pairs_throughput, producer_consumer_throughput,
@@ -47,6 +48,15 @@ fn main() {
             std::io::stdout().flush().unwrap();
             let q = sharded_optimal(32, s, 4);
             let r = batched_pairs_throughput(&*q, 4, 50, 4);
+            println!("ok ({} ops)", r.ops);
+        }
+        // Waiting façades (DESIGN.md §9): a tiny capacity makes the
+        // workers park constantly, hammering the eventcount wake paths —
+        // a lost wake shows up here as a hang naming the façade.
+        for kind in ALL_FACADES {
+            print!("round {round}: {} pairs ... ", kind.name());
+            std::io::stdout().flush().unwrap();
+            let r = kind.pairs(2, 3, 300);
             println!("ok ({} ops)", r.ops);
         }
     }

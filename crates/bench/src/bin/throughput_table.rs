@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use bq_bench::facade::ALL_FACADES;
 use bq_bench::registry::{QueueKind, ALL_KINDS};
 use bq_bench::workload::{pairs_throughput, print_batch_win_table};
 use bq_core::{ConcurrentQueue, OptimalQueue};
@@ -98,4 +99,34 @@ fn main() {
         let ns = start.elapsed().as_nanos() as f64 / (2 * iters) as f64;
         println!("{:>6} {:>16.1}", t, ns);
     }
+
+    println!("\n=== E12: waiting façades — blocking vs async pairs (DESIGN.md §9) ===");
+    println!(
+        "same Listing 5 data path and the same eventcount pair; the only\n\
+         difference is what parks on a full/empty queue: an OS thread\n\
+         (condvar) or an async task (registered waker, block_on driver).\n\
+         C = 4 forces real parking; 1-core caveat as in E11: wake-path\n\
+         cost under preemption, not parallel speedup\n"
+    );
+    println!(
+        "{:<20} {:>9} {:>12} {:>12}",
+        "facade", "threads", "Mops", "ns/op"
+    );
+    for threads in [1usize, 2, 4] {
+        for kind in ALL_FACADES {
+            let r = kind.pairs(4, threads, 10_000);
+            println!(
+                "{:<20} {:>9} {:>12.3} {:>12.1}",
+                kind.name(),
+                threads,
+                r.mops(),
+                1e3 / r.mops()
+            );
+        }
+    }
+    println!(
+        "\nReading: the async façade pays future/waker bookkeeping per wait but\n\
+         wakes without a kernel unpark when the task is re-polled on a live\n\
+         thread; neither path contains timed polling."
+    );
 }

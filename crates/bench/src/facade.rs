@@ -1,0 +1,147 @@
+//! The waiting-façade registry and workloads (experiment **E12**): the
+//! blocking and async façades over the *same* lock-free queue and the
+//! same [`bq_core::EventCount`] pair, driven through the pairs workload
+//! so their wake paths can be compared head-to-head.
+//!
+//! The registry's [`QueueKind`](crate::registry::QueueKind) rows cover
+//! the non-blocking implementations; the façades add a *waiting* layer
+//! on top, so they get their own small kind enum here instead of fake
+//! `DynQueue` rows (a blocking `send` has no "full" outcome to report).
+//!
+//! Hardware note (same as E11): on a single-core host both façades
+//! serialize onto one CPU, so the numbers measure wake-path overhead
+//! under preemption — condvar unpark vs waker re-poll — not parallel
+//! speedup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bq_core::{AsyncQueue, BlockingQueue, OptimalQueue};
+
+use crate::workload::WorkloadResult;
+
+/// Which waiting façade to drive (both wrap `OptimalQueue`, both park on
+/// the shared eventcount pair — the only difference is *what* parks:
+/// OS threads or async tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FacadeKind {
+    /// `BlockingQueue<u64, OptimalQueue>`: threads park on the eventcount.
+    Blocking,
+    /// `AsyncQueue<u64, OptimalQueue>`: tasks park; each worker thread
+    /// drives its task with the dependency-free `pollster::block_on`.
+    Async,
+}
+
+/// Both façades, blocking first.
+pub const ALL_FACADES: &[FacadeKind] = &[FacadeKind::Blocking, FacadeKind::Async];
+
+impl FacadeKind {
+    /// Stable name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FacadeKind::Blocking => "blocking-optimal",
+            FacadeKind::Async => "async-optimal",
+        }
+    }
+
+    /// Mixed send/recv pairs through this façade: `threads` workers each
+    /// perform `ops_per_thread` send+recv pairs on a queue pre-filled to
+    /// half capacity (the waiting-layer mirror of
+    /// [`pairs_throughput`](crate::workload::pairs_throughput)). The
+    /// waits are real — capacity `c` should be small relative to
+    /// `threads` to exercise parking.
+    pub fn pairs(self, c: usize, threads: usize, ops_per_thread: u64) -> WorkloadResult {
+        match self {
+            FacadeKind::Blocking => blocking_pairs_throughput(c, threads, ops_per_thread),
+            FacadeKind::Async => async_pairs_throughput(c, threads, ops_per_thread),
+        }
+    }
+}
+
+/// Pairs workload over the blocking façade. See [`FacadeKind::pairs`].
+pub fn blocking_pairs_throughput(c: usize, threads: usize, ops_per_thread: u64) -> WorkloadResult {
+    let q: BlockingQueue<u64, OptimalQueue> =
+        BlockingQueue::new(OptimalQueue::with_capacity_and_threads(c, threads + 1));
+    let mut h = q.register();
+    for i in 0..(c / 2) as u64 {
+        q.try_send(&mut h, 1 + i).expect("pre-fill failed");
+    }
+    let token_base = AtomicU64::new(1_000_000);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let q = &q;
+            let token_base = &token_base;
+            s.spawn(move || {
+                let mut h = q.register();
+                for _ in 0..ops_per_thread {
+                    let v = token_base.fetch_add(1, Ordering::Relaxed);
+                    q.send(&mut h, v).expect("queue not closed");
+                    q.recv(&mut h).expect("queue not closed");
+                }
+            });
+        }
+    });
+    WorkloadResult {
+        ops: 2 * threads as u64 * ops_per_thread,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Pairs workload over the async façade (**E12**, and the `async_pairs`
+/// soak workload): same structure as the blocking version, but every
+/// worker thread drives an async task via `pollster::block_on`, so full/
+/// empty conditions park the *future* (waker registered on the shared
+/// eventcount) rather than the thread-level condvar. No timed polling
+/// anywhere: progress is purely wake-driven.
+pub fn async_pairs_throughput(c: usize, threads: usize, ops_per_thread: u64) -> WorkloadResult {
+    let q: AsyncQueue<u64, OptimalQueue> =
+        AsyncQueue::new(OptimalQueue::with_capacity_and_threads(c, threads + 1));
+    let mut h = q.register();
+    for i in 0..(c / 2) as u64 {
+        q.try_send(&mut h, 1 + i).expect("pre-fill failed");
+    }
+    let token_base = AtomicU64::new(1_000_000);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let q = &q;
+            let token_base = &token_base;
+            s.spawn(move || {
+                let mut h = q.register();
+                pollster::block_on(async {
+                    for _ in 0..ops_per_thread {
+                        let v = token_base.fetch_add(1, Ordering::Relaxed);
+                        q.send(&mut h, v).await.expect("queue not closed");
+                        q.recv(&mut h).await.expect("queue not closed");
+                    }
+                });
+            });
+        }
+    });
+    WorkloadResult {
+        ops: 2 * threads as u64 * ops_per_thread,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_facades_run_the_pairs_workload() {
+        for kind in ALL_FACADES {
+            // C = 2 with 2 threads: parking definitely happens.
+            let r = kind.pairs(2, 2, 200);
+            assert_eq!(r.ops, 800, "{}", kind.name());
+            assert!(r.mops() > 0.0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        assert_eq!(FacadeKind::Blocking.name(), "blocking-optimal");
+        assert_eq!(FacadeKind::Async.name(), "async-optimal");
+    }
+}

@@ -15,9 +15,11 @@
 //! * `cargo run --release -p bq-bench --bin soak [rounds]` — liveness soak
 //! * `cargo bench -p bq-bench` — criterion microbenchmarks (E2/E7/E10)
 
+pub mod facade;
 pub mod registry;
 pub mod workload;
 
+pub use facade::{async_pairs_throughput, blocking_pairs_throughput, FacadeKind, ALL_FACADES};
 pub use registry::{
     all_queues, queue_by_name, sharded_optimal, DynQueue, QueueKind, ALL_KINDS, DEFAULT_SHARDS,
 };

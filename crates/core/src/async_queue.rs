@@ -1,0 +1,604 @@
+//! An async (`Future`-based) façade over the bounded queues: `send`
+//! awaits space, `recv` awaits an element — parking **tasks**, not OS
+//! threads.
+//!
+//! [`AsyncQueue`] is the third client layer of the waiter subsystem
+//! (DESIGN.md §9): it wraps the *same* [`BlockingQueue`] state — the
+//! lock-free data path plus one [`EventCount`] per direction — and adds
+//! hand-rolled futures whose wakers register against the eventcount's
+//! wake generations. Because both façades share the two eventcount
+//! instances, blocking threads and async tasks can wait on **one queue
+//! at the same time**: a thread's `send` wakes a task's pending `recv`
+//! and vice versa ([`blocking`](AsyncQueue::blocking) exposes the sync
+//! view). No executor dependency exists; any executor works, and the
+//! dependency-free `pollster` shim's `block_on` is enough to drive it.
+//!
+//! ## Poll protocol
+//!
+//! Every future polls the same way (the async mirror of the eventcount's
+//! thread protocol):
+//!
+//! 1. **try** the non-blocking operation — if it completes, done;
+//! 2. snapshot the wake **generation** and **register** the task's waker
+//!    against it (the registration counts as an announced waiter; a
+//!    stale snapshot means a wake was just published, so re-try from 1);
+//! 3. **re-try** the operation — this closes the race with a notifier
+//!    that read `waiters == 0` before the registration;
+//! 4. return `Pending`.
+//!
+//! Linearization of the wake hand-off: the registration takes effect
+//! under the eventcount's gate lock, and every notifier bumps the
+//! generation under the same lock before draining wakers. A transition
+//! that completes before step 3's retry is observed by the retry; one
+//! that completes after it finds the waker registered (step 2 happened
+//! under the lock) and wakes the task. There is no window in between —
+//! hence no lost wakeup and **no timed polling anywhere**.
+//!
+//! ## Cancellation safety
+//!
+//! Dropping a pending future deregisters its waker (removing it from
+//! the waiter list and the waiter count) and returns any not-yet-sent
+//! value to the caller's ownership (it is dropped with the future). A
+//! `recv` future takes an element only at the moment it resolves
+//! `Ready`, so a dropped pending `recv` can never lose one. And because
+//! eventcount wakes are broadcast, a cancelled waiter can never have
+//! swallowed a wake another waiter needed. `tests/async_cancel.rs`
+//! asserts all three properties under stress.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+use crate::blocking::{BlockingQueue, SendError, TryRecvError, TrySendError};
+use crate::boxed::{BoxedHandle, PointerCapable};
+use crate::event::{EventCount, WaiterId};
+
+/// Async bounded queue over any pointer-capable token queue.
+///
+/// ```
+/// use bq_core::{AsyncQueue, OptimalQueue};
+///
+/// let q: AsyncQueue<String, OptimalQueue> =
+///     AsyncQueue::new(OptimalQueue::with_capacity_and_threads(8, 2));
+/// let mut h = q.register();
+/// pollster::block_on(async {
+///     q.send(&mut h, "job".to_string()).await.unwrap();
+///     assert_eq!(q.recv(&mut h).await, Some("job".to_string()));
+/// });
+/// ```
+pub struct AsyncQueue<T: Send, Q: PointerCapable> {
+    sync: BlockingQueue<T, Q>,
+}
+
+impl<T: Send, Q: PointerCapable> AsyncQueue<T, Q> {
+    /// Wrap an empty token queue.
+    pub fn new(inner: Q) -> Self {
+        AsyncQueue {
+            sync: BlockingQueue::new(inner),
+        }
+    }
+
+    /// Build the async façade over an existing blocking façade, keeping
+    /// its state (useful to adopt a queue already shared with threads).
+    pub fn from_blocking(sync: BlockingQueue<T, Q>) -> Self {
+        AsyncQueue { sync }
+    }
+
+    /// The blocking view of the **same queue**: same data path, same two
+    /// eventcounts. Threads using this view and tasks using the async
+    /// methods wake each other.
+    pub fn blocking(&self) -> &BlockingQueue<T, Q> {
+        &self.sync
+    }
+
+    /// Obtain a per-thread/per-task handle. Handles must not be shared
+    /// between concurrently running tasks (each future borrows one
+    /// exclusively while in flight).
+    pub fn register(&self) -> BoxedHandle<Q> {
+        self.sync.register()
+    }
+
+    /// Borrow the underlying token queue (read-only introspection; see
+    /// [`BlockingQueue::inner_queue`]).
+    pub fn inner_queue(&self) -> &Q {
+        self.sync.inner_queue()
+    }
+
+    /// Close the queue: pending and future `send`s fail (value returned),
+    /// receivers drain then observe `None`/empty. Wakes every parked
+    /// thread and task. Idempotent.
+    pub fn close(&self) {
+        self.sync.close();
+    }
+
+    /// Has [`close`](Self::close) been called?
+    pub fn is_closed(&self) -> bool {
+        self.sync.is_closed()
+    }
+
+    /// Non-blocking enqueue (no future involved).
+    pub fn try_send(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), TrySendError<T>> {
+        self.sync.try_send(h, value)
+    }
+
+    /// Non-blocking dequeue (no future involved).
+    pub fn try_recv(&self, h: &mut BoxedHandle<Q>) -> Result<T, TryRecvError> {
+        self.sync.try_recv(h)
+    }
+
+    /// Enqueue, resolving when the value is accepted; `Err(SendError)`
+    /// returns the value if the queue closes first.
+    pub fn send<'a>(&'a self, h: &'a mut BoxedHandle<Q>, value: T) -> SendFuture<'a, T, Q> {
+        SendFuture {
+            queue: self,
+            handle: h,
+            item: Some(value),
+            wait: WaitState::new(),
+        }
+    }
+
+    /// Dequeue, resolving to `Some(v)` when an element arrives, or
+    /// `None` once the queue is closed and drained.
+    pub fn recv<'a>(&'a self, h: &'a mut BoxedHandle<Q>) -> RecvFuture<'a, T, Q> {
+        RecvFuture {
+            queue: self,
+            handle: h,
+            wait: WaitState::new(),
+        }
+    }
+
+    /// Batch enqueue, resolving once **every** item is accepted; on
+    /// close, resolves to the unsent suffix. Unlike the blocking
+    /// `send_all`, retries move rejected items in and out of their boxes
+    /// (simple ownership beats the re-box amortization here: a cancelled
+    /// future must be able to drop the suffix as plain values).
+    pub fn send_all<'a>(
+        &'a self,
+        h: &'a mut BoxedHandle<Q>,
+        items: Vec<T>,
+    ) -> SendAllFuture<'a, T, Q> {
+        SendAllFuture {
+            queue: self,
+            handle: h,
+            items: Some(items),
+            wait: WaitState::new(),
+        }
+    }
+
+    /// Batch dequeue, resolving to 1..=`max` values — or an empty vector
+    /// once the queue is closed and drained.
+    pub fn recv_many<'a>(
+        &'a self,
+        h: &'a mut BoxedHandle<Q>,
+        max: usize,
+    ) -> RecvManyFuture<'a, T, Q> {
+        assert!(max > 0, "recv_many needs a positive batch bound");
+        RecvManyFuture {
+            queue: self,
+            handle: h,
+            max,
+            out: Vec::new(),
+            wait: WaitState::new(),
+        }
+    }
+
+    /// Capacity of the underlying queue.
+    pub fn capacity(&self) -> usize {
+        self.sync.capacity()
+    }
+
+    /// Approximate length.
+    pub fn len(&self) -> usize {
+        self.sync.len()
+    }
+
+    /// Approximate emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.sync.is_empty()
+    }
+}
+
+/// Per-future wait state: at most one live waker registration.
+struct WaitState {
+    reg: Option<WaiterId>,
+}
+
+impl WaitState {
+    fn new() -> Self {
+        WaitState { reg: None }
+    }
+
+    /// One poll of the eventcount protocol described in the module docs.
+    /// `attempt` returns `Some(r)` when the operation completed (with
+    /// success *or* a terminal closed result).
+    fn poll_with<R>(
+        &mut self,
+        ec: &EventCount,
+        waker: &Waker,
+        mut attempt: impl FnMut() -> Option<R>,
+    ) -> Poll<R> {
+        // A registration surviving from the previous poll is stale: it
+        // may hold an outdated waker (the task can migrate between
+        // polls), or it was already drained by the wake that caused this
+        // poll. Drop it and go through the full announce cycle again.
+        if let Some(id) = self.reg.take() {
+            ec.deregister(id);
+        }
+        if let Some(r) = attempt() {
+            return Poll::Ready(r);
+        }
+        loop {
+            let gen = ec.generation();
+            match ec.register(gen, waker) {
+                Some(id) => {
+                    // Announced. Re-attempt to close the race with a
+                    // notifier that read `waiters == 0` before our
+                    // registration landed.
+                    if let Some(r) = attempt() {
+                        ec.deregister(id);
+                        return Poll::Ready(r);
+                    }
+                    self.reg = Some(id);
+                    return Poll::Pending;
+                }
+                // A wake was published between the snapshot and the gate
+                // lock: whatever it announced may satisfy us — re-try
+                // instead of sleeping through it.
+                None => {
+                    if let Some(r) = attempt() {
+                        return Poll::Ready(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cancellation half: drop any live registration.
+    fn cancel(&mut self, ec: &EventCount) {
+        if let Some(id) = self.reg.take() {
+            ec.deregister(id);
+        }
+    }
+}
+
+/// Future returned by [`AsyncQueue::send`].
+pub struct SendFuture<'a, T: Send, Q: PointerCapable> {
+    queue: &'a AsyncQueue<T, Q>,
+    handle: &'a mut BoxedHandle<Q>,
+    item: Option<T>,
+    wait: WaitState,
+}
+
+// The futures never hand out pins into their own storage, so they are
+// plain state machines — safe to consider Unpin regardless of `T`.
+impl<T: Send, Q: PointerCapable> Unpin for SendFuture<'_, T, Q> {}
+
+impl<T: Send, Q: PointerCapable> Future for SendFuture<'_, T, Q> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let SendFuture {
+            queue,
+            handle,
+            item,
+            wait,
+        } = self.get_mut();
+        wait.poll_with(queue.sync.not_full_event(), cx.waker(), || {
+            let v = item.take().expect("send future polled after completion");
+            match queue.sync.try_send(handle, v) {
+                Ok(()) => Some(Ok(())),
+                Err(TrySendError::Closed(v)) => Some(Err(SendError(v))),
+                Err(TrySendError::Full(v)) => {
+                    *item = Some(v);
+                    None
+                }
+            }
+        })
+    }
+}
+
+impl<T: Send, Q: PointerCapable> Drop for SendFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        self.wait.cancel(self.queue.sync.not_full_event());
+        // `self.item` (if the send never completed) drops with the future.
+    }
+}
+
+/// Future returned by [`AsyncQueue::recv`].
+pub struct RecvFuture<'a, T: Send, Q: PointerCapable> {
+    queue: &'a AsyncQueue<T, Q>,
+    handle: &'a mut BoxedHandle<Q>,
+    wait: WaitState,
+}
+
+impl<T: Send, Q: PointerCapable> Unpin for RecvFuture<'_, T, Q> {}
+
+impl<T: Send, Q: PointerCapable> Future for RecvFuture<'_, T, Q> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let RecvFuture {
+            queue,
+            handle,
+            wait,
+        } = self.get_mut();
+        wait.poll_with(queue.sync.not_empty_event(), cx.waker(), || {
+            match queue.sync.try_recv(handle) {
+                Ok(v) => Some(Some(v)),
+                // Closed: final drain check after observing the flag
+                // (same reasoning as the blocking recv).
+                Err(TryRecvError::Closed) => Some(queue.sync.try_recv(handle).ok()),
+                Err(TryRecvError::Empty) => None,
+            }
+        })
+    }
+}
+
+impl<T: Send, Q: PointerCapable> Drop for RecvFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        self.wait.cancel(self.queue.sync.not_empty_event());
+    }
+}
+
+/// Future returned by [`AsyncQueue::send_all`].
+pub struct SendAllFuture<'a, T: Send, Q: PointerCapable> {
+    queue: &'a AsyncQueue<T, Q>,
+    handle: &'a mut BoxedHandle<Q>,
+    /// Remaining (not yet accepted) items; `None` after completion.
+    items: Option<Vec<T>>,
+    wait: WaitState,
+}
+
+impl<T: Send, Q: PointerCapable> Unpin for SendAllFuture<'_, T, Q> {}
+
+impl<T: Send, Q: PointerCapable> Future for SendAllFuture<'_, T, Q> {
+    type Output = Result<(), SendError<Vec<T>>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let SendAllFuture {
+            queue,
+            handle,
+            items,
+            wait,
+        } = self.get_mut();
+        wait.poll_with(queue.sync.not_full_event(), cx.waker(), || {
+            let batch = items
+                .take()
+                .expect("send_all future polled after completion");
+            if queue.sync.is_closed() {
+                return Some(Err(SendError(batch)));
+            }
+            let rejected = queue.sync.try_send_many(handle, batch);
+            if rejected.is_empty() {
+                Some(Ok(()))
+            } else {
+                *items = Some(rejected);
+                None
+            }
+        })
+    }
+}
+
+impl<T: Send, Q: PointerCapable> Drop for SendAllFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        self.wait.cancel(self.queue.sync.not_full_event());
+        // Unsent items drop with the future; accepted ones stay queued.
+    }
+}
+
+/// Future returned by [`AsyncQueue::recv_many`].
+pub struct RecvManyFuture<'a, T: Send, Q: PointerCapable> {
+    queue: &'a AsyncQueue<T, Q>,
+    handle: &'a mut BoxedHandle<Q>,
+    max: usize,
+    out: Vec<T>,
+    wait: WaitState,
+}
+
+impl<T: Send, Q: PointerCapable> Unpin for RecvManyFuture<'_, T, Q> {}
+
+impl<T: Send, Q: PointerCapable> Future for RecvManyFuture<'_, T, Q> {
+    type Output = Vec<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let RecvManyFuture {
+            queue,
+            handle,
+            max,
+            out,
+            wait,
+        } = self.get_mut();
+        wait.poll_with(queue.sync.not_empty_event(), cx.waker(), || {
+            if queue.sync.try_recv_many(handle, *max, out) > 0 {
+                return Some(std::mem::take(out));
+            }
+            if queue.sync.is_closed() {
+                // Final drain check; an empty result means closed+drained.
+                queue.sync.try_recv_many(handle, *max, out);
+                return Some(std::mem::take(out));
+            }
+            None
+        })
+    }
+}
+
+impl<T: Send, Q: PointerCapable> Drop for RecvManyFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        self.wait.cancel(self.queue.sync.not_empty_event());
+        // NB: a cancelled recv_many that already buffered a partial batch
+        // cannot happen — elements are only taken in the resolving poll.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::OptimalQueue;
+    use crate::sharded::ShardedQueue;
+    use pollster::block_on;
+    use std::sync::Arc;
+
+    fn make(c: usize, t: usize) -> AsyncQueue<u64, OptimalQueue> {
+        AsyncQueue::new(OptimalQueue::with_capacity_and_threads(c, t))
+    }
+
+    #[test]
+    fn roundtrip_without_waiting() {
+        let q = make(4, 1);
+        let mut h = q.register();
+        block_on(async {
+            q.send(&mut h, 7).await.unwrap();
+            q.send(&mut h, 8).await.unwrap();
+            assert_eq!(q.recv(&mut h).await, Some(7));
+            assert_eq!(q.recv(&mut h).await, Some(8));
+        });
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pending_recv_wakes_on_cross_thread_send() {
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let receiver = std::thread::spawn(move || {
+            let mut h = q2.register();
+            block_on(q2.recv(&mut h))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut h = q.register();
+        block_on(q.send(&mut h, 42)).unwrap();
+        assert_eq!(receiver.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn pending_send_wakes_when_space_appears() {
+        let q = Arc::new(make(1, 2));
+        let mut h = q.register();
+        block_on(q.send(&mut h, 1)).unwrap();
+        let q2 = Arc::clone(&q);
+        let sender = std::thread::spawn(move || {
+            let mut h = q2.register();
+            block_on(q2.send(&mut h, 2))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(block_on(q.recv(&mut h)), Some(1));
+        sender.join().unwrap().unwrap();
+        assert_eq!(block_on(q.recv(&mut h)), Some(2));
+    }
+
+    #[test]
+    fn batch_futures_roundtrip() {
+        let q = Arc::new(make(2, 2));
+        let q2 = Arc::clone(&q);
+        let sender = std::thread::spawn(move || {
+            let mut h = q2.register();
+            // 6 items through 2 slots: the future must park repeatedly.
+            block_on(q2.send_all(&mut h, (1..=6).collect())).unwrap();
+        });
+        let mut h = q.register();
+        let mut got = Vec::new();
+        while got.len() < 6 {
+            let batch = block_on(q.recv_many(&mut h, 4));
+            assert!(!batch.is_empty(), "open queue never yields empty batches");
+            got.extend(batch);
+        }
+        sender.join().unwrap();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_reports_none() {
+        let q = make(4, 1);
+        let mut h = q.register();
+        block_on(async {
+            q.send(&mut h, 1).await.unwrap();
+            q.send(&mut h, 2).await.unwrap();
+            q.close();
+            assert_eq!(q.send(&mut h, 3).await, Err(SendError(3)));
+            assert_eq!(
+                q.send_all(&mut h, vec![4, 5]).await,
+                Err(SendError(vec![4, 5]))
+            );
+            assert_eq!(q.recv(&mut h).await, Some(1), "drain before closed");
+            assert_eq!(q.recv_many(&mut h, 4).await, vec![2]);
+            assert_eq!(q.recv(&mut h).await, None);
+            assert_eq!(q.recv_many(&mut h, 4).await, Vec::<u64>::new());
+        });
+    }
+
+    #[test]
+    fn close_wakes_pending_async_recv() {
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let receiver = std::thread::spawn(move || {
+            let mut h = q2.register();
+            block_on(q2.recv(&mut h))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(receiver.join().unwrap(), None);
+    }
+
+    #[test]
+    fn sync_and_async_waiters_share_one_queue() {
+        // A blocking thread and an async task wait on the same queue;
+        // one producer satisfies both through the shared eventcounts.
+        let q = Arc::new(make(4, 3));
+        let q_sync = Arc::clone(&q);
+        let sync_recv = std::thread::spawn(move || {
+            let mut h = q_sync.register();
+            q_sync.blocking().recv(&mut h)
+        });
+        let q_async = Arc::clone(&q);
+        let async_recv = std::thread::spawn(move || {
+            let mut h = q_async.register();
+            block_on(q_async.recv(&mut h))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut h = q.register();
+        q.blocking().send(&mut h, 1).unwrap();
+        block_on(q.send(&mut h, 2)).unwrap();
+        let mut got = vec![
+            sync_recv.join().unwrap().unwrap(),
+            async_recv.join().unwrap().unwrap(),
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn composes_with_sharded_scale_layer() {
+        let q: Arc<AsyncQueue<u64, ShardedQueue<OptimalQueue>>> = Arc::new(AsyncQueue::new(
+            ShardedQueue::<OptimalQueue>::optimal(8, 4, 2),
+        ));
+        let n = 1_000u64;
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            let mut h = q2.register();
+            block_on(async {
+                let mut next = 1u64;
+                while next <= n {
+                    let batch: Vec<u64> = (next..=(next + 7).min(n)).collect();
+                    next += batch.len() as u64;
+                    q2.send_all(&mut h, batch).await.unwrap();
+                }
+                q2.close();
+            });
+        });
+        let mut h = q.register();
+        let mut seen = std::collections::HashSet::new();
+        block_on(async {
+            loop {
+                let batch = q.recv_many(&mut h, 8).await;
+                if batch.is_empty() {
+                    break; // closed + drained
+                }
+                for v in batch {
+                    assert!(seen.insert(v), "duplicate {v}");
+                }
+            }
+        });
+        producer.join().unwrap();
+        assert_eq!(seen.len() as u64, n, "exact conservation, close-driven");
+    }
+}

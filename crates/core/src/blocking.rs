@@ -4,100 +4,77 @@
 //! The paper's §1 mentions the trivial blocking solution (a lock has Θ(1)
 //! overhead but poor scalability). This type shows the practical middle
 //! ground real systems use: the *data path* stays the lock-free queue —
-//! all transfers go through it, no element is ever protected by the lock —
-//! and a mutex/condvar pair is used **only to park** threads that found
-//! the queue full/empty. The memory cost of the parking layer is Θ(1) on
-//! top of whatever the underlying queue pays, so e.g.
-//! `BlockingQueue<T, OptimalQueue>` is a blocking-API queue with Θ(T)
-//! total overhead.
+//! all transfers go through it, no element is ever protected by a lock —
+//! and waiting is delegated to the [`EventCount`] waiter subsystem
+//! (DESIGN.md §9), one instance per direction, used **only to park**
+//! threads that found the queue full/empty. The memory cost of the
+//! parking layer is Θ(1) on top of whatever the underlying queue pays,
+//! so e.g. `BlockingQueue<T, OptimalQueue>` is a blocking-API queue with
+//! Θ(T) total overhead.
 //!
-//! ## Wake protocol: generation counters, no timed polling
+//! ## Wake protocol: wake generations, no timed polling
 //!
 //! The classic lost-wake race — a counterpart transitions the queue
-//! between our failed attempt and our park — is closed by a **wake
-//! generation** per direction (an eventcount), not by waking up every
-//! millisecond to re-check:
+//! between our failed attempt and our park — is closed by the
+//! eventcount's announce → snapshot → re-attempt → park-if-unchanged
+//! protocol; see the [`crate::event`] module docs for the full argument.
+//! This file contains **no parking machinery of its own**: every wait is
+//! an [`EventCount::wait_until`] call whose attempt closure is the
+//! non-blocking operation, and every successful transition publishes a
+//! wake to the opposite direction via [`EventCount::wake_all`]. The
+//! async façade ([`crate::AsyncQueue`]) drives futures off the *same two
+//! eventcount instances*, so blocking threads and async tasks can wait
+//! on one queue simultaneously. Waits are untimed, the uncontended wake
+//! fast path is one atomic load, and blocking throughput has no built-in
+//! millisecond floor.
 //!
-//! 1. a parker announces itself (`waiters += 1`), snapshots the
-//!    generation, **re-attempts the operation**, and only then parks —
-//!    and only if the generation is still unchanged under the gate lock;
-//! 2. a waker that completes a state transition checks `waiters`; when
-//!    non-zero it bumps the generation *under the gate lock* and
-//!    notifies.
+//! ## Shutdown: `close()` with drain semantics
 //!
-//! If the transition lands before the parker's announcement, the parker's
-//! re-attempt (which follows the announcement) succeeds. If it lands
-//! after, the waker is guaranteed to observe `waiters > 0` and bump the
-//! generation — which the parker either sees before sleeping (and skips
-//! the park) or is woken from, because the bump happens under the lock
-//! the parker holds until the moment it sleeps. Either way no wake is
-//! lost, waits are untimed, and the uncontended fast path costs one
-//! atomic load (`waiters == 0`) — blocking throughput no longer has a
-//! built-in millisecond floor.
+//! [`close`](BlockingQueue::close) disconnects the queue without needing
+//! sentinel ("poison") values: subsequent and parked `send`s return the
+//! value back as an error, while receivers **drain every element already
+//! accepted** and only then observe the closed state (`recv` → `None`,
+//! `recv_many` → empty vector). A send racing `close` may still deposit
+//! its element — it is never lost: it remains in the queue for later
+//! receivers (or the destructor's drain). Conservation is unaffected.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::boxed::{BoxedHandle, BoxedQueue, PointerCapable};
+use crate::event::EventCount;
 
-/// One parking direction: senders park on "not full", receivers on
-/// "not empty". See the module docs for the wake protocol.
-struct ParkSide {
-    gate: Mutex<()>,
-    cond: Condvar,
-    /// Wake generation: bumped (under `gate`) on every state transition
-    /// that could unblock this side.
-    generation: AtomicU64,
-    /// Number of threads between announcement and un-park.
-    waiters: AtomicUsize,
+/// Error returned by a blocking/async `send` on a closed queue: carries
+/// the unsent value(s) back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by `try_send`: the queue was full or already closed.
+/// Either way the value comes back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue holds `C` elements (retry may succeed later).
+    Full(T),
+    /// The queue is closed (no send will ever succeed again).
+    Closed(T),
 }
 
-impl ParkSide {
-    fn new() -> Self {
-        ParkSide {
-            gate: Mutex::new(()),
-            cond: Condvar::new(),
-            generation: AtomicU64::new(0),
-            waiters: AtomicUsize::new(0),
+impl<T> TrySendError<T> {
+    /// The rejected value, whatever the reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
         }
     }
+}
 
-    /// Waker half: called after a successful counterpart operation.
-    fn wake(&self) {
-        if self.waiters.load(Ordering::SeqCst) > 0 {
-            {
-                let _guard = self.gate.lock();
-                self.generation.fetch_add(1, Ordering::SeqCst);
-            }
-            self.cond.notify_all();
-        }
-    }
-
-    /// Parker half: run `attempt` until it succeeds, parking between
-    /// failed attempts. `attempt` returns `Some(r)` on success.
-    fn park_until<R>(&self, mut attempt: impl FnMut() -> Option<R>) -> R {
-        if let Some(r) = attempt() {
-            return r;
-        }
-        loop {
-            self.waiters.fetch_add(1, Ordering::SeqCst);
-            let gen = self.generation.load(Ordering::SeqCst);
-            // Re-attempt after announcing: closes the race with a waker
-            // that read `waiters` before our increment.
-            if let Some(r) = attempt() {
-                self.waiters.fetch_sub(1, Ordering::SeqCst);
-                return r;
-            }
-            {
-                let mut guard = self.gate.lock();
-                if self.generation.load(Ordering::SeqCst) == gen {
-                    self.cond.wait(&mut guard);
-                }
-            }
-            self.waiters.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
+/// Error returned by `try_recv`: nothing to take right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue was observed empty but is still open.
+    Empty,
+    /// The queue was observed empty after it was closed. (A send racing
+    /// `close` may still deposit later; see the module docs.)
+    Closed,
 }
 
 /// Blocking bounded queue over any pointer-capable token queue.
@@ -108,13 +85,16 @@ impl ParkSide {
 /// let q: BlockingQueue<String, OptimalQueue> =
 ///     BlockingQueue::new(OptimalQueue::with_capacity_and_threads(8, 2));
 /// let mut h = q.register();
-/// q.send(&mut h, "job".to_string());
-/// assert_eq!(q.recv(&mut h), "job");
+/// q.send(&mut h, "job".to_string()).unwrap();
+/// assert_eq!(q.recv(&mut h), Some("job".to_string()));
+/// q.close();
+/// assert_eq!(q.recv(&mut h), None, "closed and drained");
 /// ```
 pub struct BlockingQueue<T: Send, Q: PointerCapable> {
     inner: BoxedQueue<T, Q>,
-    not_full: ParkSide,
-    not_empty: ParkSide,
+    not_full: EventCount,
+    not_empty: EventCount,
+    closed: AtomicBool,
 }
 
 impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
@@ -122,8 +102,9 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
     pub fn new(inner: Q) -> Self {
         BlockingQueue {
             inner: BoxedQueue::new(inner),
-            not_full: ParkSide::new(),
-            not_empty: ParkSide::new(),
+            not_full: EventCount::new(),
+            not_empty: EventCount::new(),
+            closed: AtomicBool::new(false),
         }
     }
 
@@ -132,56 +113,119 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
         self.inner.register()
     }
 
+    /// The eventcount senders wait on ("not full"). Exposed so the async
+    /// façade can register wakers against the same generations, and for
+    /// instrumentation (waiter counts in tests).
+    pub fn not_full_event(&self) -> &EventCount {
+        &self.not_full
+    }
+
+    /// The eventcount receivers wait on ("not empty"); see
+    /// [`not_full_event`](Self::not_full_event).
+    pub fn not_empty_event(&self) -> &EventCount {
+        &self.not_empty
+    }
+
+    /// Borrow the underlying token queue (footprint accounting and other
+    /// read-only introspection — the façade's typed API is the only safe
+    /// transfer path).
+    pub fn inner_queue(&self) -> &Q {
+        self.inner.inner()
+    }
+
+    /// Close the queue: wakes every parked sender and receiver. Senders
+    /// fail from now on; receivers drain the remaining elements and then
+    /// observe the closed state. Idempotent.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.not_full.wake_all();
+        self.not_empty.wake_all();
+    }
+
+    /// Has [`close`](Self::close) been called?
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
     /// Non-blocking enqueue (delegates to the lock-free path).
-    pub fn try_send(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), T> {
+    pub fn try_send(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), TrySendError<T>> {
+        if self.is_closed() {
+            return Err(TrySendError::Closed(value));
+        }
         match self.inner.enqueue(h, value) {
             Ok(()) => {
-                self.not_empty.wake();
+                self.not_empty.wake_all();
                 Ok(())
             }
-            Err(v) => Err(v),
+            Err(v) => Err(TrySendError::Full(v)),
         }
     }
 
-    /// Enqueue, waiting while the queue is full.
-    pub fn send(&self, h: &mut BoxedHandle<Q>, value: T) {
+    /// Enqueue, waiting while the queue is full. Fails only when the
+    /// queue is (or becomes) closed, returning the value.
+    pub fn send(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), SendError<T>> {
         let mut item = Some(value);
-        self.not_full.park_until(
+        self.not_full.wait_until(
             || match self.try_send(h, item.take().expect("item present")) {
-                Ok(()) => Some(()),
-                Err(back) => {
-                    item = Some(back);
+                Ok(()) => Some(Ok(())),
+                Err(TrySendError::Closed(v)) => Some(Err(SendError(v))),
+                Err(TrySendError::Full(v)) => {
+                    item = Some(v);
                     None
                 }
             },
-        );
+        )
     }
 
     /// Non-blocking dequeue.
-    pub fn try_recv(&self, h: &mut BoxedHandle<Q>) -> Option<T> {
-        let v = self.inner.dequeue(h)?;
-        self.not_full.wake();
-        Some(v)
+    pub fn try_recv(&self, h: &mut BoxedHandle<Q>) -> Result<T, TryRecvError> {
+        match self.inner.dequeue(h) {
+            Some(v) => {
+                self.not_full.wake_all();
+                Ok(v)
+            }
+            None => Err(if self.is_closed() {
+                TryRecvError::Closed
+            } else {
+                TryRecvError::Empty
+            }),
+        }
     }
 
-    /// Dequeue, waiting while the queue is empty.
-    pub fn recv(&self, h: &mut BoxedHandle<Q>) -> T {
-        self.not_empty.park_until(|| self.try_recv(h))
+    /// Dequeue, waiting while the queue is empty. Returns `None` only
+    /// once the queue is closed **and** observed empty after the closed
+    /// flag (drain semantics: every accepted element is delivered first).
+    pub fn recv(&self, h: &mut BoxedHandle<Q>) -> Option<T> {
+        self.not_empty.wait_until(|| match self.try_recv(h) {
+            Ok(v) => Some(Some(v)),
+            // Closed: one final drain check *after* observing the flag
+            // catches elements deposited between the failed dequeue and
+            // the flag read.
+            Err(TryRecvError::Closed) => Some(self.try_recv(h).ok()),
+            Err(TryRecvError::Empty) => None,
+        })
     }
 
     /// Non-blocking batch enqueue: accepts a prefix (through the inner
-    /// queue's batch path) and returns the rejected suffix.
+    /// queue's batch path) and returns the rejected suffix — everything,
+    /// untouched, when the queue is closed (check
+    /// [`is_closed`](Self::is_closed) to tell the cases apart).
     pub fn try_send_many(&self, h: &mut BoxedHandle<Q>, items: Vec<T>) -> Vec<T> {
+        if self.is_closed() {
+            return items;
+        }
         let total = items.len();
         let rejected = self.inner.enqueue_many(h, items);
         if rejected.len() < total {
-            self.not_empty.wake();
+            self.not_empty.wake_all();
         }
         rejected
     }
 
-    /// Batch enqueue, waiting until **every** item is accepted.
-    pub fn send_all(&self, h: &mut BoxedHandle<Q>, items: Vec<T>) {
+    /// Batch enqueue, waiting until **every** item is accepted. On close,
+    /// returns the unsent suffix (already-accepted items stay in the
+    /// queue for receivers to drain).
+    pub fn send_all(&self, h: &mut BoxedHandle<Q>, items: Vec<T>) -> Result<(), SendError<Vec<T>>> {
         // Box once and retry on the token run: a parked batch would
         // otherwise round-trip every pending item through Box on each
         // wake. (If a retry panics, the unsent suffix leaks its boxes —
@@ -192,34 +236,53 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
             .map(BoxedQueue::<T, Q>::box_token)
             .collect();
         let mut sent = 0usize;
-        self.not_full.park_until(|| {
+        self.not_full.wait_until(|| {
+            if self.is_closed() {
+                let unsent = tokens[sent..]
+                    .iter()
+                    .map(|&t| BoxedQueue::<T, Q>::unbox_token(t))
+                    .collect();
+                sent = tokens.len(); // the suffix's ownership moved out
+                return Some(Err(SendError(unsent)));
+            }
             let n = self.inner.enqueue_tokens(h, &tokens[sent..]);
             if n > 0 {
-                self.not_empty.wake();
+                self.not_empty.wake_all();
             }
             sent += n;
-            (sent == tokens.len()).then_some(())
-        });
+            (sent == tokens.len()).then_some(Ok(()))
+        })
     }
 
     /// Non-blocking batch dequeue into `out`; returns the count taken.
     pub fn try_recv_many(&self, h: &mut BoxedHandle<Q>, max: usize, out: &mut Vec<T>) -> usize {
         let n = self.inner.dequeue_many(h, max, out);
         if n > 0 {
-            self.not_full.wake();
+            self.not_full.wake_all();
         }
         n
     }
 
     /// Batch dequeue, waiting until at least one element arrives; returns
-    /// 1..=`max` values (never an empty vector for `max > 0`).
+    /// 1..=`max` values. An **empty vector** means the queue is closed
+    /// and fully drained (for `max > 0` that is the only way it can be
+    /// empty).
     pub fn recv_many(&self, h: &mut BoxedHandle<Q>, max: usize) -> Vec<T> {
         assert!(max > 0, "recv_many needs a positive batch bound");
         // One buffer across park/retry cycles; failed attempts push
         // nothing into it and allocate nothing.
         let mut out = Vec::new();
-        self.not_empty
-            .park_until(|| (self.try_recv_many(h, max, &mut out) > 0).then_some(()));
+        self.not_empty.wait_until(|| {
+            if self.try_recv_many(h, max, &mut out) > 0 {
+                return Some(());
+            }
+            if self.is_closed() {
+                // Final drain check after observing the flag, as in recv.
+                self.try_recv_many(h, max, &mut out);
+                return Some(());
+            }
+            None
+        });
         out
     }
 
@@ -257,10 +320,10 @@ mod tests {
         let mut h = q.register();
         q.try_send(&mut h, 1).unwrap();
         q.try_send(&mut h, 2).unwrap();
-        assert_eq!(q.try_send(&mut h, 3), Err(3));
-        assert_eq!(q.try_recv(&mut h), Some(1));
-        assert_eq!(q.try_recv(&mut h), Some(2));
-        assert_eq!(q.try_recv(&mut h), None);
+        assert_eq!(q.try_send(&mut h, 3), Err(TrySendError::Full(3)));
+        assert_eq!(q.try_recv(&mut h), Ok(1));
+        assert_eq!(q.try_recv(&mut h), Ok(2));
+        assert_eq!(q.try_recv(&mut h), Err(TryRecvError::Empty));
     }
 
     #[test]
@@ -272,12 +335,12 @@ mod tests {
         let sender = std::thread::spawn(move || {
             let mut h2 = q2.register();
             // Blocks until the main thread drains.
-            q2.send(&mut h2, 2);
+            q2.send(&mut h2, 2).unwrap();
         });
         std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(q.try_recv(&mut h), Some(1));
+        assert_eq!(q.try_recv(&mut h), Ok(1));
         sender.join().unwrap();
-        assert_eq!(q.recv(&mut h), 2);
+        assert_eq!(q.recv(&mut h), Some(2));
     }
 
     #[test]
@@ -290,8 +353,8 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(20));
         let mut h = q.register();
-        q.send(&mut h, 77);
-        assert_eq!(receiver.join().unwrap(), 77);
+        q.send(&mut h, 77).unwrap();
+        assert_eq!(receiver.join().unwrap(), Some(77));
     }
 
     #[test]
@@ -302,12 +365,12 @@ mod tests {
         let producer = std::thread::spawn(move || {
             let mut h = q2.register();
             for v in 1..=n {
-                q2.send(&mut h, v);
+                q2.send(&mut h, v).unwrap();
             }
         });
         let mut h = q.register();
         for expect in 1..=n {
-            assert_eq!(q.recv(&mut h), expect, "single-producer order");
+            assert_eq!(q.recv(&mut h), Some(expect), "single-producer order");
         }
         producer.join().unwrap();
         assert!(q.is_empty());
@@ -320,7 +383,7 @@ mod tests {
         let sender = std::thread::spawn(move || {
             let mut h = q2.register();
             // 5 items through a 2-slot queue: must park at least once.
-            q2.send_all(&mut h, (1..=5).collect());
+            q2.send_all(&mut h, (1..=5).collect()).unwrap();
         });
         let mut h = q.register();
         let mut got = Vec::new();
@@ -347,7 +410,7 @@ mod tests {
             while next <= n {
                 let batch: Vec<u64> = (next..=(next + 7).min(n)).collect();
                 next += batch.len() as u64;
-                q2.send_all(&mut h, batch);
+                q2.send_all(&mut h, batch).unwrap();
             }
         });
         let mut h = q.register();
@@ -371,13 +434,13 @@ mod tests {
             let q = Arc::clone(&q);
             senders.push(std::thread::spawn(move || {
                 let mut h = q.register();
-                q.send(&mut h, v);
+                q.send(&mut h, v).unwrap();
             }));
         }
         // All three park on the full queue; drain one slot at a time.
-        let mut got = vec![q.recv(&mut h)];
+        let mut got = vec![q.recv(&mut h).unwrap()];
         for _ in 0..3 {
-            got.push(q.recv(&mut h));
+            got.push(q.recv(&mut h).unwrap());
         }
         for s in senders {
             s.join().unwrap();
@@ -385,5 +448,108 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![1, 2, 3, 99]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_fails_senders_and_drains_receivers() {
+        let q = make(4, 1);
+        let mut h = q.register();
+        q.send(&mut h, 1).unwrap();
+        q.send(&mut h, 2).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        // Senders see errors, values come back.
+        assert_eq!(q.send(&mut h, 3), Err(SendError(3)));
+        assert_eq!(q.try_send(&mut h, 4), Err(TrySendError::Closed(4)));
+        assert_eq!(q.try_send_many(&mut h, vec![5, 6]), vec![5, 6]);
+        assert_eq!(q.send_all(&mut h, vec![7, 8]), Err(SendError(vec![7, 8])));
+        // Receivers drain, then observe closed.
+        assert_eq!(q.recv(&mut h), Some(1));
+        assert_eq!(q.recv_many(&mut h, 4), vec![2]);
+        assert_eq!(q.recv(&mut h), None);
+        assert_eq!(q.recv_many(&mut h, 4), Vec::<u64>::new());
+        assert_eq!(q.try_recv(&mut h), Err(TryRecvError::Closed));
+    }
+
+    #[test]
+    fn close_wakes_parked_receiver() {
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let receiver = std::thread::spawn(move || {
+            let mut h = q2.register();
+            q2.recv(&mut h)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(
+            receiver.join().unwrap(),
+            None,
+            "woken by close, not a value"
+        );
+    }
+
+    #[test]
+    fn close_wakes_parked_sender_with_value_back() {
+        let q = Arc::new(make(1, 2));
+        let mut h = q.register();
+        q.send(&mut h, 1).unwrap();
+        let q2 = Arc::clone(&q);
+        let sender = std::thread::spawn(move || {
+            let mut h = q2.register();
+            q2.send(&mut h, 2)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(sender.join().unwrap(), Err(SendError(2)));
+        // The accepted element survives for draining.
+        assert_eq!(q.recv(&mut h), Some(1));
+        assert_eq!(q.recv(&mut h), None);
+    }
+
+    #[test]
+    fn close_mid_send_all_returns_unsent_suffix() {
+        let q = Arc::new(make(2, 2));
+        let q2 = Arc::clone(&q);
+        let sender = std::thread::spawn(move || {
+            let mut h = q2.register();
+            // 5 items through 2 slots: parks after the first 2.
+            q2.send_all(&mut h, (1..=5).collect())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let unsent = sender.join().unwrap().unwrap_err().0;
+        let mut h = q.register();
+        let mut drained = Vec::new();
+        while let Some(v) = q.recv(&mut h) {
+            drained.push(v);
+        }
+        // Conservation: accepted prefix + returned suffix = everything.
+        drained.extend(unsent.iter().copied());
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn waiter_accounting_rises_and_returns_to_zero() {
+        // The façade's waiting state is exactly the two eventcounts (the
+        // waiter subsystem the async façade also reads): a parked
+        // receiver must become visible through the shared
+        // instrumentation and disappear from it after the hand-off.
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let receiver = std::thread::spawn(move || {
+            let mut h = q2.register();
+            q2.recv(&mut h)
+        });
+        // The receiver announces itself before parking; wait for that.
+        while q.not_empty_event().waiter_count() == 0 {
+            std::thread::yield_now();
+        }
+        let mut h = q.register();
+        q.send(&mut h, 9).unwrap();
+        assert_eq!(receiver.join().unwrap(), Some(9));
+        assert_eq!(q.not_empty_event().waiter_count(), 0, "waiter released");
+        assert_eq!(q.not_empty_event().registered_wakers(), 0);
+        assert_eq!(q.not_full_event().waiter_count(), 0);
     }
 }

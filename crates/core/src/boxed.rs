@@ -84,6 +84,13 @@ impl<T: Send, Q: PointerCapable> BoxedQueue<T, Q> {
         }
     }
 
+    /// Borrow the underlying token queue (footprint accounting,
+    /// shard-count introspection — anything that does not move tokens;
+    /// the element-typed API above is the only safe transfer path).
+    pub fn inner(&self) -> &Q {
+        &self.inner
+    }
+
     /// Enqueue an owned value; returns it back when the queue is full.
     pub fn enqueue(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), T> {
         let ptr = Box::into_raw(Box::new(value));
@@ -136,6 +143,17 @@ impl<T: Send, Q: PointerCapable> BoxedQueue<T, Q> {
     /// rejected suffix.
     pub(crate) fn enqueue_tokens(&self, h: &mut BoxedHandle<Q>, tokens: &[u64]) -> usize {
         self.inner.enqueue_many(&mut h.inner, tokens)
+    }
+
+    /// Reclaim a value from a token produced by [`box_token`](Self::box_token)
+    /// that was **not** accepted by the queue. Pairs with `box_token` so
+    /// the blocking façade's `send_all` can hand the unsent suffix back on
+    /// close.
+    pub(crate) fn unbox_token(token: u64) -> T {
+        // SAFETY: only called on tokens from `box_token` that the inner
+        // queue rejected or that were never offered, so ownership of the
+        // box never left the caller.
+        *unsafe { Box::from_raw(token as *mut T) }
     }
 
     /// Batch dequeue passthrough: drains up to `max` values through the

@@ -1,0 +1,331 @@
+//! The **waiter subsystem**: a reusable eventcount that parks OS threads
+//! *and* async tasks on the same wake generations.
+//!
+//! [`BlockingQueue`](crate::BlockingQueue) originally inlined this
+//! machinery as a private `ParkSide`. The announce → snapshot →
+//! re-attempt → park protocol it implements is not queue-specific, and
+//! the async façade ([`AsyncQueue`](crate::AsyncQueue)) needs the same
+//! lost-wake guarantees for [`core::task::Waker`]s — so the protocol now
+//! lives here as a standalone [`EventCount`], and both façades are thin
+//! clients of one instance per wait direction.
+//!
+//! ## The protocol
+//!
+//! An eventcount separates the *condition* ("the queue has space") from
+//! the *notification* ("a transition that could create space happened").
+//! The condition is re-checked by the waiter itself; the eventcount only
+//! guarantees that no notification is lost between the waiter's last
+//! failed check and its going to sleep:
+//!
+//! 1. a waiter **announces** itself (`waiters += 1`, or for a task:
+//!    registers its waker in the list under the gate lock, which also
+//!    bumps `waiters`), snapshots the **generation**, **re-attempts** the
+//!    operation, and only then parks — a thread parks only if the
+//!    generation is still unchanged under the gate lock; a task simply
+//!    returns `Pending`, its waker already registered;
+//! 2. a notifier that completes a state transition checks `waiters`;
+//!    when non-zero it bumps the generation *under the gate lock*,
+//!    notifies the condvar, and drains-and-wakes every registered waker.
+//!
+//! If the transition lands before the waiter's announcement, the
+//! waiter's re-attempt (which follows the announcement) observes it. If
+//! it lands after, the notifier is guaranteed to see `waiters > 0` and
+//! publish a wake — which a thread either sees as a generation change
+//! before sleeping (and skips the park) or is woken from, because the
+//! bump happens under the lock the thread holds until the moment it
+//! sleeps; a task is in the waker list by then, so the drain calls its
+//! waker and the executor re-polls it. Either way no wake is lost, waits
+//! are untimed, and the uncontended notifier fast path is one atomic
+//! load (`waiters == 0`).
+//!
+//! Wakes are deliberately **broadcast** (notify-all + drain-all-wakers):
+//! a woken waiter that no longer wants the event — e.g. a cancelled
+//! `recv` future dropped mid-wait — can therefore never have swallowed a
+//! wake another waiter needed. The cost is thundering-herd re-attempts
+//! under heavy waiting, which the bounded-queue façades accept for the
+//! stronger cancellation-safety guarantee.
+//!
+//! The waiter list is a flat `Vec<(id, Waker)>` under the gate lock
+//! rather than an intrusive linked list: entries exist only while a task
+//! is between registration and wake/cancel, so the list length is
+//! bounded by the number of concurrently waiting tasks, and removal is
+//! an O(waiting) scan + `swap_remove` — negligible next to the park it
+//! replaces, with no `unsafe` pinning contract.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::task::Waker;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Identifies one registered waker within an [`EventCount`]'s waiter
+/// list. Returned by [`EventCount::register`]; pass it back to
+/// [`EventCount::deregister`] when the wait is cancelled or satisfied.
+/// Ids are never reused, so deregistering after the waker was already
+/// drained by a wake is a harmless no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaiterId(u64);
+
+/// Async waiter list: lives under the gate lock. See module docs for why
+/// this is a flat vec rather than an intrusive list.
+struct WaiterList {
+    next_id: u64,
+    entries: Vec<(u64, Waker)>,
+}
+
+/// A wake-generation eventcount parking both threads and tasks.
+///
+/// One `EventCount` represents one *direction* of waiting (e.g. "not
+/// full" or "not empty"); the thing waited for is expressed as the
+/// caller's `attempt` closure / poll body, not stored here.
+pub struct EventCount {
+    gate: Mutex<WaiterList>,
+    cond: Condvar,
+    /// Wake generation: bumped (under `gate`) on every notification.
+    generation: AtomicU64,
+    /// Number of waiters between announcement and un-park — parked (or
+    /// about-to-park) threads plus registered wakers.
+    waiters: AtomicUsize,
+}
+
+impl EventCount {
+    /// A fresh eventcount at generation 0 with no waiters.
+    pub fn new() -> Self {
+        EventCount {
+            gate: Mutex::new(WaiterList {
+                next_id: 0,
+                entries: Vec::new(),
+            }),
+            cond: Condvar::new(),
+            generation: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current wake generation. A waiter snapshots this before its final
+    /// re-attempt; a changed value means a wake has been published since.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Notifier half: publish a wake to every current waiter. Call after
+    /// completing a state transition that could satisfy this direction.
+    ///
+    /// Fast path: one atomic load when nobody is waiting.
+    pub fn wake_all(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let drained: Vec<Waker> = {
+            let mut list = self.gate.lock();
+            self.generation.fetch_add(1, Ordering::SeqCst);
+            if list.entries.is_empty() {
+                Vec::new()
+            } else {
+                // Each drained waker leaves the announced state, so the
+                // waiter count drops here (its owner must not double-
+                // decrement: `deregister` only acts on present entries).
+                self.waiters.fetch_sub(list.entries.len(), Ordering::SeqCst);
+                list.entries.drain(..).map(|(_, w)| w).collect()
+            }
+        };
+        self.cond.notify_all();
+        // Wakers run arbitrary executor code — never under the gate lock.
+        for w in drained {
+            w.wake();
+        }
+    }
+
+    /// Thread-parking waiter half: run `attempt` until it returns
+    /// `Some(r)`, parking between failed attempts with the announce →
+    /// snapshot → re-attempt → park-if-unchanged protocol.
+    pub fn wait_until<R>(&self, mut attempt: impl FnMut() -> Option<R>) -> R {
+        if let Some(r) = attempt() {
+            return r;
+        }
+        loop {
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            let gen = self.generation.load(Ordering::SeqCst);
+            // Re-attempt after announcing: closes the race with a
+            // notifier that read `waiters` before our increment.
+            if let Some(r) = attempt() {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return r;
+            }
+            {
+                let mut guard = self.gate.lock();
+                if self.generation.load(Ordering::SeqCst) == gen {
+                    self.cond.wait(&mut guard);
+                }
+            }
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Task-parking announcement: register `waker` against generation
+    /// `gen` (a value previously read via [`generation`](Self::generation)).
+    ///
+    /// Returns `None` — without registering — when the generation has
+    /// already moved past `gen`: a wake was published since the caller's
+    /// snapshot, so it should re-attempt its operation instead of
+    /// sleeping. On `Some(id)`, the waker is in the list and counted in
+    /// `waiters`; the caller must make **one more attempt** before
+    /// returning `Pending` (the announce-then-re-attempt step of the
+    /// protocol), and must [`deregister`](Self::deregister) on success or
+    /// cancellation.
+    pub fn register(&self, gen: u64, waker: &Waker) -> Option<WaiterId> {
+        let mut list = self.gate.lock();
+        if self.generation.load(Ordering::SeqCst) != gen {
+            return None;
+        }
+        let id = list.next_id;
+        list.next_id += 1;
+        list.entries.push((id, waker.clone()));
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        Some(WaiterId(id))
+    }
+
+    /// Remove a registered waker (wait satisfied without a wake, or the
+    /// future was dropped mid-wait). No-op if a wake already drained it —
+    /// ids are unique forever, so this can never remove a later waiter.
+    pub fn deregister(&self, id: WaiterId) {
+        let mut list = self.gate.lock();
+        if let Some(pos) = list.entries.iter().position(|(i, _)| *i == id.0) {
+            list.entries.swap_remove(pos);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of currently registered (not yet woken) wakers.
+    /// Instrumentation/tests: the cancellation-safety suite asserts this
+    /// returns to zero after dropping pending futures.
+    pub fn registered_wakers(&self) -> usize {
+        self.gate.lock().entries.len()
+    }
+
+    /// Number of announced waiters (threads + tasks) not yet un-parked.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for EventCount {
+    fn default() -> Self {
+        EventCount::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    struct Flag(AtomicBool);
+
+    impl Wake for Flag {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn flag_waker() -> (Arc<Flag>, Waker) {
+        let f = Arc::new(Flag(AtomicBool::new(false)));
+        (Arc::clone(&f), Waker::from(Arc::clone(&f)))
+    }
+
+    #[test]
+    fn wake_with_no_waiters_is_free_and_bumps_nothing() {
+        let ec = EventCount::new();
+        let g = ec.generation();
+        ec.wake_all();
+        assert_eq!(ec.generation(), g, "no waiters: no generation bump");
+    }
+
+    #[test]
+    fn register_then_wake_calls_waker_and_drains() {
+        let ec = EventCount::new();
+        let (flag, waker) = flag_waker();
+        let gen = ec.generation();
+        let id = ec.register(gen, &waker).expect("fresh generation");
+        assert_eq!(ec.registered_wakers(), 1);
+        assert_eq!(ec.waiter_count(), 1);
+        ec.wake_all();
+        assert!(flag.0.load(Ordering::SeqCst), "waker fired");
+        assert_eq!(ec.registered_wakers(), 0, "drained");
+        assert_eq!(ec.waiter_count(), 0);
+        // Late deregister of an already-drained id is a no-op.
+        ec.deregister(id);
+        assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn stale_generation_refuses_registration() {
+        let ec = EventCount::new();
+        let (flag, waker) = flag_waker();
+        let gen = ec.generation();
+        // Need an announced waiter for the wake to bump the generation.
+        let id = ec.register(gen, &waker).unwrap();
+        ec.wake_all();
+        assert!(
+            ec.register(gen, &waker).is_none(),
+            "a wake was published since the snapshot: caller must re-attempt"
+        );
+        assert_eq!(ec.registered_wakers(), 0);
+        ec.deregister(id);
+        // A fresh snapshot registers fine.
+        let id2 = ec.register(ec.generation(), &waker).unwrap();
+        ec.deregister(id2);
+        assert_eq!(ec.waiter_count(), 0);
+        let _ = flag;
+    }
+
+    #[test]
+    fn deregister_removes_exactly_one_waiter() {
+        let ec = EventCount::new();
+        let (_f1, w1) = flag_waker();
+        let (f2, w2) = flag_waker();
+        let id1 = ec.register(ec.generation(), &w1).unwrap();
+        let _id2 = ec.register(ec.generation(), &w2).unwrap();
+        assert_eq!(ec.registered_wakers(), 2);
+        ec.deregister(id1);
+        assert_eq!(ec.registered_wakers(), 1);
+        assert_eq!(ec.waiter_count(), 1);
+        // The remaining waiter still gets woken (a cancelled waiter never
+        // swallows a wake: broadcasting is part of the contract).
+        ec.wake_all();
+        assert!(f2.0.load(Ordering::SeqCst));
+        assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn threads_and_tasks_share_one_generation() {
+        let ec = Arc::new(EventCount::new());
+        let go = Arc::new(AtomicBool::new(false));
+        let (flag, waker) = flag_waker();
+        ec.register(ec.generation(), &waker).unwrap();
+        let t = {
+            let ec = Arc::clone(&ec);
+            let go = Arc::clone(&go);
+            std::thread::spawn(move || {
+                ec.wait_until(|| go.load(Ordering::SeqCst).then_some(()));
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        go.store(true, Ordering::SeqCst);
+        ec.wake_all();
+        t.join().unwrap();
+        assert!(
+            flag.0.load(Ordering::SeqCst),
+            "the same wake that unparked the thread fired the waker"
+        );
+        assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn wait_until_immediate_success_never_announces() {
+        let ec = EventCount::new();
+        assert_eq!(ec.wait_until(|| Some(7)), 7);
+        assert_eq!(ec.waiter_count(), 0);
+    }
+}

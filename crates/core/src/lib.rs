@@ -26,6 +26,13 @@
 //! affinity — `ShardedQueue<OptimalQueue>` keeps the overhead story honest
 //! at **Θ(S·T)**. See DESIGN.md §8 for the exact relaxation contract.
 //!
+//! On top of both sits the **waiting stack** (DESIGN.md §9): a reusable
+//! [`EventCount`] waiter subsystem (wake generations parking OS threads
+//! *and* `core::task::Waker`s) with two thin façades over it —
+//! [`BlockingQueue`] for threads and [`AsyncQueue`] for async tasks —
+//! sharing one eventcount pair per queue, plus `close()` shutdown with
+//! drain semantics on both.
+//!
 //! The paper's main theorem (Theorem 3.12) shows that Θ(1) overhead is
 //! **impossible** for an obstruction-free, linearizable, value-independent
 //! queue built from read/write/CAS — which is why [`NaiveQueue`] is labelled
@@ -48,10 +55,12 @@
 
 #![deny(missing_docs)]
 
+pub mod async_queue;
 pub mod blocking;
 pub mod boxed;
 pub mod dcss_queue;
 pub mod distinct;
+pub mod event;
 pub mod llsc_queue;
 pub mod naive;
 pub mod optimal;
@@ -61,15 +70,17 @@ pub mod sharded;
 pub mod spsc;
 pub mod token;
 
-pub use blocking::BlockingQueue;
+pub use async_queue::{AsyncQueue, RecvFuture, RecvManyFuture, SendAllFuture, SendFuture};
+pub use blocking::{BlockingQueue, SendError, TryRecvError, TrySendError};
 pub use boxed::{BoxedHandle, BoxedQueue, PointerCapable};
-pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
 pub use dcss_queue::{DcssHandle, DcssQueue};
 pub use distinct::{DistinctHandle, DistinctQueue};
+pub use event::{EventCount, WaiterId};
 pub use llsc_queue::{LlScHandle, LlScQueue};
 pub use naive::{NaiveHandle, NaiveQueue};
 pub use optimal::{OptimalHandle, OptimalQueue};
 pub use queue::{ConcurrentQueue, EnqueueError, Full, SeqRingQueue};
 pub use segment::{SegmentHandle, SegmentQueue};
 pub use sharded::{ShardedHandle, ShardedQueue};
+pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
 pub use token::{InvalidToken, TokenGen, MAX_TOKEN, NULL};

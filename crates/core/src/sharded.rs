@@ -52,6 +52,7 @@
 //! whole runs inside the sub-queue's native batch fast path
 //! (segment-local runs, slot runs).
 
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::boxed::PointerCapable;
@@ -126,6 +127,25 @@ impl<Q: ConcurrentQueue> ShardedQueue<Q> {
     pub fn shard(&self, i: usize) -> &Q {
         &self.shards[i]
     }
+
+    /// The steal-rotation scan shared by all four operation paths: visit
+    /// the shards home-first, then rotating through the rest, handing
+    /// `visit` each shard paired with its per-shard handle, until it
+    /// breaks (operation satisfied) or every shard was tried.
+    fn rotate<B>(
+        &self,
+        h: &mut ShardedHandle<Q>,
+        mut visit: impl FnMut(&Q, &mut Q::Handle) -> ControlFlow<B>,
+    ) -> Option<B> {
+        let s = self.shards.len();
+        for off in 0..s {
+            let i = (h.home + off) % s;
+            if let ControlFlow::Break(b) = visit(&self.shards[i], &mut h.handles[i]) {
+                return Some(b);
+            }
+        }
+        None
+    }
 }
 
 impl ShardedQueue<OptimalQueue> {
@@ -157,50 +177,45 @@ impl<Q: ConcurrentQueue> ConcurrentQueue for ShardedQueue<Q> {
     }
 
     fn enqueue(&self, h: &mut ShardedHandle<Q>, v: u64) -> Result<(), Full> {
-        let s = self.shards.len();
-        for off in 0..s {
-            let i = (h.home + off) % s;
-            if self.shards[i].enqueue(&mut h.handles[i], v).is_ok() {
-                return Ok(());
-            }
-        }
-        Err(Full(v))
+        self.rotate(h, |q, sh| match q.enqueue(sh, v) {
+            Ok(()) => ControlFlow::Break(()),
+            Err(_) => ControlFlow::Continue(()),
+        })
+        .ok_or(Full(v))
     }
 
     fn dequeue(&self, h: &mut ShardedHandle<Q>) -> Option<u64> {
-        let s = self.shards.len();
-        for off in 0..s {
-            let i = (h.home + off) % s;
-            if let Some(v) = self.shards[i].dequeue(&mut h.handles[i]) {
-                return Some(v);
-            }
-        }
-        None
+        self.rotate(h, |q, sh| match q.dequeue(sh) {
+            Some(v) => ControlFlow::Break(v),
+            None => ControlFlow::Continue(()),
+        })
     }
 
     fn enqueue_many(&self, h: &mut ShardedHandle<Q>, vs: &[u64]) -> usize {
-        let s = self.shards.len();
+        // A batch sticks to each shard for as long as it accepts: the
+        // rotation advances on refusal, exactly like the single path.
         let mut done = 0;
-        for off in 0..s {
+        self.rotate(h, |q, sh| {
+            done += q.enqueue_many(sh, &vs[done..]);
             if done == vs.len() {
-                break;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
             }
-            let i = (h.home + off) % s;
-            done += self.shards[i].enqueue_many(&mut h.handles[i], &vs[done..]);
-        }
+        });
         done
     }
 
     fn dequeue_many(&self, h: &mut ShardedHandle<Q>, max: usize, out: &mut Vec<u64>) -> usize {
-        let s = self.shards.len();
         let mut done = 0;
-        for off in 0..s {
+        self.rotate(h, |q, sh| {
+            done += q.dequeue_many(sh, max - done, out);
             if done == max {
-                break;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
             }
-            let i = (h.home + off) % s;
-            done += self.shards[i].dequeue_many(&mut h.handles[i], max - done, out);
-        }
+        });
         done
     }
 

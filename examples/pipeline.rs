@@ -1,22 +1,25 @@
-//! A three-stage stream-processing pipeline over **batched sharded
-//! queues** — the scale layer (DESIGN.md §8) applied to the DPDK/SPDK
-//! style usage the paper's §1 cites.
+//! A three-stage stream-processing pipeline over **blocking batched
+//! sharded queues** — the scale layer (DESIGN.md §8) plus the waiting
+//! stack (§9) applied to the DPDK/SPDK style usage the paper's §1 cites.
 //!
 //! ```text
 //! cargo run --release --example pipeline
 //! ```
 //!
 //! parse → checksum → aggregate, one thread per stage; each pair of
-//! stages is connected by a `ShardedQueue<OptimalQueue>` and packets move
-//! in `BATCH`-sized runs through `enqueue_many`/`dequeue_many`. Compared
-//! to the old SPSC-ring version this trades strict global ordering for a
-//! structure that admits *any* number of producers/consumers per stage
-//! (per-shard FIFO, pool linearizability), while the batch runs keep the
-//! per-packet overhead amortized. The aggregate stage therefore verifies
-//! **exactly-once delivery** with a bitmap rather than strict order —
+//! stages is connected by a `BlockingQueue<u64, ShardedQueue<OptimalQueue>>`
+//! and packets move in `BATCH`-sized runs through `send_all`/`recv_many`.
+//! The blocking façade buys two things over the previous raw-queue
+//! version: full/empty conditions **park** the stage thread on the shared
+//! eventcount (no yield-spinning), and shutdown is **`close()`-driven** —
+//! a stage drains until `recv_many` returns empty (closed + drained) and
+//! then closes its own downstream queue, so no stage needs to know the
+//! packet count and no sentinel value flows through the data path. The
+//! aggregate stage verifies **exactly-once delivery** with a bitmap
+//! rather than strict order — sharding keeps per-shard FIFO only,
 //! exactly the contract the queue documents.
 
-use membq::core::{ConcurrentQueue, OptimalQueue, ShardedQueue};
+use membq::core::{BlockingQueue, OptimalQueue, ShardedQueue};
 use membq::prelude::MemoryFootprint;
 
 const RING: usize = 256;
@@ -31,7 +34,7 @@ fn smoke_mode() -> bool {
 }
 
 /// Packet count: full-size by default, tiny under smoke mode (the CI
-/// run that keeps examples from rotting).
+/// run that keeps examples from rotting). Only the parse stage knows it.
 fn packet_count() -> u64 {
     if smoke_mode() {
         5_000
@@ -40,25 +43,11 @@ fn packet_count() -> u64 {
     }
 }
 
-/// Push a whole batch, retrying until every element is accepted.
-fn push_all(
-    q: &ShardedQueue<OptimalQueue>,
-    h: &mut <ShardedQueue<OptimalQueue> as ConcurrentQueue>::Handle,
-    vs: &[u64],
-) {
-    let mut sent = 0;
-    while sent < vs.len() {
-        let n = q.enqueue_many(h, &vs[sent..]);
-        sent += n;
-        if n == 0 {
-            std::thread::yield_now();
-        }
-    }
-}
+type Link = BlockingQueue<u64, ShardedQueue<OptimalQueue>>;
 
-/// Stage 1: "parse" — tag each raw packet id with a length field and emit
-/// in batch runs.
-fn parse(packets: u64, q: &ShardedQueue<OptimalQueue>) {
+/// Stage 1: "parse" — tag each raw packet id with a length field, emit
+/// in batch runs, then close the link: downstream drains and stops.
+fn parse(packets: u64, q: &Link) {
     let mut h = q.register();
     let mut batch = Vec::with_capacity(BATCH);
     for id in 1..=packets {
@@ -66,82 +55,82 @@ fn parse(packets: u64, q: &ShardedQueue<OptimalQueue>) {
         let len = 64 + (id * 37) % 1400;
         batch.push((len << 48) | id);
         if batch.len() == BATCH || id == packets {
-            push_all(q, &mut h, &batch);
-            batch.clear();
+            q.send_all(&mut h, std::mem::take(&mut batch))
+                .expect("downstream closed the link early");
+            batch = Vec::with_capacity(BATCH);
         }
     }
+    q.close();
 }
 
-/// Stage 2: "checksum" — drain a batch, fold a cheap hash over each
-/// packet word, forward the batch.
-fn checksum(inq: &ShardedQueue<OptimalQueue>, outq: &ShardedQueue<OptimalQueue>, count: u64) {
+/// Stage 2: "checksum" — drain batches until the upstream closes, fold a
+/// cheap hash over each packet word, forward; then close downstream.
+fn checksum(inq: &Link, outq: &Link) {
     let mut hi = inq.register();
     let mut ho = outq.register();
-    let mut done = 0u64;
-    let mut buf = Vec::with_capacity(BATCH);
-    let mut out = Vec::with_capacity(BATCH);
-    while done < count {
-        buf.clear();
-        let n = inq.dequeue_many(&mut hi, BATCH, &mut buf);
-        if n == 0 {
-            std::thread::yield_now();
-            continue;
+    loop {
+        let buf = inq.recv_many(&mut hi, BATCH);
+        if buf.is_empty() {
+            break; // upstream closed and fully drained
         }
-        out.clear();
-        for &pkt in &buf {
-            let sum = pkt
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .rotate_left(17)
-                .wrapping_add(pkt >> 48);
-            // Keep 15 checksum bits with the id: the record must stay a
-            // valid 63-bit token (OptimalQueue reserves the top bit).
-            let id = pkt & ((1 << 48) - 1);
-            out.push((sum & 0x7FFF) << 48 | id);
-        }
-        push_all(outq, &mut ho, &out);
-        done += n as u64;
+        let out: Vec<u64> = buf
+            .into_iter()
+            .map(|pkt| {
+                let sum = pkt
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17)
+                    .wrapping_add(pkt >> 48);
+                // Keep 15 checksum bits with the id: the record must stay
+                // a valid 63-bit token (OptimalQueue reserves the top bit).
+                let id = pkt & ((1 << 48) - 1);
+                (sum & 0x7FFF) << 48 | id
+            })
+            .collect();
+        outq.send_all(&mut ho, out)
+            .expect("aggregate closed the link early");
     }
+    outq.close();
 }
 
 fn main() {
     // Stage links: each admits both endpoint threads (T = 2 per link).
-    let q1 = ShardedQueue::<OptimalQueue>::optimal(RING, SHARDS, 2);
-    let q2 = ShardedQueue::<OptimalQueue>::optimal(RING, SHARDS, 2);
+    let q1: Link = BlockingQueue::new(ShardedQueue::<OptimalQueue>::optimal(RING, SHARDS, 2));
+    let q2: Link = BlockingQueue::new(ShardedQueue::<OptimalQueue>::optimal(RING, SHARDS, 2));
     println!(
-        "stage links: two sharded queues ({SHARDS} shards × {} slots), \
+        "stage links: two blocking sharded queues ({SHARDS} shards × {} slots), \
          {} bytes overhead each (Θ(S·T), independent of depth)",
         RING / SHARDS,
-        q1.overhead_bytes()
+        q1.inner_queue().overhead_bytes()
     );
 
     let packets = packet_count();
     let start = std::time::Instant::now();
     std::thread::scope(|s| {
         s.spawn(|| parse(packets, &q1));
-        s.spawn(|| checksum(&q1, &q2, packets));
+        s.spawn(|| checksum(&q1, &q2));
 
         // Stage 3 (this thread): aggregate with an exactly-once bitmap —
-        // sharding relaxes global order, so order is not asserted.
+        // sharding relaxes global order, so order is not asserted. Runs
+        // until the checksum stage closes q2: no shared count, no
+        // sentinel.
         let mut h = q2.register();
         let mut seen = vec![false; packets as usize + 1];
         let mut done = 0u64;
         let mut checksum_mix = 0u64;
-        let mut buf = Vec::with_capacity(BATCH);
-        while done < packets {
-            buf.clear();
-            let n = q2.dequeue_many(&mut h, BATCH, &mut buf);
-            if n == 0 {
-                std::thread::yield_now();
-                continue;
+        loop {
+            let buf = q2.recv_many(&mut h, BATCH);
+            if buf.is_empty() {
+                break; // pipeline shut down cleanly
             }
-            for &rec in &buf {
+            for rec in buf {
                 let id = (rec & ((1 << 48) - 1)) as usize;
                 assert!(!seen[id], "packet {id} delivered twice");
                 seen[id] = true;
                 checksum_mix ^= rec >> 48;
+                done += 1;
             }
-            done += n as u64;
         }
+        assert_eq!(done, packets, "close-driven shutdown lost packets");
         assert!(
             seen[1..].iter().all(|&b| b),
             "every packet delivered exactly once"
@@ -156,6 +145,7 @@ fn main() {
     });
     println!(
         "exactly-once delivery verified across both hops; batches of {BATCH} \
-         amortize the per-packet queue cost (per-shard FIFO, pool semantics)"
+         amortize the per-packet queue cost, close() propagates shutdown \
+         stage-to-stage (per-shard FIFO, pool semantics)"
     );
 }

@@ -1,40 +1,46 @@
-//! A multi-worker task scheduler over a **batched sharded** bounded queue
-//! — the kind of system the paper's introduction motivates ("resource
-//! management systems and task schedulers"), scaled with the DESIGN.md §8
-//! layer.
+//! A multi-worker task scheduler over a **blocking batched sharded**
+//! bounded queue — the kind of system the paper's introduction motivates
+//! ("resource management systems and task schedulers"), scaled with the
+//! DESIGN.md §8 layer and shut down through the §9 waiting stack.
 //!
 //! ```text
 //! cargo run --release --example task_scheduler
 //! ```
 //!
 //! A fixed-capacity queue gives the scheduler natural backpressure: when
-//! the queue is full, submitters must wait (or shed load) instead of
-//! growing an unbounded backlog. Here both queues are
-//! `BoxedQueue<_, ShardedQueue<OptimalQueue>>`: submitters hand in whole
-//! task *batches* (one shard-affine batch call instead of per-task CAS
-//! traffic), workers pull batches, and results flow back the same way.
-//! Task completion is verified exactly-once — the sharded layer keeps
-//! per-shard FIFO only, which a scheduler doesn't need.
+//! the queue is full, submitters wait (parked on the eventcount) instead
+//! of growing an unbounded backlog. Both queues are
+//! `BlockingQueue<_, ShardedQueue<OptimalQueue>>`: submitters hand in
+//! whole task *batches*, workers pull batches, and results flow back the
+//! same way. Shutdown is **`close()`-driven** — the last submitter out
+//! closes the task queue, workers drain it and the last worker out
+//! closes the result queue, and the collector just drains until closed.
+//! No shared "total tasks" counter crosses a stage boundary and no
+//! sentinel task flows through the queues. Task completion is verified
+//! exactly-once — the sharded layer keeps per-shard FIFO only, which a
+//! scheduler doesn't need.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use membq::core::{BoxedQueue, OptimalQueue, ShardedQueue};
+use membq::core::{BlockingQueue, OptimalQueue, ShardedQueue};
 use membq::prelude::MemoryFootprint;
 
 /// A unit of work: compute the sum of a range (stand-in for real work).
+#[derive(Debug)]
 struct Task {
     id: u64,
     from: u64,
     to: u64,
 }
 
+#[derive(Debug)]
 struct TaskResult {
     id: u64,
     sum: u64,
 }
 
-type SchedQueue<T> = BoxedQueue<T, ShardedQueue<OptimalQueue>>;
+type SchedQueue<T> = BlockingQueue<T, ShardedQueue<OptimalQueue>>;
 
 fn main() {
     const WORKERS: usize = 3;
@@ -45,30 +51,36 @@ fn main() {
     const BATCH: usize = 8;
 
     // T = submitters + workers + main thread.
-    let task_q: Arc<SchedQueue<Task>> = Arc::new(BoxedQueue::new(
+    let task_q: Arc<SchedQueue<Task>> = Arc::new(BlockingQueue::new(
         ShardedQueue::<OptimalQueue>::optimal(QUEUE_DEPTH, SHARDS, SUBMITTERS + WORKERS + 1),
     ));
     let result_q: Arc<SchedQueue<TaskResult>> =
-        Arc::new(BoxedQueue::new(ShardedQueue::<OptimalQueue>::optimal(
+        Arc::new(BlockingQueue::new(ShardedQueue::<OptimalQueue>::optimal(
             QUEUE_DEPTH,
             SHARDS,
             WORKERS + 1,
         )));
 
     let backpressure_events = Arc::new(AtomicU64::new(0));
+    let live_submitters = Arc::new(AtomicUsize::new(SUBMITTERS));
+    let live_workers = Arc::new(AtomicUsize::new(WORKERS));
     let total_tasks = SUBMITTERS as u64 * TASKS_PER_SUBMITTER;
 
     std::thread::scope(|s| {
-        // Submitters: produce task batches, honoring backpressure.
+        // Submitters: produce task batches; the bounded queue's refusals
+        // are the backpressure signal, the parked retry the wait. The
+        // last submitter out closes the task queue — that is the whole
+        // shutdown protocol.
         for sub in 0..SUBMITTERS {
             let task_q = Arc::clone(&task_q);
             let backpressure = Arc::clone(&backpressure_events);
+            let live = Arc::clone(&live_submitters);
             s.spawn(move || {
                 let mut h = task_q.register();
                 let mut i = 0u64;
                 while i < TASKS_PER_SUBMITTER {
                     let end = (i + BATCH as u64).min(TASKS_PER_SUBMITTER);
-                    let mut batch: Vec<Task> = (i..end)
+                    let batch: Vec<Task> = (i..end)
                         .map(|j| Task {
                             id: sub as u64 * TASKS_PER_SUBMITTER + j,
                             from: j * 10,
@@ -76,69 +88,65 @@ fn main() {
                         })
                         .collect();
                     i = end;
-                    // Whatever the full queue rejects comes back and is
-                    // resubmitted: bounded capacity is the backpressure
-                    // signal.
-                    loop {
-                        batch = task_q.enqueue_many(&mut h, batch);
-                        if batch.is_empty() {
-                            break;
-                        }
-                        backpressure.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                        std::thread::yield_now();
+                    // Count full-queue rejections (the backpressure
+                    // signal), then park until everything fits.
+                    let rejected = task_q.try_send_many(&mut h, batch);
+                    if !rejected.is_empty() {
+                        backpressure.fetch_add(rejected.len() as u64, Ordering::Relaxed);
+                        task_q
+                            .send_all(&mut h, rejected)
+                            .expect("task queue closed under a submitter");
                     }
+                }
+                if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    task_q.close();
                 }
             });
         }
 
-        // Workers: drain task batches, compute, emit result batches.
-        let completed = Arc::new(AtomicU64::new(0));
+        // Workers: drain task batches until the queue reports closed,
+        // compute, emit result batches; the last worker out closes the
+        // result queue.
         for _ in 0..WORKERS {
             let task_q = Arc::clone(&task_q);
             let result_q = Arc::clone(&result_q);
-            let completed = Arc::clone(&completed);
+            let live = Arc::clone(&live_workers);
             s.spawn(move || {
                 let mut th = task_q.register();
                 let mut rh = result_q.register();
-                let mut tasks: Vec<Task> = Vec::with_capacity(BATCH);
-                while completed.load(Ordering::Relaxed) < total_tasks {
-                    tasks.clear();
-                    if task_q.dequeue_many(&mut th, BATCH, &mut tasks) == 0 {
-                        std::thread::yield_now();
-                        continue;
+                loop {
+                    let tasks = task_q.recv_many(&mut th, BATCH);
+                    if tasks.is_empty() {
+                        break; // task queue closed and fully drained
                     }
-                    let n = tasks.len() as u64;
-                    let mut results: Vec<TaskResult> = tasks
-                        .drain(..)
+                    let results: Vec<TaskResult> = tasks
+                        .into_iter()
                         .map(|task| TaskResult {
                             id: task.id,
                             sum: (task.from..task.to).sum(),
                         })
                         .collect();
-                    loop {
-                        results = result_q.enqueue_many(&mut rh, results);
-                        if results.is_empty() {
-                            break;
-                        }
-                        std::thread::yield_now();
-                    }
-                    completed.fetch_add(n, Ordering::Relaxed);
+                    result_q
+                        .send_all(&mut rh, results)
+                        .expect("result queue closed under a worker");
+                }
+                if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    result_q.close();
                 }
             });
         }
 
-        // Main thread: collect and verify results in batches.
+        // Main thread: collect and verify results until the workers shut
+        // the result queue — no count needed to terminate the loop.
         let mut rh = result_q.register();
         let mut seen = vec![false; total_tasks as usize];
         let mut collected = 0u64;
-        let mut results: Vec<TaskResult> = Vec::with_capacity(BATCH);
-        while collected < total_tasks {
-            results.clear();
-            if result_q.dequeue_many(&mut rh, BATCH, &mut results) == 0 {
-                std::thread::yield_now();
-                continue;
+        loop {
+            let results = result_q.recv_many(&mut rh, BATCH);
+            if results.is_empty() {
+                break; // result queue closed and fully drained
             }
-            for r in results.drain(..) {
+            for r in results {
                 assert!(!seen[r.id as usize], "task {} completed twice", r.id);
                 seen[r.id as usize] = true;
                 // Independent check of the work.
@@ -148,6 +156,7 @@ fn main() {
                 collected += 1;
             }
         }
+        assert_eq!(collected, total_tasks, "close-driven shutdown lost results");
         assert!(seen.iter().all(|&b| b), "every task completed exactly once");
     });
 
@@ -157,16 +166,14 @@ fn main() {
         total_tasks, WORKERS, QUEUE_DEPTH, SHARDS, BATCH
     );
     println!(
-        "backpressure events (full-queue rejections): {}",
+        "backpressure events (full-queue rejections): {}; shutdown was \
+         close()-propagated — no sentinel tasks, no shared completion counter",
         backpressure_events.load(Ordering::Relaxed)
     );
     println!(
         "scheduler queue overhead: {} bytes for S = {SHARDS}, T = {} threads \
          — Θ(S·T), independent of depth",
-        // Rebuild an identical queue for the figure (the live one is owned
-        // by the scope above).
-        ShardedQueue::<OptimalQueue>::optimal(QUEUE_DEPTH, SHARDS, SUBMITTERS + WORKERS + 1)
-            .overhead_bytes(),
+        task_q.inner_queue().overhead_bytes(),
         SUBMITTERS + WORKERS + 1,
     );
 }

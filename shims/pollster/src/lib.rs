@@ -1,0 +1,129 @@
+//! Offline stand-in for the `pollster` crate: a minimal `block_on`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a dependency-free mini-executor sufficient to drive the
+//! `bq-core` async façade in tests, examples, and benches. Semantics
+//! match real `pollster`: the calling thread polls the future to
+//! completion, parking between polls; the waker unparks it. Spurious
+//! unparks are tolerated (a notified flag gates the re-poll), and the
+//! waker may be invoked from any thread, any number of times, including
+//! after the future completed.
+//!
+//! Deliberate differences from the real crate: no `FutureExt::block_on`
+//! extension trait and no `main` attribute macro — only the function.
+
+#![deny(missing_docs)]
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Shared between the blocked thread and every clone of its waker.
+struct ThreadNotify {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadNotify {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        // Set the flag before unparking: the blocked thread re-checks it
+        // after every unpark, so the wake is never lost even if the
+        // unpark lands while the thread is not yet parked.
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Run a future to completion on the calling thread, parking it while
+/// the future is pending.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let notify = Arc::new(ThreadNotify {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&notify));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                // Park until the waker fires; `park` may return
+                // spuriously, hence the flag loop.
+                while !notify.notified.swap(false, Ordering::SeqCst) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::Poll;
+
+    #[test]
+    fn ready_future_returns_immediately() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn pending_future_woken_from_another_thread() {
+        struct Gate {
+            open: Arc<AtomicBool>,
+            polls: u32,
+        }
+        impl Future for Gate {
+            type Output = u32;
+            fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                self.polls += 1;
+                if self.open.load(Ordering::SeqCst) {
+                    Poll::Ready(self.polls)
+                } else {
+                    // Hand the waker to a thread that opens the gate.
+                    let open = Arc::clone(&self.open);
+                    let waker = cx.waker().clone();
+                    std::thread::spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        open.store(true, Ordering::SeqCst);
+                        waker.wake();
+                    });
+                    Poll::Pending
+                }
+            }
+        }
+        let polls = block_on(Gate {
+            open: Arc::new(AtomicBool::new(false)),
+            polls: 0,
+        });
+        assert!(polls >= 2, "went through at least one pending cycle");
+    }
+
+    #[test]
+    fn wake_before_park_is_not_lost() {
+        // The waker fires *during* poll (before the executor parks):
+        // the notified flag must absorb it.
+        struct EagerWake(bool);
+        impl Future for EagerWake {
+            type Output = ();
+            fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.0 {
+                    Poll::Ready(())
+                } else {
+                    self.0 = true;
+                    cx.waker().wake_by_ref(); // immediate self-wake
+                    Poll::Pending
+                }
+            }
+        }
+        block_on(EagerWake(false));
+    }
+}

@@ -34,9 +34,10 @@ pub use bq_bench::registry as bench_registry;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use bq_core::{
-        spsc_ring, BlockingQueue, BoxedQueue, ConcurrentQueue, DcssQueue, DistinctQueue, Full,
-        LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue, SeqRingQueue, ShardedQueue,
-        SpscConsumer, SpscProducer, TokenGen,
+        spsc_ring, AsyncQueue, BlockingQueue, BoxedQueue, ConcurrentQueue, DcssQueue,
+        DistinctQueue, EventCount, Full, LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue,
+        SendError, SeqRingQueue, ShardedQueue, SpscConsumer, SpscProducer, TokenGen, TryRecvError,
+        TrySendError,
     };
     pub use bq_memtrack::MemoryFootprint;
 }

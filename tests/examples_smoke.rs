@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "io_ring",
     "overhead_report",
     "pipeline",
+    "async_pipeline",
     "task_scheduler",
     "adversary_demo",
 ];
@@ -70,6 +71,9 @@ fn every_example_runs_clean_with_tiny_parameters() {
             String::from_utf8_lossy(&out.stdout),
             String::from_utf8_lossy(&out.stderr)
         );
-        println!("example {name}: ok in {:.2}s", start.elapsed().as_secs_f64());
+        println!(
+            "example {name}: ok in {:.2}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 }
