@@ -91,19 +91,25 @@ impl ConcurrentQueue for MsQueue {
             let next = tref.next.load(Ordering::SeqCst, &guard);
             if !next.is_null() {
                 // Tail lagging: help it forward.
-                let _ = self
-                    .tail
-                    .compare_exchange(t, next, Ordering::SeqCst, Ordering::SeqCst, &guard);
+                let _ =
+                    self.tail
+                        .compare_exchange(t, next, Ordering::SeqCst, Ordering::SeqCst, &guard);
                 continue;
             }
             if tref
                 .next
-                .compare_exchange(Shared::null(), node, Ordering::SeqCst, Ordering::SeqCst, &guard)
+                .compare_exchange(
+                    Shared::null(),
+                    node,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    &guard,
+                )
                 .is_ok()
             {
-                let _ = self
-                    .tail
-                    .compare_exchange(t, node, Ordering::SeqCst, Ordering::SeqCst, &guard);
+                let _ =
+                    self.tail
+                        .compare_exchange(t, node, Ordering::SeqCst, Ordering::SeqCst, &guard);
                 self.len.fetch_add(1, Ordering::SeqCst);
                 return Ok(());
             }
@@ -120,9 +126,9 @@ impl ConcurrentQueue for MsQueue {
                 return None;
             }
             if h == t {
-                let _ = self
-                    .tail
-                    .compare_exchange(t, next, Ordering::SeqCst, Ordering::SeqCst, &guard);
+                let _ =
+                    self.tail
+                        .compare_exchange(t, next, Ordering::SeqCst, Ordering::SeqCst, &guard);
                 continue;
             }
             let value = unsafe { next.deref() }.value;
@@ -165,7 +171,11 @@ impl MemoryFootprint for MsQueue {
                 live * node_bytes - elements,
                 OverheadClass::Linkage,
             )
-            .add("head + tail pointers + len counter", 24, OverheadClass::Counters)
+            .add(
+                "head + tail pointers + len counter",
+                24,
+                OverheadClass::Counters,
+            )
     }
 }
 

@@ -168,7 +168,10 @@ mod tests {
         let c = 1 << 10;
         let q = ScqStyleQueue::with_capacity(c);
         let ovh = q.overhead_bytes();
-        assert!(ovh >= 4 * c * 16, "two 2C rings of (seq,value) pairs: {ovh}");
+        assert!(
+            ovh >= 4 * c * 16,
+            "two 2C rings of (seq,value) pairs: {ovh}"
+        );
     }
 
     #[test]

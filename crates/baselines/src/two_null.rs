@@ -169,7 +169,11 @@ mod tests {
         q.dequeue(&mut h).unwrap();
         q.enqueue(&mut h, 7).unwrap(); // round 1: expects ⊥₁
         q.dequeue(&mut h).unwrap();
-        assert_eq!(q.slots[0].load(Ordering::SeqCst), two_null(0), "parity wrapped");
+        assert_eq!(
+            q.slots[0].load(Ordering::SeqCst),
+            two_null(0),
+            "parity wrapped"
+        );
     }
 
     #[test]

@@ -17,28 +17,26 @@
 //! retry discipline (as in all workloads here) no element is ever lost or
 //! duplicated.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use crossbeam_utils::CachePadded;
-
 use bq_core::queue::{ConcurrentQueue, Full};
+use bq_core::relocatable::{PadAtomicU64, RelocBuf, RelocRing};
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
 
-struct Slot {
-    seq: AtomicU64,
-    value: UnsafeCell<u64>,
-}
-
 /// Vyukov bounded MPMC queue (Θ(C) overhead baseline).
+///
+/// Since the relocatable refactor (DESIGN.md §10) this is a thin heap-backed
+/// wrapper: the sequenced-slot array and the cache-padded counters live in a
+/// [`RelocRing<u64>`](bq_core::relocatable::RelocRing) layout inside an owned
+/// [`RelocBuf`](bq_core::relocatable::RelocBuf), and the protocol itself is
+/// the ring's `vy_*` methods — the same bytes `bq-shm` places into an
+/// `mmap`-shared segment.
 pub struct VyukovQueue {
-    slots: Box<[Slot]>,
-    tail: CachePadded<AtomicU64>,
-    head: CachePadded<AtomicU64>,
+    _buf: RelocBuf,
+    ring: RelocRing<u64>,
 }
 
 // SAFETY: the sequence protocol gives each slot a unique writer per round;
-// readers synchronize through `seq` (Acquire/Release pairs).
+// readers synchronize through `seq` (Acquire/Release pairs). The raw
+// pointers inside the view target memory owned by `self.buf`.
 unsafe impl Send for VyukovQueue {}
 unsafe impl Sync for VyukovQueue {}
 
@@ -56,16 +54,11 @@ impl VyukovQueue {
     /// algorithm's encoding, not of this port.
     pub fn with_capacity(c: usize) -> Self {
         assert!(c >= 2, "Vyukov's sequence encoding requires capacity ≥ 2");
-        VyukovQueue {
-            slots: (0..c)
-                .map(|i| Slot {
-                    seq: AtomicU64::new(i as u64),
-                    value: UnsafeCell::new(0),
-                })
-                .collect(),
-            tail: CachePadded::new(AtomicU64::new(0)),
-            head: CachePadded::new(AtomicU64::new(0)),
-        }
+        let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(c));
+        // SAFETY: `buf` was allocated with exactly `layout(c)` and is
+        // exclusively owned here.
+        let ring = unsafe { RelocRing::<u64>::init_at(buf.base(), c) };
+        VyukovQueue { _buf: buf, ring }
     }
 }
 
@@ -77,58 +70,11 @@ impl ConcurrentQueue for VyukovQueue {
     }
 
     fn enqueue(&self, _h: &mut VyukovHandle, v: u64) -> Result<(), Full> {
-        let c = self.slots.len() as u64;
-        let mut pos = self.tail.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.slots[(pos % c) as usize];
-            let seq = slot.seq.load(Ordering::Acquire);
-            if seq == pos {
-                if self
-                    .tail
-                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    // SAFETY: winning the tail CAS grants exclusive write
-                    // access to this slot for this round.
-                    unsafe { *slot.value.get() = v };
-                    slot.seq.store(pos + 1, Ordering::Release);
-                    return Ok(());
-                }
-                pos = self.tail.load(Ordering::Relaxed);
-            } else if seq < pos {
-                // The slot still carries last round's element: full.
-                return Err(Full(v));
-            } else {
-                pos = self.tail.load(Ordering::Relaxed);
-            }
-        }
+        self.ring.vy_enqueue(v).map_err(Full)
     }
 
     fn dequeue(&self, _h: &mut VyukovHandle) -> Option<u64> {
-        let c = self.slots.len() as u64;
-        let mut pos = self.head.load(Ordering::Relaxed);
-        loop {
-            let slot = &self.slots[(pos % c) as usize];
-            let seq = slot.seq.load(Ordering::Acquire);
-            if seq == pos + 1 {
-                if self
-                    .head
-                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    // SAFETY: winning the head CAS grants exclusive read
-                    // access for this round.
-                    let v = unsafe { *slot.value.get() };
-                    slot.seq.store(pos + c, Ordering::Release);
-                    return Some(v);
-                }
-                pos = self.head.load(Ordering::Relaxed);
-            } else if seq < pos + 1 {
-                return None;
-            } else {
-                pos = self.head.load(Ordering::Relaxed);
-            }
-        }
+        self.ring.vy_dequeue()
     }
 
     /// Native batch fast path: **slot runs**. Scan forward from the tail
@@ -139,90 +85,19 @@ impl ConcurrentQueue for VyukovQueue {
     /// sequence reaches `pos + i` exactly once, and only the round-owner
     /// (us, post-CAS) advances it — so the pre-scan cannot go stale in a
     /// way that matters. One CAS per run replaces one CAS per element.
+    /// (Implementation: `RelocRing::vy_enqueue_many`.)
     fn enqueue_many(&self, _h: &mut VyukovHandle, vs: &[u64]) -> usize {
-        let c = self.slots.len() as u64;
-        let mut done = 0usize;
-        while done < vs.len() {
-            let pos = self.tail.load(Ordering::Relaxed);
-            let want = (vs.len() - done).min(self.slots.len());
-            let mut m = 0usize;
-            while m < want {
-                let slot = &self.slots[((pos + m as u64) % c) as usize];
-                if slot.seq.load(Ordering::Acquire) != pos + m as u64 {
-                    break;
-                }
-                m += 1;
-            }
-            if m == 0 {
-                let slot = &self.slots[(pos % c) as usize];
-                let seq = slot.seq.load(Ordering::Acquire);
-                if seq < pos {
-                    // Same (relaxed) full report as the single-element op.
-                    return done;
-                }
-                continue; // raced with another producer; re-read the tail
-            }
-            if self
-                .tail
-                .compare_exchange(pos, pos + m as u64, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                for i in 0..m {
-                    let slot = &self.slots[((pos + i as u64) % c) as usize];
-                    // SAFETY: the tail CAS claimed rounds pos..pos+m; each
-                    // claimed slot has exactly one writer this round.
-                    unsafe { *slot.value.get() = vs[done + i] };
-                    slot.seq.store(pos + i as u64 + 1, Ordering::Release);
-                }
-                done += m;
-            }
-        }
-        done
+        self.ring.vy_enqueue_many(vs)
     }
 
     /// Native batch dequeue: the mirror slot-run claim over the head
     /// counter (`seq == pos + i + 1` marks a filled slot).
     fn dequeue_many(&self, _h: &mut VyukovHandle, max: usize, out: &mut Vec<u64>) -> usize {
-        let c = self.slots.len() as u64;
-        let mut done = 0usize;
-        while done < max {
-            let pos = self.head.load(Ordering::Relaxed);
-            let want = (max - done).min(self.slots.len());
-            let mut m = 0usize;
-            while m < want {
-                let slot = &self.slots[((pos + m as u64) % c) as usize];
-                if slot.seq.load(Ordering::Acquire) != pos + m as u64 + 1 {
-                    break;
-                }
-                m += 1;
-            }
-            if m == 0 {
-                let slot = &self.slots[(pos % c) as usize];
-                let seq = slot.seq.load(Ordering::Acquire);
-                if seq < pos + 1 {
-                    return done; // empty (same relaxed report as `dequeue`)
-                }
-                continue;
-            }
-            if self
-                .head
-                .compare_exchange(pos, pos + m as u64, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                for i in 0..m {
-                    let slot = &self.slots[((pos + i as u64) % c) as usize];
-                    // SAFETY: the head CAS claimed rounds pos..pos+m.
-                    out.push(unsafe { *slot.value.get() });
-                    slot.seq.store(pos + i as u64 + c, Ordering::Release);
-                }
-                done += m;
-            }
-        }
-        done
+        self.ring.vy_dequeue_many(max, out)
     }
 
     fn capacity(&self) -> usize {
-        self.slots.len()
+        self.ring.capacity()
     }
 
     fn max_token(&self) -> u64 {
@@ -230,15 +105,13 @@ impl ConcurrentQueue for VyukovQueue {
     }
 
     fn len(&self) -> usize {
-        let t = self.tail.load(Ordering::SeqCst);
-        let h = self.head.load(Ordering::SeqCst);
-        t.saturating_sub(h) as usize
+        self.ring.counter_len()
     }
 }
 
 impl MemoryFootprint for VyukovQueue {
     fn footprint(&self) -> FootprintBreakdown {
-        let c = self.slots.len();
+        let c = self.ring.capacity();
         FootprintBreakdown::with_elements(c * 8)
             .add(
                 "per-slot sequence numbers (8 B × C)",
@@ -247,7 +120,7 @@ impl MemoryFootprint for VyukovQueue {
             )
             .add(
                 "head + tail counters (cache-padded)",
-                2 * std::mem::size_of::<CachePadded<AtomicU64>>(),
+                2 * std::mem::size_of::<PadAtomicU64>(),
                 OverheadClass::Counters,
             )
     }
@@ -311,7 +184,11 @@ mod tests {
     fn slot_run_batches_match_fifo() {
         let q = VyukovQueue::with_capacity(4);
         let mut h = q.register();
-        assert_eq!(q.enqueue_many(&mut h, &[1, 2, 3, 4, 5, 6]), 4, "run stops at full");
+        assert_eq!(
+            q.enqueue_many(&mut h, &[1, 2, 3, 4, 5, 6]),
+            4,
+            "run stops at full"
+        );
         let mut out = Vec::new();
         assert_eq!(q.dequeue_many(&mut h, 2, &mut out), 2);
         assert_eq!(out, vec![1, 2]);

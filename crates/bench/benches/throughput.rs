@@ -24,16 +24,12 @@ fn bench_pairs(crit: &mut Criterion) {
         for threads in [1usize, 2] {
             let ops = 1_000u64;
             group.throughput(Throughput::Elements(2 * threads as u64 * ops));
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), threads),
-                &threads,
-                |b, &t| {
-                    b.iter(|| {
-                        let q = kind.build(1024, t);
-                        pairs_throughput(&*q, t, ops)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), threads), &threads, |b, &t| {
+                b.iter(|| {
+                    let q = kind.build(1024, t);
+                    pairs_throughput(&*q, t, ops)
+                });
+            });
         }
     }
     group.finish();

@@ -36,7 +36,12 @@ fn main() {
     );
 
     let mut summary = Vec::new();
-    for flavor in [Flavor::Naive, Flavor::Distinct, Flavor::TwoNull, Flavor::Dcss] {
+    for flavor in [
+        Flavor::Naive,
+        Flavor::Distinct,
+        Flavor::TwoNull,
+        Flavor::Dcss,
+    ] {
         for (scenario, report) in [
             ("middle-steal", run_middle_steal(flavor)),
             ("enqueue-into-hole", run_enqueue_hole(flavor)),
@@ -78,7 +83,12 @@ fn main() {
         "{:<22} {:>4} {:>4} {:>9} {:>9} {:>16} {:>14}",
         "algorithm", "C", "try", "caught", "distinct", "completed enq", "Step 1 holds?"
     );
-    for flavor in [Flavor::Naive, Flavor::Distinct, Flavor::TwoNull, Flavor::Dcss] {
+    for flavor in [
+        Flavor::Naive,
+        Flavor::Distinct,
+        Flavor::TwoNull,
+        Flavor::Dcss,
+    ] {
         for (c, catchers) in [(32usize, 6usize), (4, 6)] {
             let mut mem = bq_sim::SimMemory::new();
             let q = match flavor {

@@ -15,6 +15,18 @@
 
 use bq_bench::registry::{sharded_optimal, QueueKind};
 use bq_bench::workload::{batched_pairs_throughput, print_batch_win_table};
+use serde::Serialize;
+
+/// One machine-readable cell for `BENCH_shard_sweep.json`.
+#[derive(Serialize)]
+struct SweepCell {
+    experiment: &'static str,
+    shards: usize,
+    batch: usize,
+    threads: usize,
+    mops: f64,
+    ops: u64,
+}
 
 fn main() {
     let smoke = std::env::var("MEMBQ_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
@@ -34,6 +46,7 @@ fn main() {
         print!(" {:>12}", format!("B={b} Mops"));
     }
     println!();
+    let mut cells: Vec<SweepCell> = Vec::new();
     for s in shard_counts {
         print!("{:>8}", s);
         for b in batches {
@@ -41,6 +54,14 @@ fn main() {
             let rounds = total_elems_per_thread / b as u64;
             let r = batched_pairs_throughput(&*q, threads, rounds, b);
             print!(" {:>12.3}", r.mops());
+            cells.push(SweepCell {
+                experiment: "E11-shard-batch",
+                shards: s,
+                batch: b,
+                threads,
+                mops: r.mops(),
+                ops: r.ops,
+            });
         }
         println!();
     }
@@ -65,4 +86,8 @@ fn main() {
          CAS per Vyukov slot run); the shard dimension needs multi-core\n\
          hardware to show its contention win — see the ROADMAP open item."
     );
+
+    let json = serde_json::to_string_pretty(&cells).expect("serialize sweep cells");
+    std::fs::write("BENCH_shard_sweep.json", &json).expect("write BENCH_shard_sweep.json");
+    println!("\nwrote {} cells to BENCH_shard_sweep.json", cells.len());
 }

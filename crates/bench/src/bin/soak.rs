@@ -11,6 +11,7 @@ use std::io::Write;
 
 use bq_bench::facade::ALL_FACADES;
 use bq_bench::registry::{sharded_optimal, ALL_KINDS};
+use bq_bench::shm_procs::{shm_crash_round, shm_fork_pairs_throughput};
 use bq_bench::workload::{
     batched_pairs_throughput, pairs_throughput, producer_consumer_throughput,
 };
@@ -59,6 +60,19 @@ fn main() {
             let r = kind.pairs(2, 3, 300);
             println!("ok ({} ops)", r.ops);
         }
+        // Cross-process rounds (bq-shm): fork-based pairs, then a
+        // producer SIGKILLed mid-stream. The write budget walks through
+        // the residues of the 5-write enqueue sequence round by round,
+        // so over a soak the kill lands between every pair of shared
+        // writes; the drivers panic on wedge or conservation failure.
+        print!("round {round}: shm fork-pairs ... ");
+        std::io::stdout().flush().unwrap();
+        let r = shm_fork_pairs_throughput(16, 2, 2, 200);
+        print!("ok ({} ops); shm producer-kill ... ", r.ops);
+        std::io::stdout().flush().unwrap();
+        let budget = 1 + (round * 7) % 23;
+        let published = shm_crash_round(budget);
+        println!("ok ({published} published before kill)");
     }
     println!("soak complete: {rounds} rounds");
 }

@@ -17,13 +17,27 @@ use std::time::Instant;
 
 use bq_bench::facade::ALL_FACADES;
 use bq_bench::registry::{QueueKind, ALL_KINDS};
+use bq_bench::shm_procs::shm_fork_pairs_throughput;
 use bq_bench::workload::{pairs_throughput, print_batch_win_table};
 use bq_core::{ConcurrentQueue, OptimalQueue};
+use serde::Serialize;
+
+/// One machine-readable measurement for `BENCH_throughput_table.json`.
+#[derive(Serialize)]
+struct BenchRow {
+    experiment: &'static str,
+    queue: String,
+    workers: usize,
+    mops: f64,
+    ops: u64,
+}
 
 fn main() {
+    let smoke = std::env::var("MEMBQ_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let c = 1024;
-    let ops = 20_000u64;
+    let ops = if smoke { 2_000u64 } else { 20_000u64 };
     let thread_counts = [1usize, 2, 4];
+    let mut bench_rows: Vec<BenchRow> = Vec::new();
 
     println!("=== E10a: mixed pairs throughput (C = {c}, {ops} pairs/thread) ===");
     println!("single-core host: columns >1 thread measure contention behaviour, not speedup\n");
@@ -42,6 +56,13 @@ fn main() {
             let q = kind.build(c, t);
             let r = pairs_throughput(&*q, t, ops);
             print!(" {:>9.3}", r.mops());
+            bench_rows.push(BenchRow {
+                experiment: "E10a-pairs",
+                queue: kind.name().to_string(),
+                workers: t,
+                mops: r.mops(),
+                ops: r.ops,
+            });
         }
         println!();
     }
@@ -68,7 +89,7 @@ fn main() {
     for t in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let q = OptimalQueue::with_capacity_and_threads(c, t);
         let mut h = q.register();
-        let iters = 30_000u64;
+        let iters = if smoke { 3_000u64 } else { 30_000u64 };
         let start = Instant::now();
         for v in 1..=iters {
             q.enqueue(&mut h, v).unwrap();
@@ -90,7 +111,7 @@ fn main() {
     println!("{:>6} {:>16}", "T", "ns/op (solo)");
     for t in [1usize, 8, 64] {
         let q = QueueKind::Vyukov.build(c, t.max(1));
-        let iters = 50_000u64;
+        let iters = if smoke { 5_000u64 } else { 50_000u64 };
         let start = Instant::now();
         for v in 1..=iters {
             assert!(q.enqueue(0, v));
@@ -114,7 +135,7 @@ fn main() {
     );
     for threads in [1usize, 2, 4] {
         for kind in ALL_FACADES {
-            let r = kind.pairs(4, threads, 10_000);
+            let r = kind.pairs(4, threads, if smoke { 1_000 } else { 10_000 });
             println!(
                 "{:<20} {:>9} {:>12.3} {:>12.1}",
                 kind.name(),
@@ -128,5 +149,45 @@ fn main() {
         "\nReading: the async façade pays future/waker bookkeeping per wait but\n\
          wakes without a kernel unpark when the task is re-polled on a live\n\
          thread; neither path contains timed polling."
+    );
+
+    println!("\n=== E13: cross-process pairs — ShmQueue over fork (bq-shm) ===");
+    println!(
+        "each worker is a separate PROCESS sharing one mmap segment; the\n\
+         protocol is the crash-consistent publication scheme of DESIGN.md\n\
+         §10. 1-core caveat: columns measure the protocol under context\n\
+         switching (plus amortized fork cost), not parallel speedup\n"
+    );
+    println!("{:<14} {:>12} {:>12}", "procs (P+C)", "Mops", "ns/op");
+    let shm_per = if smoke { 2_000u64 } else { 20_000u64 };
+    for (p, cons) in [(1u64, 1u64), (2, 2)] {
+        let r = shm_fork_pairs_throughput(c, p, cons, shm_per);
+        println!(
+            "{:<14} {:>12.3} {:>12.1}",
+            format!("{p}P + {cons}C"),
+            r.mops(),
+            1e3 / r.mops()
+        );
+        bench_rows.push(BenchRow {
+            experiment: "E13-shm-fork-pairs",
+            queue: "shm-mpmc".to_string(),
+            workers: (p + cons) as usize,
+            mops: r.mops(),
+            ops: r.ops,
+        });
+    }
+    println!(
+        "\nReading: the same sequenced-ring data path as `vyukov`, paying\n\
+         SeqCst helping CASes and process-grade context switches; the row\n\
+         exists to show the multi-process backend is in the same regime,\n\
+         not to win."
+    );
+
+    let json = serde_json::to_string_pretty(&bench_rows).expect("serialize bench rows");
+    std::fs::write("BENCH_throughput_table.json", &json)
+        .expect("write BENCH_throughput_table.json");
+    println!(
+        "\nwrote {} rows to BENCH_throughput_table.json",
+        bench_rows.len()
     );
 }

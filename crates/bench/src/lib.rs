@@ -17,12 +17,14 @@
 
 pub mod facade;
 pub mod registry;
+pub mod shm_procs;
 pub mod workload;
 
 pub use facade::{async_pairs_throughput, blocking_pairs_throughput, FacadeKind, ALL_FACADES};
 pub use registry::{
     all_queues, queue_by_name, sharded_optimal, DynQueue, QueueKind, ALL_KINDS, DEFAULT_SHARDS,
 };
+pub use shm_procs::{shm_crash_round, shm_fork_pairs_throughput};
 pub use workload::{
     batched_pairs_throughput, pairs_throughput, producer_consumer_throughput, WorkloadResult,
 };

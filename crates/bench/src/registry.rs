@@ -17,6 +17,7 @@ use bq_core::{
     ShardedQueue,
 };
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint};
+use bq_shm::ShmQueue;
 
 /// Object-safe queue interface for the experiment drivers.
 pub trait DynQueue: Send + Sync {
@@ -161,6 +162,12 @@ pub enum QueueKind {
     ShardedOptimal,
     /// Scale layer: 4 shards of Listing 1 segments.
     ShardedSegment,
+    /// Shared-memory multi-process ring (`bq-shm`): the relocatable
+    /// sequenced-ring layout in an `mmap` segment under the
+    /// crash-consistent publication protocol. Registered here over its
+    /// in-process `ConcurrentQueue` facade; the cross-process numbers are
+    /// E13's fork-based workload.
+    Shm,
 }
 
 /// All kinds, in the order the paper discusses them.
@@ -180,6 +187,7 @@ pub const ALL_KINDS: &[QueueKind] = &[
     QueueKind::Crossbeam,
     QueueKind::ShardedOptimal,
     QueueKind::ShardedSegment,
+    QueueKind::Shm,
 ];
 
 /// Default shard count for the registry's sharded kinds (the sweep binary
@@ -205,6 +213,7 @@ impl QueueKind {
             QueueKind::Crossbeam => "crossbeam-array",
             QueueKind::ShardedOptimal => "sharded4-optimal",
             QueueKind::ShardedSegment => "sharded4-segment",
+            QueueKind::Shm => "shm-mpmc",
         }
     }
 
@@ -227,6 +236,7 @@ impl QueueKind {
             QueueKind::Crossbeam => "Θ(C)",
             QueueKind::ShardedOptimal => "Θ(S·T)",
             QueueKind::ShardedSegment => "Θ(C/K + S·T·K)",
+            QueueKind::Shm => "Θ(C) [multi-proc]",
         }
     }
 
@@ -248,10 +258,7 @@ impl QueueKind {
             QueueKind::SegmentPooled => Box::new(Registered::new(
                 self.name(),
                 true,
-                SegmentQueue::with_pooled_segments(
-                    c,
-                    (c as f64).sqrt().round().max(1.0) as usize,
-                ),
+                SegmentQueue::with_pooled_segments(c, (c as f64).sqrt().round().max(1.0) as usize),
                 t,
             )),
             QueueKind::Distinct => Box::new(Registered::new(
@@ -326,6 +333,14 @@ impl QueueKind {
                 true,
                 false,
                 ShardedQueue::<SegmentQueue>::segmented(c, DEFAULT_SHARDS),
+                t,
+            )),
+            QueueKind::Shm => Box::new(Registered::new(
+                self.name(),
+                true,
+                // The sequenced-ring protocol needs two slots to tell
+                // full from empty; the registry's smallest sweeps use 1.
+                ShmQueue::<u64>::create_anon(c.max(2)).expect("anonymous shm segment"),
                 t,
             )),
         }

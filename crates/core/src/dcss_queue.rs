@@ -160,7 +160,14 @@ impl ConcurrentQueue for DcssQueue {
             let done = e != NULL
                 && self
                     .arena
-                    .dcss(h.tid, &self.slots[(hd % c) as usize], e, NULL, &self.head, hd)
+                    .dcss(
+                        h.tid,
+                        &self.slots[(hd % c) as usize],
+                        e,
+                        NULL,
+                        &self.head,
+                        hd,
+                    )
                     .succeeded();
             // Increment the counter (helping).
             let _ = self
@@ -245,9 +252,7 @@ mod tests {
 
     #[test]
     fn overhead_linear_in_threads_constant_in_capacity() {
-        let ovh = |c: usize, t: usize| {
-            DcssQueue::with_capacity_and_threads(c, t).overhead_bytes()
-        };
+        let ovh = |c: usize, t: usize| DcssQueue::with_capacity_and_threads(c, t).overhead_bytes();
         // Constant in C.
         assert_eq!(ovh(64, 4), ovh(1 << 14, 4));
         // Linear in T.

@@ -274,7 +274,10 @@ mod tests {
             if let Some(v) = q.dequeue(&mut h) {
                 taken += 1;
                 if v < 1_000_000 {
-                    assert!(v > last_main, "per-producer FIFO violated: {v} after {last_main}");
+                    assert!(
+                        v > last_main,
+                        "per-producer FIFO violated: {v} after {last_main}"
+                    );
                     last_main = v;
                 }
             } else {

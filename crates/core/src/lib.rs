@@ -65,6 +65,7 @@ pub mod llsc_queue;
 pub mod naive;
 pub mod optimal;
 pub mod queue;
+pub mod relocatable;
 pub mod segment;
 pub mod sharded;
 pub mod spsc;
@@ -80,6 +81,9 @@ pub use llsc_queue::{LlScHandle, LlScQueue};
 pub use naive::{NaiveHandle, NaiveQueue};
 pub use optimal::{OptimalHandle, OptimalQueue};
 pub use queue::{ConcurrentQueue, EnqueueError, Full, SeqRingQueue};
+pub use relocatable::{
+    AnnounceBoard, PadAtomicU64, Pod, RelocBuf, RelocEnqOp, RelocRing, RelocSeqRing, RelocSlot,
+};
 pub use segment::{SegmentHandle, SegmentQueue};
 pub use sharded::{ShardedHandle, ShardedQueue};
 pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};

@@ -46,6 +46,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::queue::{ConcurrentQueue, Full};
+use crate::relocatable::{AnnounceBoard, RelocBuf, RelocEnqOp};
 use crate::token::{is_token, MAX_TOKEN, NULL};
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
 
@@ -71,37 +72,6 @@ fn unpack_index(p: u64) -> usize {
 #[inline]
 fn unpack_seq(p: u64) -> u64 {
     p & SEQ_MASK
-}
-
-/// One reusable `EnqOp` descriptor (paper lines 1–21).
-///
-/// `seq` parity: even = free, odd = claimed/published. Fields are written
-/// only between claim and publication, so a reader that re-validates `seq`
-/// after reading the fields observes a consistent incarnation.
-#[repr(align(128))]
-struct EnqOp {
-    seq: AtomicU64,
-    /// The paper's `successful: Bool?` — `(seq << 2) | state` so stale
-    /// helpers' verdict CASes fail harmlessly after reuse.
-    status: AtomicU64,
-    /// The `enqueues` value this operation is bound to.
-    e: AtomicU64,
-    /// The element being inserted.
-    x: AtomicU64,
-    /// Target cell, `e % C` (cached, as in the paper).
-    i: AtomicU64,
-}
-
-impl EnqOp {
-    fn new() -> Self {
-        EnqOp {
-            seq: AtomicU64::new(0),
-            status: AtomicU64::new(0),
-            e: AtomicU64::new(0),
-            x: AtomicU64::new(0),
-            i: AtomicU64::new(0),
-        }
-    }
 }
 
 /// A validated snapshot of one descriptor incarnation.
@@ -148,14 +118,25 @@ pub struct OptimalQueue {
     a: Box<[AtomicU64]>,
     enqueues: AtomicU64,
     dequeues: AtomicU64,
-    /// Announcement array: `T` slots of packed descriptor refs (0 = ⊥).
-    ops: Box<[AtomicU64]>,
+    /// The announcement machinery — the `T`-slot announcement array of
+    /// packed descriptor refs (0 = ⊥) plus the pool of `2T` reusable
+    /// [`RelocEnqOp`] descriptors — lives in a relocatable
+    /// [`AnnounceBoard`] layout inside `board_buf` (DESIGN.md §10):
+    /// descriptor references were already position-independent packed
+    /// `(index, seq)` words, so the board relocates wholesale.
+    board: AnnounceBoard,
+    /// Owns the bytes `board` views.
+    _board_buf: RelocBuf,
     /// Serialization point for verdicts (packed ref or 0 = ⊥).
     active_op: AtomicU64,
-    /// Pool of `2T` reusable descriptors.
-    pool: Box<[EnqOp]>,
     next_tid: AtomicUsize,
 }
+
+// SAFETY: the board's atomics carry all cross-thread communication (the
+// same SeqCst protocol as before the relocatable port); the raw pointers
+// inside the `AnnounceBoard` view target memory owned by `self.board_buf`.
+unsafe impl Send for OptimalQueue {}
+unsafe impl Sync for OptimalQueue {}
 
 /// Per-thread handle (thread id into the announcement machinery).
 #[derive(Debug)]
@@ -180,20 +161,29 @@ impl OptimalQueue {
             max_threads > 0 && max_threads < (1 << 15),
             "thread bound must be in 1..2^15"
         );
+        let board_buf = RelocBuf::zeroed(AnnounceBoard::layout(max_threads));
+        // SAFETY: `board_buf` was allocated with exactly
+        // `AnnounceBoard::layout(max_threads)` and is exclusively owned.
+        let board = unsafe { AnnounceBoard::init_at(board_buf.base(), max_threads) };
         OptimalQueue {
             a: (0..c).map(|_| AtomicU64::new(NULL)).collect(),
             enqueues: AtomicU64::new(0),
             dequeues: AtomicU64::new(0),
-            ops: (0..max_threads).map(|_| AtomicU64::new(0)).collect(),
+            board,
+            _board_buf: board_buf,
             active_op: AtomicU64::new(0),
-            pool: (0..2 * max_threads).map(|_| EnqOp::new()).collect(),
             next_tid: AtomicUsize::new(0),
         }
     }
 
     /// The thread bound `T`.
     pub fn max_threads(&self) -> usize {
-        self.ops.len()
+        self.board.threads()
+    }
+
+    /// The descriptor a validated view points at.
+    fn desc(&self, view: OpView) -> &RelocEnqOp {
+        self.board.desc(view.index).expect("pooled index")
     }
 
     // ---- descriptor pool -------------------------------------------------
@@ -204,13 +194,12 @@ impl OptimalQueue {
     /// always has a free entry for the claimant.
     fn claim_desc(&self, e: u64, x: u64, i: usize) -> OpView {
         loop {
-            for (index, d) in self.pool.iter().enumerate() {
+            for (index, d) in self.board.descs().enumerate() {
                 let s = d.seq.load(Ordering::SeqCst);
                 if s % 2 != 0 {
                     continue; // in use
                 }
-                if d
-                    .seq
+                if d.seq
                     .compare_exchange(s, s + 1, Ordering::SeqCst, Ordering::SeqCst)
                     .is_err()
                 {
@@ -220,8 +209,7 @@ impl OptimalQueue {
                 d.e.store(e, Ordering::SeqCst);
                 d.x.store(x, Ordering::SeqCst);
                 d.i.store(i as u64, Ordering::SeqCst);
-                d.status
-                    .store((seq << 2) | ST_UNDECIDED, Ordering::SeqCst);
+                d.status.store((seq << 2) | ST_UNDECIDED, Ordering::SeqCst);
                 return OpView {
                     packed: pack_ref(index, seq),
                     index,
@@ -237,7 +225,7 @@ impl OptimalQueue {
     /// Return a descriptor to the pool. The caller must be the unique
     /// remover (see the freeing discipline in the module docs).
     fn free_desc(&self, view: OpView) {
-        let d = &self.pool[view.index];
+        let d = self.board.desc(view.index).expect("pooled index");
         let ok = d
             .seq
             .compare_exchange(view.seq, view.seq + 1, Ordering::SeqCst, Ordering::SeqCst)
@@ -253,7 +241,7 @@ impl OptimalQueue {
         }
         let index = unpack_index(packed);
         let seq = unpack_seq(packed);
-        let d = self.pool.get(index)?;
+        let d = self.board.desc(index)?;
         let e = d.e.load(Ordering::SeqCst);
         let x = d.x.load(Ordering::SeqCst);
         let i = d.i.load(Ordering::SeqCst) as usize;
@@ -280,7 +268,7 @@ impl OptimalQueue {
     /// and handle the ended case explicitly; this helper remains only for
     /// debug assertions on descriptors the caller provably still owns.
     fn verdict(&self, view: OpView) -> Option<bool> {
-        let st = self.pool[view.index].status.load(Ordering::SeqCst);
+        let st = self.desc(view).status.load(Ordering::SeqCst);
         if st >> 2 != view.seq {
             return Some(false);
         }
@@ -294,7 +282,7 @@ impl OptimalQueue {
     /// CAS the verdict from undecided (idempotent across helpers; stale
     /// helpers fail because the sequence is embedded).
     fn decide(&self, view: OpView, success: bool) {
-        let d = &self.pool[view.index];
+        let d = self.desc(view);
         let from = (view.seq << 2) | ST_UNDECIDED;
         let to = (view.seq << 2) | if success { ST_SUCCESS } else { ST_FAILURE };
         let _ = d
@@ -308,7 +296,7 @@ impl OptimalQueue {
     /// if it is successful, else `None`.
     fn read_op(&self, slot: usize) -> Option<OpView> {
         loop {
-            let p = self.ops[slot].load(Ordering::SeqCst);
+            let p = self.board.op(slot).load(Ordering::SeqCst);
             if p == 0 {
                 return None;
             }
@@ -317,7 +305,7 @@ impl OptimalQueue {
                 // content must have changed — re-read it.
                 continue;
             };
-            let st = self.pool[view.index].status.load(Ordering::SeqCst);
+            let st = self.desc(view).status.load(Ordering::SeqCst);
             if st >> 2 != view.seq {
                 // The incarnation ended between validation and the status
                 // read. A parked descriptor is freed only after being
@@ -337,7 +325,7 @@ impl OptimalQueue {
     /// The paper's `findOp` (lines 110–115): a successful operation
     /// covering cell `i`, with its slot.
     fn find_op(&self, i: usize) -> Option<(OpView, usize)> {
-        for slot in 0..self.ops.len() {
+        for slot in 0..self.board.threads() {
             if let Some(view) = self.read_op(slot) {
                 if view.i == i {
                     return Some((view, slot));
@@ -388,12 +376,14 @@ impl OptimalQueue {
     /// with `view`, decide its verdict under `active_op`, and return the
     /// slot on success (`None` on failure, with the slot cleaned).
     fn put_op(&self, view: OpView) -> Option<usize> {
-        let t = self.ops.len();
+        let t = self.board.threads();
         let mut j = 0usize;
         loop {
             let slot = j % t;
             j += 1;
-            if self.ops[slot]
+            if self
+                .board
+                .op(slot)
                 .compare_exchange(0, view.packed, Ordering::SeqCst, Ordering::SeqCst)
                 .is_err()
             {
@@ -401,10 +391,10 @@ impl OptimalQueue {
             }
             self.start_put_op(view);
             self.try_put(view); // logical addition
-            // Finished; free `active_op` for the next descriptor.
-            let _ = self
-                .active_op
-                .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst);
+                                // Finished; free `active_op` for the next descriptor.
+            let _ =
+                self.active_op
+                    .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst);
             // Read the verdict. `try_put` always decides before returning,
             // so the only states are FAILURE, SUCCESS, or "incarnation
             // ended". The last one means a *replacer* already removed and
@@ -415,12 +405,14 @@ impl OptimalQueue {
             // window is real: helpers can decide us successful and the
             // queue can wrap all the way back to our cell while we are
             // preempted right here.)
-            let st = self.pool[view.index].status.load(Ordering::SeqCst);
+            let st = self.desc(view).status.load(Ordering::SeqCst);
             if st >> 2 == view.seq && st & 0b11 == ST_FAILURE {
                 // Clean the slot. Unsuccessful descriptors are never
                 // replaced or completed by others, so this CAS is ours to
                 // win.
-                let cleaned = self.ops[slot]
+                let cleaned = self
+                    .board
+                    .op(slot)
                     .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok();
                 debug_assert!(cleaned, "foreign clear of an unsuccessful descriptor");
@@ -439,7 +431,7 @@ impl OptimalQueue {
     /// until its clearing CAS wins, then releases the cell.
     fn complete_op(&self, slot: usize) {
         loop {
-            let p = self.ops[slot].load(Ordering::SeqCst);
+            let p = self.board.op(slot).load(Ordering::SeqCst);
             if p == 0 {
                 // Unreachable in a correct run: our clearing CAS below is
                 // the only legitimate way a covered slot empties.
@@ -461,7 +453,9 @@ impl OptimalQueue {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             );
-            if self.ops[slot]
+            if self
+                .board
+                .op(slot)
                 .compare_exchange(view.packed, 0, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
@@ -507,7 +501,9 @@ impl OptimalQueue {
                 // successful (paper lines 89–92).
                 self.decide(view, true);
                 debug_assert_eq!(self.verdict(view), Some(true));
-                if self.ops[slot]
+                if self
+                    .board
+                    .op(slot)
                     .compare_exchange(cur.packed, view.packed, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
@@ -545,9 +541,9 @@ impl ConcurrentQueue for OptimalQueue {
     fn register(&self) -> OptimalHandle {
         let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
         assert!(
-            tid < self.ops.len(),
+            tid < self.board.threads(),
             "more threads registered than the queue was sized for (T = {})",
-            self.ops.len()
+            self.board.threads()
         );
         OptimalHandle { tid }
     }
@@ -642,7 +638,7 @@ impl ConcurrentQueue for OptimalQueue {
 
 impl MemoryFootprint for OptimalQueue {
     fn footprint(&self) -> FootprintBreakdown {
-        let t = self.ops.len();
+        let t = self.board.threads();
         FootprintBreakdown::with_elements(self.a.len() * 8)
             .add(
                 format!("ops announcement array ({t} slots)"),
@@ -651,7 +647,7 @@ impl MemoryFootprint for OptimalQueue {
             )
             .add(
                 format!("2T = {} EnqOp descriptors", 2 * t),
-                self.pool.len() * std::mem::size_of::<EnqOp>(),
+                self.board.pool_len() * std::mem::size_of::<RelocEnqOp>(),
                 OverheadClass::Descriptors,
             )
             .add("enqueues + dequeues counters", 16, OverheadClass::Counters)
@@ -736,8 +732,8 @@ mod tests {
     #[test]
     fn descriptor_pool_is_2t() {
         let q = OptimalQueue::with_capacity_and_threads(8, 5);
-        assert_eq!(q.pool.len(), 10);
-        assert_eq!(q.ops.len(), 5);
+        assert_eq!(q.board.pool_len(), 10);
+        assert_eq!(q.board.threads(), 5);
     }
 
     #[test]
@@ -752,8 +748,8 @@ mod tests {
             assert_eq!(q.dequeue(&mut h), Some(v));
         }
         let claimed = q
-            .pool
-            .iter()
+            .board
+            .descs()
             .filter(|d| d.seq.load(Ordering::SeqCst) % 2 == 1)
             .count();
         assert_eq!(claimed, 0, "all descriptors returned to the pool");

@@ -1,6 +1,7 @@
 //! The common bounded-queue interface and the sequential reference queue
 //! (the paper's Figure 1).
 
+use crate::relocatable::{RelocBuf, RelocSeqRing};
 use crate::token::InvalidToken;
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
 
@@ -122,66 +123,81 @@ pub trait ConcurrentQueue: Send + Sync {
 ///
 /// This is the specification object: the linearizability checker and the
 /// property tests replay concurrent histories against it.
-#[derive(Debug, Clone)]
+///
+/// Since the relocatable refactor (DESIGN.md §10) this is a thin heap-backed
+/// wrapper: the actual slots + counters live in a
+/// [`RelocSeqRing`](crate::relocatable::RelocSeqRing) layout inside an owned
+/// [`RelocBuf`](crate::relocatable::RelocBuf); `Clone` is a literal `memcpy`
+/// of those bytes, which doubles as a continuous proof of relocatability.
 pub struct SeqRingQueue {
-    slots: Vec<u64>,
-    /// Total number of successful enqueues.
-    tail: u64,
-    /// Total number of successful dequeues.
-    head: u64,
+    buf: RelocBuf,
+    ring: RelocSeqRing,
 }
+
+impl std::fmt::Debug for SeqRingQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqRingQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Clone for SeqRingQueue {
+    fn clone(&self) -> Self {
+        let buf = self.buf.duplicate();
+        // SAFETY: `duplicate` yields a byte-identical copy of a region
+        // initialized by `init_at` — exactly what `from_raw` requires.
+        let ring = unsafe { RelocSeqRing::from_raw(buf.base()) };
+        SeqRingQueue { buf, ring }
+    }
+}
+
+// SAFETY: all mutation goes through `&mut self`, all shared access reads
+// plain (non-atomic) words through `&self`; the Rust borrow rules provide
+// the same exclusion the old Vec-backed struct enjoyed. The raw pointers
+// inside the view target memory owned by `self.buf`.
+unsafe impl Send for SeqRingQueue {}
+unsafe impl Sync for SeqRingQueue {}
 
 impl SeqRingQueue {
     /// Create a queue of capacity `c > 0`.
     pub fn with_capacity(c: usize) -> Self {
-        assert!(c > 0, "capacity must be positive");
-        SeqRingQueue {
-            slots: vec![0; c],
-            tail: 0,
-            head: 0,
-        }
+        let buf = RelocBuf::zeroed(RelocSeqRing::layout(c));
+        // SAFETY: `buf` was allocated with exactly `layout(c)` and is
+        // exclusively owned here.
+        let ring = unsafe { RelocSeqRing::init_at(buf.base(), c) };
+        SeqRingQueue { buf, ring }
     }
 
     /// The capacity `C`.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.ring.capacity()
     }
 
     /// Current number of elements.
     pub fn len(&self) -> usize {
-        (self.tail - self.head) as usize
+        self.ring.len()
     }
 
     /// Is the queue empty?
     pub fn is_empty(&self) -> bool {
-        self.head == self.tail
+        self.ring.is_empty()
     }
 
     /// Is the queue full?
     pub fn is_full(&self) -> bool {
-        self.tail == self.head + self.capacity() as u64
+        self.ring.is_full()
     }
 
     /// Enqueue; returns the value back when full.
     pub fn enqueue(&mut self, v: u64) -> Result<(), Full> {
-        if self.is_full() {
-            return Err(Full(v));
-        }
-        let c = self.capacity() as u64;
-        self.slots[(self.tail % c) as usize] = v;
-        self.tail += 1;
-        Ok(())
+        self.ring.enqueue(v)
     }
 
     /// Dequeue the oldest element.
     pub fn dequeue(&mut self) -> Option<u64> {
-        if self.is_empty() {
-            return None;
-        }
-        let c = self.capacity() as u64;
-        let v = self.slots[(self.head % c) as usize];
-        self.head += 1;
-        Some(v)
+        self.ring.dequeue()
     }
 
     /// Enqueue a prefix of `vs`; returns how many fit. The sequential
@@ -216,24 +232,21 @@ impl SeqRingQueue {
 
     /// Peek at the oldest element without removing it.
     pub fn peek(&self) -> Option<u64> {
-        if self.is_empty() {
-            None
-        } else {
-            let c = self.capacity() as u64;
-            Some(self.slots[(self.head % c) as usize])
-        }
+        self.ring.peek()
     }
 
     /// Iterate over the current elements, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        let c = self.capacity() as u64;
-        (self.head..self.tail).map(move |i| self.slots[(i % c) as usize])
+        (self.ring.head()..self.ring.tail()).map(move |i| self.ring.get_abs(i))
     }
 }
 
 impl MemoryFootprint for SeqRingQueue {
     fn footprint(&self) -> FootprintBreakdown {
-        FootprintBreakdown::with_elements(self.slots.len() * 8).add(
+        // The algorithmic overhead is the two Figure 1 counters. The
+        // relocatable framing words (magic + capacity) play the role the
+        // old Vec header played and are likewise not billed.
+        FootprintBreakdown::with_elements(self.capacity() * 8).add(
             "head + tail counters",
             16,
             OverheadClass::Counters,
@@ -327,6 +340,27 @@ mod tests {
         assert_eq!(q.dequeue_many(10, &mut out), 1, "stops when empty");
         assert_eq!(out, vec![1, 2, 3, 4]);
         assert_eq!(q.dequeue_many(1, &mut out), 0);
+    }
+
+    #[test]
+    fn clone_is_memcpy_relocation_and_diverges() {
+        // `Clone` duplicates the relocatable bytes at a new address; the
+        // copy must carry the full state and then evolve independently.
+        let mut q = SeqRingQueue::with_capacity(3);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        q.dequeue().unwrap();
+        q.enqueue(3).unwrap();
+        let mut c = q.clone();
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(c.dequeue(), Some(2));
+        c.enqueue(9).unwrap();
+        assert_eq!(
+            q.iter().collect::<Vec<_>>(),
+            vec![2, 3],
+            "original untouched"
+        );
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![3, 9]);
     }
 
     #[test]

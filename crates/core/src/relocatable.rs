@@ -1,0 +1,1040 @@
+//! **Relocatable queue layouts** — the pointer/offset split (DESIGN.md §10).
+//!
+//! Every hot structure in this module is `#[repr(C)]`, contains **no
+//! pointers** (no `Box`, no `Vec`, no `AtomicPtr`), and addresses its own
+//! parts purely by *offsets from a base address*. A structure placed into
+//! caller-provided memory at one address is therefore byte-for-byte valid
+//! at any other address — in particular inside an `mmap`-shared segment
+//! that different processes map at different virtual addresses (`bq-shm`),
+//! or memcpy'd wholesale (how [`SeqRingQueue`](crate::SeqRingQueue) now
+//! implements `Clone`).
+//!
+//! The split is: **shared state** (the `#[repr(C)]` header + trailing
+//! arrays, all offset-addressed) vs **view** (a per-process accessor like
+//! [`RelocRing`] holding the locally-mapped base pointer). Views are cheap
+//! `Copy` values reconstructed by each process from its own mapping; only
+//! views hold pointers, and views are never stored in shared memory.
+//!
+//! Three layouts are provided, each with a [`Layout`]-computing
+//! constructor pair (`layout` / `init_at` / `from_raw`):
+//!
+//! * [`RelocSeqRing`] — the Figure 1 sequential ring
+//!   ([`SeqRingQueue`](crate::SeqRingQueue) is now a thin heap-backed
+//!   wrapper over it);
+//! * [`RelocRing<T>`] — the Vyukov-style sequenced MPMC ring
+//!   (`bq-baselines`' `VyukovQueue` wraps `RelocRing<u64>`; `bq-shm`'s
+//!   `ShmQueue<T>` reuses the identical slot layout under a
+//!   crash-consistent publication protocol);
+//! * [`AnnounceBoard`] — the Listing 5 announcement array + the 2·T
+//!   reusable [`RelocEnqOp`] descriptor pool
+//!   ([`OptimalQueue`](crate::OptimalQueue) serves its helping machinery
+//!   out of it).
+//!
+//! ## Layout rules (stability contract)
+//!
+//! 1. `#[repr(C)]` on every shared struct; field order is ABI.
+//! 2. No pointer-sized-dependent fields: everything is `u64`/`AtomicU64`
+//!    or a `Pod` payload, so 32-/64-bit layouts agree.
+//! 3. Contended words are isolated with `#[repr(C, align(128))]`
+//!    ([`PadAtomicU64`]) — two cache lines, matching `CachePadded`.
+//! 4. Each layout starts with a magic word; `from_raw` refuses memory
+//!    that does not carry it.
+//! 5. Compile-time `size_of`/`align_of`/`offset_of` assertions pin every
+//!    struct (this module, bottom); an accidental field reorder is a
+//!    compile error, not a live-segment corruption.
+//!
+//! Element types crossing a segment boundary must be [`Pod`]: `Copy`
+//! (hence no `Drop` — a crashed process cannot run destructors, so a
+//! type that *needs* dropping can never be crash-safe in shared memory)
+//! and free of pointers/references (a pointer is only meaningful in the
+//! address space that created it).
+
+use std::alloc::Layout;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::queue::Full;
+
+/// Marker for **plain-old-data** element types that may live in
+/// relocatable / shared memory.
+///
+/// # Safety
+///
+/// Implementors must guarantee:
+///
+/// * no pointers, references, or other address-space-local values —
+///   the bytes must mean the same thing in every process;
+/// * any bit pattern obtained from a *published* slot is a value the
+///   type can hold (the protocols never read unpublished slots, so
+///   torn writes by a crashed process are never observed);
+/// * `Copy` (statically enforced), which also rules out `Drop`: shared
+///   segments are reclaimed by `munmap`, never by running destructors,
+///   and a process can die between any two instructions.
+pub unsafe trait Pod: Copy + Send + 'static {}
+
+// SAFETY: primitive integers/floats have no pointers, no Drop, and
+// accept any bit pattern (floats: every pattern is some float).
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for u128 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for i128 {}
+unsafe impl Pod for isize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+// SAFETY: an array of Pod is Pod (no padding between elements).
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Round `n` up to the next multiple of `align` (a power of two).
+pub const fn align_up(n: usize, align: usize) -> usize {
+    (n + align - 1) & !(align - 1)
+}
+
+/// An `AtomicU64` alone on (a pair of) cache lines — the relocatable,
+/// `#[repr(C)]` equivalent of `crossbeam_utils::CachePadded<AtomicU64>`.
+#[repr(C, align(128))]
+pub struct PadAtomicU64(pub AtomicU64);
+
+impl PadAtomicU64 {
+    /// A padded atomic starting at `v`.
+    pub const fn new(v: u64) -> Self {
+        PadAtomicU64(AtomicU64::new(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RelocBuf — an owned, aligned, zeroed allocation for heap-backed wrappers
+// ---------------------------------------------------------------------------
+
+/// An owned, zero-initialized, aligned raw allocation that heap-backed
+/// wrappers place relocatable layouts into. This is the *local* half of
+/// the pointer/offset split: `RelocBuf` owns the bytes, a view type
+/// ([`RelocRing`], [`AnnounceBoard`], …) addresses into them.
+pub struct RelocBuf {
+    ptr: NonNull<u8>,
+    layout: Layout,
+}
+
+impl RelocBuf {
+    /// Allocate `layout` zeroed. Panics on allocation failure (parity
+    /// with `Box`/`Vec`).
+    pub fn zeroed(layout: Layout) -> RelocBuf {
+        assert!(layout.size() > 0, "zero-sized relocatable layout");
+        // SAFETY: size checked non-zero above.
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(ptr) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        RelocBuf { ptr, layout }
+    }
+
+    /// Base address of the allocation.
+    pub fn base(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Allocation size in bytes.
+    pub fn len(&self) -> usize {
+        self.layout.size()
+    }
+
+    /// `true` iff the allocation is zero bytes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.layout.size() == 0
+    }
+
+    /// Byte-for-byte copy into a fresh allocation at a (generally)
+    /// different address — the memcpy-relocation primitive. Only sound
+    /// for relocatable layouts, which is everything this module defines.
+    pub fn duplicate(&self) -> RelocBuf {
+        let dup = RelocBuf::zeroed(self.layout);
+        // SAFETY: same layout, distinct allocations.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), dup.ptr.as_ptr(), self.layout.size())
+        };
+        dup
+    }
+}
+
+impl Drop for RelocBuf {
+    fn drop(&mut self) {
+        // SAFETY: allocated with exactly this layout in `zeroed`.
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), self.layout) };
+    }
+}
+
+// SAFETY: RelocBuf is a uniquely-owned byte allocation; sending it (or
+// sharing references to it) is as safe as the access discipline of the
+// layout placed inside, which each wrapper type vouches for with its own
+// Send/Sync impls.
+unsafe impl Send for RelocBuf {}
+unsafe impl Sync for RelocBuf {}
+
+// ---------------------------------------------------------------------------
+// RelocSeqRing — the Figure 1 sequential ring, relocatable
+// ---------------------------------------------------------------------------
+
+/// Header of the sequential ring: magic + capacity + the two Figure 1
+/// positioning counters. `C` value slots (`u64`) follow immediately.
+#[repr(C)]
+pub struct SeqRingHdr {
+    /// [`SEQ_RING_MAGIC`].
+    pub magic: u64,
+    /// Capacity `C`.
+    pub capacity: u64,
+    /// Total successful enqueues.
+    pub tail: u64,
+    /// Total successful dequeues.
+    pub head: u64,
+}
+
+/// Magic word identifying an initialized [`RelocSeqRing`] region.
+pub const SEQ_RING_MAGIC: u64 = 0x4d42_5153_4551_5231; // "MBQSEQR1"
+
+/// View over a Figure 1 sequential bounded ring placed in caller-provided
+/// memory. Single-owner (`&mut` API); the heap-backed owner is
+/// [`SeqRingQueue`](crate::SeqRingQueue).
+#[derive(Clone, Copy)]
+pub struct RelocSeqRing {
+    hdr: NonNull<SeqRingHdr>,
+}
+
+impl RelocSeqRing {
+    /// Memory layout for capacity `c`.
+    pub fn layout(c: usize) -> Layout {
+        assert!(c > 0, "capacity must be positive");
+        Layout::from_size_align(
+            std::mem::size_of::<SeqRingHdr>() + c * std::mem::size_of::<u64>(),
+            std::mem::align_of::<SeqRingHdr>(),
+        )
+        .expect("seq ring layout")
+    }
+
+    /// Initialize an empty ring of capacity `c` at `base` and return its
+    /// view.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be valid for writes of [`Self::layout`]`(c)` bytes,
+    /// aligned to that layout, and exclusively owned by the caller.
+    pub unsafe fn init_at(base: *mut u8, c: usize) -> RelocSeqRing {
+        let _ = Self::layout(c); // validates c > 0
+        let hdr = base.cast::<SeqRingHdr>();
+        hdr.write(SeqRingHdr {
+            magic: SEQ_RING_MAGIC,
+            capacity: c as u64,
+            tail: 0,
+            head: 0,
+        });
+        // Slots: zeroed by convention (callers hand over zeroed memory or
+        // accept stale values — the counters make them unreachable).
+        RelocSeqRing {
+            hdr: NonNull::new_unchecked(hdr),
+        }
+    }
+
+    /// Re-attach to a previously initialized ring at `base` (e.g. after a
+    /// memcpy relocation). Panics if the magic word is absent.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to memory initialized by [`Self::init_at`] (or a
+    /// byte-for-byte copy of it) and stay valid and exclusively owned for
+    /// the view's lifetime.
+    pub unsafe fn from_raw(base: *mut u8) -> RelocSeqRing {
+        let hdr = base.cast::<SeqRingHdr>();
+        assert_eq!((*hdr).magic, SEQ_RING_MAGIC, "not a RelocSeqRing region");
+        RelocSeqRing {
+            hdr: NonNull::new_unchecked(hdr),
+        }
+    }
+
+    fn hdr(&self) -> &SeqRingHdr {
+        // SAFETY: view invariant — hdr points at an initialized header.
+        unsafe { self.hdr.as_ref() }
+    }
+
+    fn hdr_mut(&mut self) -> &mut SeqRingHdr {
+        // SAFETY: &mut self — the single-owner discipline gives
+        // exclusive access.
+        unsafe { self.hdr.as_mut() }
+    }
+
+    fn slots(&self) -> *mut u64 {
+        // SAFETY: slots follow the header per `layout`.
+        unsafe { self.hdr.as_ptr().add(1).cast::<u64>() }
+    }
+
+    /// Capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.hdr().capacity as usize
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        (self.hdr().tail - self.hdr().head) as usize
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.hdr().head == self.hdr().tail
+    }
+
+    /// Is the ring full?
+    pub fn is_full(&self) -> bool {
+        self.hdr().tail == self.hdr().head + self.hdr().capacity
+    }
+
+    /// The value at absolute position `pos` (`head ≤ pos < tail`).
+    pub fn get_abs(&self, pos: u64) -> u64 {
+        debug_assert!(self.hdr().head <= pos && pos < self.hdr().tail);
+        // SAFETY: pos % C is in bounds.
+        unsafe {
+            self.slots()
+                .add((pos % self.hdr().capacity) as usize)
+                .read()
+        }
+    }
+
+    /// Total successful enqueues (the Figure 1 `tail` counter).
+    pub fn tail(&self) -> u64 {
+        self.hdr().tail
+    }
+
+    /// Total successful dequeues (the Figure 1 `head` counter).
+    pub fn head(&self) -> u64 {
+        self.hdr().head
+    }
+
+    /// Enqueue; hands the value back when full.
+    pub fn enqueue(&mut self, v: u64) -> Result<(), Full> {
+        if self.is_full() {
+            return Err(Full(v));
+        }
+        let c = self.hdr().capacity;
+        let tail = self.hdr().tail;
+        // SAFETY: tail % C is in bounds; &mut self gives exclusivity.
+        unsafe { self.slots().add((tail % c) as usize).write(v) };
+        self.hdr_mut().tail += 1;
+        Ok(())
+    }
+
+    /// Dequeue the oldest element.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let c = self.hdr().capacity;
+        let head = self.hdr().head;
+        // SAFETY: head % C is in bounds.
+        let v = unsafe { self.slots().add((head % c) as usize).read() };
+        self.hdr_mut().head += 1;
+        Some(v)
+    }
+
+    /// Peek at the oldest element without removing it.
+    pub fn peek(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.get_abs(self.hdr().head))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RelocRing<T> — the Vyukov-style sequenced MPMC ring, relocatable
+// ---------------------------------------------------------------------------
+
+/// Header of the sequenced ring: magic + capacity, then the two
+/// cache-padded positioning counters. `C` [`RelocSlot<T>`]s follow at the
+/// next `RelocSlot<T>`-aligned offset.
+#[repr(C, align(128))]
+pub struct RingHdr {
+    /// [`RING_MAGIC`].
+    pub magic: u64,
+    /// Capacity `C`.
+    pub capacity: u64,
+    /// Producer counter (cache-padded).
+    pub tail: PadAtomicU64,
+    /// Consumer counter (cache-padded).
+    pub head: PadAtomicU64,
+}
+
+/// Magic word identifying an initialized [`RelocRing`] region.
+pub const RING_MAGIC: u64 = 0x4d42_5153_4551_5232; // "MBQSEQR2"
+
+/// One sequenced slot: the per-slot round word (exactly the Θ(C)
+/// metadata the paper's lower bound prices) and the payload.
+#[repr(C)]
+pub struct RelocSlot<T> {
+    /// The sequence/round word. Encoding is protocol-defined: plain
+    /// Vyukov rounds here, the packed round/state/owner word in
+    /// `bq-shm`'s crash-consistent protocol.
+    pub seq: AtomicU64,
+    /// The payload; written only by the slot's unique round-owner.
+    pub val: UnsafeCell<T>,
+}
+
+/// View over a sequenced MPMC ring placed in caller-provided memory.
+///
+/// The view is `Copy` and per-process: each process (or each heap owner)
+/// reconstructs it from its own mapping of the shared bytes via
+/// [`from_raw`](Self::from_raw). The plain Vyukov protocol is provided as
+/// the `vy_*` methods; `bq-shm` drives the same layout under its
+/// crash-consistent protocol through the raw accessors.
+pub struct RelocRing<T: Pod> {
+    hdr: NonNull<RingHdr>,
+    slots: NonNull<RelocSlot<T>>,
+    _pd: PhantomData<T>,
+}
+
+impl<T: Pod> Clone for RelocRing<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: Pod> Copy for RelocRing<T> {}
+
+impl<T: Pod> RelocRing<T> {
+    const fn slots_offset() -> usize {
+        align_up(
+            std::mem::size_of::<RingHdr>(),
+            std::mem::align_of::<RelocSlot<T>>(),
+        )
+    }
+
+    /// Memory layout for capacity `c ≥ 2` (the sequence encoding needs
+    /// at least two slots; see `VyukovQueue::with_capacity`).
+    pub fn layout(c: usize) -> Layout {
+        assert!(c >= 2, "sequenced rings require capacity >= 2");
+        let align = std::mem::align_of::<RingHdr>().max(std::mem::align_of::<RelocSlot<T>>());
+        Layout::from_size_align(
+            Self::slots_offset() + c * std::mem::size_of::<RelocSlot<T>>(),
+            align,
+        )
+        .expect("ring layout")
+    }
+
+    /// Initialize an empty ring of capacity `c` at `base` and return its
+    /// view: slot `i` gets sequence word `i` (Vyukov's "free for round
+    /// `i`"), payloads zeroed.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be valid for writes of [`Self::layout`]`(c)` bytes and
+    /// aligned to that layout; no other view may be concurrently
+    /// initializing the same region.
+    pub unsafe fn init_at(base: *mut u8, c: usize) -> RelocRing<T> {
+        let _ = Self::layout(c);
+        let hdr = base.cast::<RingHdr>();
+        hdr.write(RingHdr {
+            magic: RING_MAGIC,
+            capacity: c as u64,
+            tail: PadAtomicU64::new(0),
+            head: PadAtomicU64::new(0),
+        });
+        let slots = base.add(Self::slots_offset()).cast::<RelocSlot<T>>();
+        for i in 0..c {
+            let s = slots.add(i);
+            (*s).seq = AtomicU64::new(i as u64);
+            std::ptr::write_bytes((*s).val.get(), 0, 1);
+        }
+        RelocRing {
+            hdr: NonNull::new_unchecked(hdr),
+            slots: NonNull::new_unchecked(slots),
+            _pd: PhantomData,
+        }
+    }
+
+    /// Re-attach to an initialized ring at `base` (this process's mapping
+    /// of it). Panics if the magic word is absent.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to memory initialized by [`Self::init_at`] for
+    /// the same `T` (or a byte copy / shared mapping of it) and stay
+    /// valid for the view's lifetime.
+    pub unsafe fn from_raw(base: *mut u8) -> RelocRing<T> {
+        let hdr = base.cast::<RingHdr>();
+        assert_eq!((*hdr).magic, RING_MAGIC, "not a RelocRing region");
+        let slots = base.add(Self::slots_offset()).cast::<RelocSlot<T>>();
+        RelocRing {
+            hdr: NonNull::new_unchecked(hdr),
+            slots: NonNull::new_unchecked(slots),
+            _pd: PhantomData,
+        }
+    }
+
+    fn hdr(&self) -> &RingHdr {
+        // SAFETY: view invariant.
+        unsafe { self.hdr.as_ref() }
+    }
+
+    /// Capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.hdr().capacity as usize
+    }
+
+    /// The producer counter.
+    pub fn tail(&self) -> &AtomicU64 {
+        &self.hdr().tail.0
+    }
+
+    /// The consumer counter.
+    pub fn head(&self) -> &AtomicU64 {
+        &self.hdr().head.0
+    }
+
+    /// The sequence word of slot `i` (`i < C`).
+    pub fn seq(&self, i: usize) -> &AtomicU64 {
+        debug_assert!(i < self.capacity());
+        // SAFETY: bounds checked above; slots array is C entries.
+        unsafe { &(*self.slots.as_ptr().add(i)).seq }
+    }
+
+    /// Write slot `i`'s payload.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold exclusive round-ownership of slot `i` per the
+    /// governing protocol (e.g. won the claiming CAS for this round).
+    pub unsafe fn val_write(&self, i: usize, v: T) {
+        debug_assert!(i < self.capacity());
+        (*self.slots.as_ptr().add(i)).val.get().write(v);
+    }
+
+    /// Read slot `i`'s payload.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold round-ownership of slot `i` and the payload must
+    /// have been published per the governing protocol.
+    pub unsafe fn val_read(&self, i: usize) -> T {
+        debug_assert!(i < self.capacity());
+        (*self.slots.as_ptr().add(i)).val.get().read()
+    }
+
+    /// Occupancy estimate from the counters (exact when quiescent).
+    pub fn counter_len(&self) -> usize {
+        let t = self.tail().load(Ordering::SeqCst);
+        let h = self.head().load(Ordering::SeqCst);
+        t.saturating_sub(h) as usize
+    }
+
+    // -- the plain Vyukov protocol over this layout ------------------------
+
+    /// Vyukov `enqueue`: claim the tail round with a CAS, write the
+    /// payload, release the slot's sequence word. May report full
+    /// spuriously under concurrency (the design's documented relaxation).
+    pub fn vy_enqueue(&self, v: T) -> Result<(), T> {
+        let c = self.capacity() as u64;
+        let mut pos = self.tail().load(Ordering::Relaxed);
+        loop {
+            let slot = (pos % c) as usize;
+            let seq = self.seq(slot).load(Ordering::Acquire);
+            if seq == pos {
+                if self
+                    .tail()
+                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // SAFETY: winning the tail CAS grants exclusive write
+                    // access to this slot for this round.
+                    unsafe { self.val_write(slot, v) };
+                    self.seq(slot).store(pos + 1, Ordering::Release);
+                    return Ok(());
+                }
+                pos = self.tail().load(Ordering::Relaxed);
+            } else if seq < pos {
+                // The slot still carries last round's element: full.
+                return Err(v);
+            } else {
+                pos = self.tail().load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Vyukov `dequeue`: the mirror of [`vy_enqueue`](Self::vy_enqueue).
+    pub fn vy_dequeue(&self) -> Option<T> {
+        let c = self.capacity() as u64;
+        let mut pos = self.head().load(Ordering::Relaxed);
+        loop {
+            let slot = (pos % c) as usize;
+            let seq = self.seq(slot).load(Ordering::Acquire);
+            if seq == pos + 1 {
+                if self
+                    .head()
+                    .compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // SAFETY: winning the head CAS grants exclusive read
+                    // access for this round.
+                    let v = unsafe { self.val_read(slot) };
+                    self.seq(slot).store(pos + c, Ordering::Release);
+                    return Some(v);
+                }
+                pos = self.head().load(Ordering::Relaxed);
+            } else if seq < pos + 1 {
+                return None;
+            } else {
+                pos = self.head().load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Native batch enqueue: scan a run of free slots, claim the whole
+    /// run with one tail CAS, fill and release in order (DESIGN.md §8.1's
+    /// slot-run fast path, verbatim on the relocatable layout).
+    pub fn vy_enqueue_many(&self, vs: &[T]) -> usize {
+        let c = self.capacity() as u64;
+        let cap = self.capacity();
+        let mut done = 0usize;
+        while done < vs.len() {
+            let pos = self.tail().load(Ordering::Relaxed);
+            let want = (vs.len() - done).min(cap);
+            let mut m = 0usize;
+            while m < want {
+                let slot = ((pos + m as u64) % c) as usize;
+                if self.seq(slot).load(Ordering::Acquire) != pos + m as u64 {
+                    break;
+                }
+                m += 1;
+            }
+            if m == 0 {
+                let slot = (pos % c) as usize;
+                let seq = self.seq(slot).load(Ordering::Acquire);
+                if seq < pos {
+                    // Same (relaxed) full report as the single-element op.
+                    return done;
+                }
+                continue; // raced with another producer; re-read the tail
+            }
+            if self
+                .tail()
+                .compare_exchange(pos, pos + m as u64, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                for i in 0..m {
+                    let slot = ((pos + i as u64) % c) as usize;
+                    // SAFETY: the tail CAS claimed rounds pos..pos+m; each
+                    // claimed slot has exactly one writer this round.
+                    unsafe { self.val_write(slot, vs[done + i]) };
+                    self.seq(slot).store(pos + i as u64 + 1, Ordering::Release);
+                }
+                done += m;
+            }
+        }
+        done
+    }
+
+    /// Native batch dequeue: the mirror slot-run claim over the head
+    /// counter (`seq == pos + i + 1` marks a filled slot).
+    pub fn vy_dequeue_many(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let c = self.capacity() as u64;
+        let cap = self.capacity();
+        let mut done = 0usize;
+        while done < max {
+            let pos = self.head().load(Ordering::Relaxed);
+            let want = (max - done).min(cap);
+            let mut m = 0usize;
+            while m < want {
+                let slot = ((pos + m as u64) % c) as usize;
+                if self.seq(slot).load(Ordering::Acquire) != pos + m as u64 + 1 {
+                    break;
+                }
+                m += 1;
+            }
+            if m == 0 {
+                let slot = (pos % c) as usize;
+                let seq = self.seq(slot).load(Ordering::Acquire);
+                if seq < pos + 1 {
+                    return done; // empty (same relaxed report as vy_dequeue)
+                }
+                continue;
+            }
+            if self
+                .head()
+                .compare_exchange(pos, pos + m as u64, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                for i in 0..m {
+                    let slot = ((pos + i as u64) % c) as usize;
+                    // SAFETY: the head CAS claimed rounds pos..pos+m.
+                    out.push(unsafe { self.val_read(slot) });
+                    self.seq(slot).store(pos + i as u64 + c, Ordering::Release);
+                }
+                done += m;
+            }
+        }
+        done
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AnnounceBoard — the Listing 5 announcement array + descriptor pool
+// ---------------------------------------------------------------------------
+
+/// Header of the announcement board: magic + thread bound `T`. The `T`
+/// announcement words follow, then (at the next 128-byte boundary) the
+/// `2T` reusable descriptors.
+#[repr(C, align(128))]
+pub struct BoardHdr {
+    /// [`BOARD_MAGIC`].
+    pub magic: u64,
+    /// Thread bound `T`.
+    pub threads: u64,
+}
+
+/// Magic word identifying an initialized [`AnnounceBoard`] region.
+pub const BOARD_MAGIC: u64 = 0x4d42_5141_4e4e_4f31; // "MBQANNO1"
+
+/// One reusable `EnqOp` descriptor (paper Listing 5, lines 1–21) in
+/// relocatable form: five atomics, no pointers — descriptor *references*
+/// are packed `(index, seq)` words, so they too are position-independent.
+///
+/// `seq` parity: even = free, odd = claimed/published. Fields are written
+/// only between claim and publication, so a reader that re-validates
+/// `seq` after reading the fields observes a consistent incarnation.
+#[repr(C, align(128))]
+pub struct RelocEnqOp {
+    /// Incarnation counter (even = free, odd = live).
+    pub seq: AtomicU64,
+    /// The paper's `successful: Bool?` — `(seq << 2) | state` so stale
+    /// helpers' verdict CASes fail harmlessly after reuse.
+    pub status: AtomicU64,
+    /// The `enqueues` value this operation is bound to.
+    pub e: AtomicU64,
+    /// The element being inserted.
+    pub x: AtomicU64,
+    /// Target cell, `e % C` (cached, as in the paper).
+    pub i: AtomicU64,
+}
+
+/// View over the Listing 5 helping machinery — the `T`-slot announcement
+/// array and the `2T`-descriptor pool — placed in caller-provided memory.
+/// [`OptimalQueue`](crate::OptimalQueue) owns one in a [`RelocBuf`]; a
+/// future shared-memory optimal queue places the same bytes in a segment.
+#[derive(Clone, Copy)]
+pub struct AnnounceBoard {
+    hdr: NonNull<BoardHdr>,
+    ops: NonNull<AtomicU64>,
+    pool: NonNull<RelocEnqOp>,
+}
+
+impl AnnounceBoard {
+    const fn ops_offset() -> usize {
+        std::mem::size_of::<BoardHdr>()
+    }
+
+    fn pool_offset(t: usize) -> usize {
+        align_up(
+            Self::ops_offset() + t * std::mem::size_of::<AtomicU64>(),
+            std::mem::align_of::<RelocEnqOp>(),
+        )
+    }
+
+    /// Memory layout for thread bound `t`.
+    pub fn layout(t: usize) -> Layout {
+        assert!(t > 0, "thread bound must be positive");
+        Layout::from_size_align(
+            Self::pool_offset(t) + 2 * t * std::mem::size_of::<RelocEnqOp>(),
+            std::mem::align_of::<BoardHdr>().max(std::mem::align_of::<RelocEnqOp>()),
+        )
+        .expect("board layout")
+    }
+
+    /// Initialize an empty board for `t` threads at `base`: announcement
+    /// slots ⊥ (0), all descriptors free (even `seq`).
+    ///
+    /// # Safety
+    ///
+    /// `base` must be valid for writes of [`Self::layout`]`(t)` bytes and
+    /// aligned to that layout; no other view may concurrently initialize
+    /// the same region.
+    pub unsafe fn init_at(base: *mut u8, t: usize) -> AnnounceBoard {
+        let _ = Self::layout(t);
+        let hdr = base.cast::<BoardHdr>();
+        hdr.write(BoardHdr {
+            magic: BOARD_MAGIC,
+            threads: t as u64,
+        });
+        let ops = base.add(Self::ops_offset()).cast::<AtomicU64>();
+        for i in 0..t {
+            ops.add(i).write(AtomicU64::new(0));
+        }
+        let pool = base.add(Self::pool_offset(t)).cast::<RelocEnqOp>();
+        for i in 0..2 * t {
+            pool.add(i).write(RelocEnqOp {
+                seq: AtomicU64::new(0),
+                status: AtomicU64::new(0),
+                e: AtomicU64::new(0),
+                x: AtomicU64::new(0),
+                i: AtomicU64::new(0),
+            });
+        }
+        AnnounceBoard {
+            hdr: NonNull::new_unchecked(hdr),
+            ops: NonNull::new_unchecked(ops),
+            pool: NonNull::new_unchecked(pool),
+        }
+    }
+
+    /// Re-attach to an initialized board at `base`. Panics if the magic
+    /// word is absent.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to memory initialized by [`Self::init_at`] (or a
+    /// copy / shared mapping of it) and stay valid for the view's
+    /// lifetime.
+    pub unsafe fn from_raw(base: *mut u8) -> AnnounceBoard {
+        let hdr = base.cast::<BoardHdr>();
+        assert_eq!((*hdr).magic, BOARD_MAGIC, "not an AnnounceBoard region");
+        let t = (*hdr).threads as usize;
+        AnnounceBoard {
+            hdr: NonNull::new_unchecked(hdr),
+            ops: NonNull::new_unchecked(base.add(Self::ops_offset()).cast::<AtomicU64>()),
+            pool: NonNull::new_unchecked(base.add(Self::pool_offset(t)).cast::<RelocEnqOp>()),
+        }
+    }
+
+    /// Thread bound `T` (= announcement slot count).
+    pub fn threads(&self) -> usize {
+        // SAFETY: view invariant.
+        unsafe { self.hdr.as_ref().threads as usize }
+    }
+
+    /// Descriptor pool size (`2T`).
+    pub fn pool_len(&self) -> usize {
+        2 * self.threads()
+    }
+
+    /// Announcement slot `i` (`i < T`), holding a packed descriptor
+    /// reference or 0 = ⊥.
+    pub fn op(&self, i: usize) -> &AtomicU64 {
+        debug_assert!(i < self.threads());
+        // SAFETY: bounds checked above.
+        unsafe { &*self.ops.as_ptr().add(i) }
+    }
+
+    /// Descriptor `i` of the pool (`i < 2T`).
+    pub fn desc(&self, i: usize) -> Option<&RelocEnqOp> {
+        if i < self.pool_len() {
+            // SAFETY: bounds checked above.
+            Some(unsafe { &*self.pool.as_ptr().add(i) })
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over the descriptor pool.
+    pub fn descs(&self) -> impl Iterator<Item = &RelocEnqOp> + '_ {
+        (0..self.pool_len()).map(move |i| self.desc(i).expect("in bounds"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout stability: compile-time pins (DESIGN.md §10 rule 5)
+// ---------------------------------------------------------------------------
+
+const _: () = {
+    use std::mem::{align_of, offset_of, size_of};
+
+    // PadAtomicU64: one unit of contention isolation.
+    assert!(size_of::<PadAtomicU64>() == 128);
+    assert!(align_of::<PadAtomicU64>() == 128);
+
+    // SeqRingHdr: four plain u64 words, in order.
+    assert!(size_of::<SeqRingHdr>() == 32);
+    assert!(align_of::<SeqRingHdr>() == 8);
+    assert!(offset_of!(SeqRingHdr, magic) == 0);
+    assert!(offset_of!(SeqRingHdr, capacity) == 8);
+    assert!(offset_of!(SeqRingHdr, tail) == 16);
+    assert!(offset_of!(SeqRingHdr, head) == 24);
+
+    // RingHdr: magic+capacity share the first padded unit; the counters
+    // get one each.
+    assert!(size_of::<RingHdr>() == 384);
+    assert!(align_of::<RingHdr>() == 128);
+    assert!(offset_of!(RingHdr, magic) == 0);
+    assert!(offset_of!(RingHdr, capacity) == 8);
+    assert!(offset_of!(RingHdr, tail) == 128);
+    assert!(offset_of!(RingHdr, head) == 256);
+
+    // Sequenced slots for the element types the queues instantiate.
+    assert!(size_of::<RelocSlot<u64>>() == 16);
+    assert!(offset_of!(RelocSlot<u64>, seq) == 0);
+    assert!(size_of::<RelocSlot<[u8; 24]>>() == 32);
+
+    // BoardHdr + descriptors.
+    assert!(size_of::<BoardHdr>() == 128);
+    assert!(align_of::<BoardHdr>() == 128);
+    assert!(size_of::<RelocEnqOp>() == 128);
+    assert!(align_of::<RelocEnqOp>() == 128);
+    assert!(offset_of!(RelocEnqOp, seq) == 0);
+    assert!(offset_of!(RelocEnqOp, status) == 8);
+    assert!(offset_of!(RelocEnqOp, e) == 16);
+    assert!(offset_of!(RelocEnqOp, x) == 24);
+    assert!(offset_of!(RelocEnqOp, i) == 32);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_ring_basic_and_wraparound() {
+        let buf = RelocBuf::zeroed(RelocSeqRing::layout(3));
+        // SAFETY: buf satisfies layout(3), exclusively owned.
+        let mut r = unsafe { RelocSeqRing::init_at(buf.base(), 3) };
+        for round in 0..50u64 {
+            for i in 0..3 {
+                r.enqueue(round * 3 + i).unwrap();
+            }
+            assert!(r.is_full());
+            assert_eq!(r.enqueue(99), Err(Full(99)));
+            for i in 0..3 {
+                assert_eq!(r.dequeue(), Some(round * 3 + i));
+            }
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn seq_ring_survives_memcpy_relocation() {
+        let buf = RelocBuf::zeroed(RelocSeqRing::layout(4));
+        // SAFETY: buf satisfies layout(4).
+        let mut r = unsafe { RelocSeqRing::init_at(buf.base(), 4) };
+        r.enqueue(10).unwrap();
+        r.enqueue(20).unwrap();
+        r.dequeue().unwrap();
+        r.enqueue(30).unwrap();
+
+        let copy = buf.duplicate();
+        assert_ne!(copy.base(), buf.base(), "relocated to a new address");
+        // SAFETY: copy holds a byte-identical initialized region.
+        let mut r2 = unsafe { RelocSeqRing::from_raw(copy.base()) };
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r2.dequeue(), Some(20));
+        assert_eq!(r2.dequeue(), Some(30));
+        assert_eq!(r2.dequeue(), None);
+        // The original is untouched by operations on the copy.
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a RelocSeqRing")]
+    fn seq_ring_rejects_uninitialized_memory() {
+        let buf = RelocBuf::zeroed(RelocSeqRing::layout(2));
+        // SAFETY: the pointer is valid; the magic check is the subject.
+        let _ = unsafe { RelocSeqRing::from_raw(buf.base()) };
+    }
+
+    #[test]
+    fn vy_ring_fifo_and_relaxed_full() {
+        let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(4));
+        // SAFETY: buf satisfies layout(4).
+        let r = unsafe { RelocRing::<u64>::init_at(buf.base(), 4) };
+        for v in 1..=4 {
+            r.vy_enqueue(v).unwrap();
+        }
+        assert_eq!(r.vy_enqueue(5), Err(5));
+        for v in 1..=4 {
+            assert_eq!(r.vy_dequeue(), Some(v));
+        }
+        assert_eq!(r.vy_dequeue(), None);
+    }
+
+    #[test]
+    fn vy_ring_batch_runs_wrap() {
+        let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(4));
+        // SAFETY: buf satisfies layout(4).
+        let r = unsafe { RelocRing::<u64>::init_at(buf.base(), 4) };
+        assert_eq!(r.vy_enqueue_many(&[1, 2, 3, 4, 5]), 4);
+        let mut out = Vec::new();
+        assert_eq!(r.vy_dequeue_many(2, &mut out), 2);
+        assert_eq!(r.vy_enqueue_many(&[5, 6]), 2);
+        assert_eq!(r.vy_dequeue_many(10, &mut out), 4);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn vy_ring_survives_memcpy_relocation_mid_state() {
+        let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(8));
+        // SAFETY: buf satisfies layout(8).
+        let r = unsafe { RelocRing::<u64>::init_at(buf.base(), 8) };
+        for v in 1..=6 {
+            r.vy_enqueue(v).unwrap();
+        }
+        r.vy_dequeue().unwrap();
+        let copy = buf.duplicate();
+        // SAFETY: byte-identical initialized region.
+        let r2 = unsafe { RelocRing::<u64>::from_raw(copy.base()) };
+        assert_eq!(r2.counter_len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(r2.vy_dequeue_many(8, &mut out), 5);
+        assert_eq!(out, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn vy_ring_nonword_pod_payload() {
+        // A 3-word Pod payload exercises the generic slot layout.
+        let buf = RelocBuf::zeroed(RelocRing::<[u64; 3]>::layout(2));
+        // SAFETY: buf satisfies layout(2).
+        let r = unsafe { RelocRing::<[u64; 3]>::init_at(buf.base(), 2) };
+        r.vy_enqueue([1, 2, 3]).unwrap();
+        r.vy_enqueue([4, 5, 6]).unwrap();
+        assert_eq!(r.vy_dequeue(), Some([1, 2, 3]));
+        assert_eq!(r.vy_dequeue(), Some([4, 5, 6]));
+        assert_eq!(r.vy_dequeue(), None);
+    }
+
+    #[test]
+    fn board_round_trips_and_relocates() {
+        let buf = RelocBuf::zeroed(AnnounceBoard::layout(3));
+        // SAFETY: buf satisfies layout(3).
+        let b = unsafe { AnnounceBoard::init_at(buf.base(), 3) };
+        assert_eq!(b.threads(), 3);
+        assert_eq!(b.pool_len(), 6);
+        b.op(1).store(77, Ordering::SeqCst);
+        b.desc(4).unwrap().x.store(42, Ordering::SeqCst);
+        assert!(b.desc(6).is_none());
+
+        let copy = buf.duplicate();
+        // SAFETY: byte-identical initialized region.
+        let b2 = unsafe { AnnounceBoard::from_raw(copy.base()) };
+        assert_eq!(b2.op(1).load(Ordering::SeqCst), 77);
+        assert_eq!(b2.desc(4).unwrap().x.load(Ordering::SeqCst), 42);
+        assert_eq!(b2.op(0).load(Ordering::SeqCst), 0);
+        assert_eq!(b2.descs().count(), 6);
+    }
+
+    #[test]
+    fn layouts_are_contiguous_and_aligned() {
+        assert_eq!(RelocSeqRing::layout(8).size(), 32 + 64);
+        let l = RelocRing::<u64>::layout(8);
+        assert_eq!(l.size(), 384 + 8 * 16);
+        assert_eq!(l.align(), 128);
+        let b = AnnounceBoard::layout(4);
+        // hdr 128 + 4 ops (32 B) padded to 128, + 8 descriptors.
+        assert_eq!(b.size(), 256 + 8 * 128);
+    }
+
+    #[test]
+    fn align_up_rounds_correctly() {
+        assert_eq!(align_up(0, 128), 0);
+        assert_eq!(align_up(1, 128), 128);
+        assert_eq!(align_up(128, 128), 128);
+        assert_eq!(align_up(129, 64), 192);
+    }
+}

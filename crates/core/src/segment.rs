@@ -233,7 +233,11 @@ impl SegmentQueue {
     /// pushing the tail hint forward so it can never dangle into the
     /// retired range.
     fn move_hint_forward(&self, to: Shared<'_, Segment>, is_head: bool, guard: &Guard) {
-        let hint = if is_head { &self.head_seg } else { &self.tail_seg };
+        let hint = if is_head {
+            &self.head_seg
+        } else {
+            &self.tail_seg
+        };
         let to_id = unsafe { to.deref() }.id;
         loop {
             let cur = hint.load(Ordering::SeqCst, guard);
@@ -597,7 +601,10 @@ mod tests {
         }
         // Tiny K pays many headers; mid K is cheap; the shape check proper
         // is experiment E2.
-        assert!(ovh[0].1 > ovh[1].1, "K=4 should cost more than K=64: {ovh:?}");
+        assert!(
+            ovh[0].1 > ovh[1].1,
+            "K=4 should cost more than K=64: {ovh:?}"
+        );
     }
 
     #[test]
@@ -705,7 +712,11 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(q.dequeue_many(&mut h, 5, &mut out), 5);
         assert_eq!(out, vec![1, 2, 3, 4, 5], "segment runs preserve FIFO");
-        assert_eq!(q.enqueue_many(&mut h, &[9, 10]), 2, "wraps into new segments");
+        assert_eq!(
+            q.enqueue_many(&mut h, &[9, 10]),
+            2,
+            "wraps into new segments"
+        );
         assert_eq!(q.dequeue_many(&mut h, 10, &mut out), 5);
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
     }
@@ -775,6 +786,9 @@ mod tests {
         }
         t.join().unwrap();
         // C/K = 8 live segments plus a small constant per thread.
-        assert!(peak <= 8 + 4, "peak live segments {peak} exceeds C/K + O(T)");
+        assert!(
+            peak <= 8 + 4,
+            "peak live segments {peak} exceeds C/K + O(T)"
+        );
     }
 }

@@ -271,8 +271,7 @@ impl DcssArena {
             .store(addr2 as *const AtomicU64 as usize, Ordering::SeqCst);
         d.exp2.store(exp2, Ordering::SeqCst);
         let seq = s0 + 2;
-        d.status
-            .store((seq << 2) | ST_UNDECIDED, Ordering::SeqCst);
+        d.status.store((seq << 2) | ST_UNDECIDED, Ordering::SeqCst);
         d.seq.store(seq, Ordering::SeqCst); // published
 
         let packed = pack_ref(index, seq);
@@ -512,7 +511,11 @@ mod tests {
             }));
         }
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        assert_eq!(arena.read(&a), total, "each success increments exactly once");
+        assert_eq!(
+            arena.read(&a),
+            total,
+            "each success increments exactly once"
+        );
         assert!(total > 0);
     }
 

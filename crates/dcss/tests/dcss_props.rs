@@ -21,11 +21,8 @@ struct Script {
 }
 
 fn script_strategy(data: usize, control: usize) -> impl Strategy<Value = Script> {
-    prop::collection::vec(
-        (0..data, 0u64..6, 0u64..6, 0..control, 0u64..6),
-        1..150,
-    )
-    .prop_map(|ops| Script { ops })
+    prop::collection::vec((0..data, 0u64..6, 0u64..6, 0..control, 0u64..6), 1..150)
+        .prop_map(|ops| Script { ops })
 }
 
 proptest! {

@@ -182,6 +182,9 @@ mod tests {
     #[test]
     fn class_display() {
         assert_eq!(OverheadClass::Descriptors.to_string(), "descriptors");
-        assert_eq!(OverheadClass::Announcement.to_string(), "announcement array");
+        assert_eq!(
+            OverheadClass::Announcement.to_string(),
+            "announcement array"
+        );
     }
 }

@@ -76,7 +76,9 @@ pub fn render_breakdown(row: &OverheadRow) -> String {
         out.push_str(&format!("  [{}] {}: {} bytes\n", e.class, e.label, e.bytes));
     }
     if let Some(m) = row.measured_heap_bytes {
-        out.push_str(&format!("  measured heap (counting allocator): {m} bytes\n"));
+        out.push_str(&format!(
+            "  measured heap (counting allocator): {m} bytes\n"
+        ));
     }
     out
 }

@@ -1,0 +1,196 @@
+//! A minimal `fork` harness for multi-process tests, benches and
+//! examples: spawn a child running a closure, wait for it with a
+//! deadline (so a wedged queue fails a test instead of hanging it), and
+//! decode how it died.
+//!
+//! ## Fork discipline (IMPORTANT)
+//!
+//! The child of a multi-threaded parent inherits a single thread and a
+//! *snapshot* of all process state — including any lock another thread
+//! held at fork time, which would deadlock the child on first use. The
+//! closure passed to [`fork_child`] must therefore restrict itself to
+//! operations on shared-memory segments (which are lock-free by
+//! construction) and must not rely on the allocator, stdio buffering, or
+//! any std synchronization. The child always leaves via `_exit` (no
+//! atexit handlers, no unwinding, no buffers flushed); a panic in the
+//! closure becomes `_exit(101)`.
+
+use std::time::{Duration, Instant};
+
+/// How a child ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildExit {
+    /// Normal exit with this status code.
+    Exited(i32),
+    /// Terminated by this signal (e.g. `libc::SIGKILL`).
+    Signaled(i32),
+}
+
+impl ChildExit {
+    /// Did the child exit normally with status 0?
+    pub fn success(&self) -> bool {
+        matches!(self, ChildExit::Exited(0))
+    }
+}
+
+/// A forked child process. Must be waited on (reaping is what arms the
+/// authoritative dead-flag path); dropping without waiting leaks a
+/// zombie until the parent exits.
+#[derive(Debug)]
+pub struct Child {
+    pid: libc::pid_t,
+}
+
+/// Fork a child that runs `f` and then `_exit(0)`.
+///
+/// See the module docs for what `f` may safely do. The closure's panics
+/// are caught and turned into exit status 101 (mirroring Rust test
+/// binaries) — unwinding out of a forked context is never allowed.
+pub fn fork_child<F: FnOnce()>(f: F) -> std::io::Result<Child> {
+    // SAFETY: fork has no preconditions; the child-side restrictions are
+    // the caller contract documented on this function.
+    let pid = unsafe { libc::fork() };
+    if pid < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    if pid == 0 {
+        // Child. Run the closure and leave without touching any parent
+        // state (no unwinding past this frame, no atexit, no stdio flush).
+        let status = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(()) => 0,
+            Err(_) => 101,
+        };
+        // SAFETY: terminating the child; nothing below this runs.
+        unsafe { libc::_exit(status) };
+    }
+    Ok(Child { pid })
+}
+
+impl Child {
+    /// The child's pid.
+    pub fn pid(&self) -> u32 {
+        self.pid as u32
+    }
+
+    fn decode(status: libc::c_int) -> ChildExit {
+        if libc::WIFSIGNALED(status) {
+            ChildExit::Signaled(libc::WTERMSIG(status))
+        } else {
+            ChildExit::Exited(libc::WEXITSTATUS(status))
+        }
+    }
+
+    /// Block until the child exits and reap it.
+    pub fn wait(self) -> std::io::Result<ChildExit> {
+        let mut status: libc::c_int = 0;
+        // SAFETY: waiting on our own child with a valid status pointer.
+        let r = unsafe { libc::waitpid(self.pid, &mut status, 0) };
+        if r < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self::decode(status))
+    }
+
+    /// Wait for up to `timeout`, polling with `WNOHANG`. Returns
+    /// `Ok(None)` if the child is still running at the deadline (the
+    /// caller decides whether that is a wedge); `Ok(Some(_))` reaps it.
+    pub fn wait_deadline(&mut self, timeout: Duration) -> std::io::Result<Option<ChildExit>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut status: libc::c_int = 0;
+            // SAFETY: as in `wait`, with WNOHANG.
+            let r = unsafe { libc::waitpid(self.pid, &mut status, libc::WNOHANG) };
+            if r < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            if r == self.pid {
+                return Ok(Some(Self::decode(status)));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Send `SIGKILL` to the child (it still needs waiting afterwards).
+    pub fn kill(&self) {
+        // SAFETY: signaling our own child.
+        unsafe {
+            libc::kill(self.pid, libc::SIGKILL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::ShmSegment;
+    use std::sync::atomic::Ordering;
+    use std::sync::Mutex;
+
+    /// Forky tests in this binary are serialized: fork from a test
+    /// binary is only safe while no *other* test thread is mid-allocation
+    /// or holding a lock the child might need.
+    static FORK_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn child_writes_into_shared_segment() {
+        let _g = FORK_LOCK.lock().unwrap();
+        let seg = ShmSegment::create_anon(64, 1).unwrap();
+        let child = fork_child(|| {
+            seg.scratch(0).store(1234, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(child.wait().unwrap(), ChildExit::Exited(0));
+        assert_eq!(
+            seg.scratch(0).load(Ordering::SeqCst),
+            1234,
+            "anonymous MAP_SHARED mapping is shared, not copied, across fork"
+        );
+    }
+
+    #[test]
+    fn killed_child_is_decoded_and_flaggable() {
+        let _g = FORK_LOCK.lock().unwrap();
+        let seg = ShmSegment::create_anon(64, 1).unwrap();
+        let child = fork_child(|| loop {
+            // SAFETY: yield has no preconditions.
+            unsafe {
+                libc::sched_yield();
+            }
+        })
+        .unwrap();
+        let idx = seg.register_proc(child.pid());
+        assert!(!seg.proc_is_dead(idx), "spinning child is alive");
+        child.kill();
+        assert_eq!(child.wait().unwrap(), ChildExit::Signaled(libc::SIGKILL));
+        // Reaped ⇒ the parent may authoritatively flag the slot; the
+        // ESRCH probe now also answers dead.
+        seg.mark_dead(idx);
+        assert!(seg.proc_is_dead(idx));
+    }
+
+    #[test]
+    fn wait_deadline_reports_still_running() {
+        let _g = FORK_LOCK.lock().unwrap();
+        let seg = ShmSegment::create_anon(64, 1).unwrap();
+        let mut child = fork_child(|| {
+            while seg.scratch(1).load(Ordering::SeqCst) == 0 {
+                // SAFETY: yield has no preconditions.
+                unsafe {
+                    libc::sched_yield();
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            child.wait_deadline(Duration::from_millis(30)).unwrap(),
+            None,
+            "child waits for the release word"
+        );
+        seg.scratch(1).store(1, Ordering::SeqCst);
+        let end = child.wait_deadline(Duration::from_secs(10)).unwrap();
+        assert_eq!(end, Some(ChildExit::Exited(0)));
+    }
+}

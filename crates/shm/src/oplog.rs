@@ -1,0 +1,335 @@
+//! A shared-memory **operation log** for reconstructing cross-process
+//! histories: every process appends invoke/return events with globally
+//! sequenced timestamps, and the parent rebuilds a totally-ordered
+//! history for the Wing–Gong pool checker (`bq_sim::lincheck`).
+//!
+//! Soundness of the reconstruction: an operation's invoke event is
+//! logged *before* its first queue access and its return event *after*
+//! its last, both stamped from one shared `event_seq` counter — so the
+//! logged interval **contains** the real one, and interval-widening is
+//! exactly the coarsening the linearizability definition permits (a
+//! history remains valid if ops are treated as taking longer). A process
+//! killed mid-operation leaves a record with `return_seq == 0`; such
+//! pending records are surfaced separately so callers can decide
+//! (complete histories go to the checker; crash runs use conservation
+//! accounting instead).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bq_core::relocatable::align_up;
+
+use crate::segment::ShmSegment;
+
+/// Layout tag for an op-log segment payload.
+pub const OPLOG_TAG: u64 = 0x4f50_4c4f_4731_0001; // "OPLOG1" + rev
+
+/// Operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `enqueue(value)`.
+    Enqueue,
+    /// `dequeue()`.
+    Dequeue,
+}
+
+/// Operation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetKind {
+    /// Enqueue accepted.
+    EnqOk,
+    /// Enqueue rejected (queue full).
+    EnqFull,
+    /// Dequeue returned the carried value.
+    DeqVal,
+    /// Dequeue found the queue empty.
+    DeqEmpty,
+}
+
+const K_ENQ: u64 = 0;
+const K_DEQ: u64 = 1;
+const R_ENQ_OK: u64 = 1;
+const R_ENQ_FULL: u64 = 2;
+const R_DEQ_VAL: u64 = 3;
+const R_DEQ_EMPTY: u64 = 4;
+
+/// One logged operation (all fields atomics so processes race safely).
+#[repr(C)]
+struct OpRecord {
+    /// Global sequence stamp of the invoke (1-based; 0 = record unused).
+    invoke_seq: AtomicU64,
+    /// Global sequence stamp of the return (0 = still pending).
+    return_seq: AtomicU64,
+    /// `K_ENQ` / `K_DEQ`.
+    kind: AtomicU64,
+    /// Logical thread/process id of the caller.
+    tid: AtomicU64,
+    /// Enqueue argument (unused for dequeues).
+    value: AtomicU64,
+    /// `R_*` result code.
+    ret_kind: AtomicU64,
+    /// Dequeue result value (valid when `ret_kind == R_DEQ_VAL`).
+    ret_val: AtomicU64,
+}
+
+#[repr(C, align(128))]
+struct LogHdr {
+    capacity: u64,
+    _pad0: u64,
+    /// Global event stamp source (shared by invokes and returns).
+    event_seq: AtomicU64,
+    /// Next free record index.
+    next_rec: AtomicU64,
+}
+
+/// A fully reconstructed event, ordered by its global stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoggedEvent {
+    /// Operation `rec` was invoked.
+    Invoke {
+        /// Record index (stable op identity).
+        rec: usize,
+        /// Logical caller id.
+        tid: u64,
+        /// The operation.
+        kind: OpKind,
+        /// Enqueue argument (0 for dequeues).
+        value: u64,
+    },
+    /// Operation `rec` returned.
+    Return {
+        /// Record index.
+        rec: usize,
+        /// The result.
+        ret: RetKind,
+        /// Dequeue result value (0 otherwise).
+        ret_val: u64,
+    },
+}
+
+/// The shared op log (one segment of its own; clone freely, fork freely).
+#[derive(Clone)]
+pub struct OpLog {
+    seg: Arc<ShmSegment>,
+    cap: usize,
+}
+
+impl OpLog {
+    fn hdr(&self) -> &LogHdr {
+        // SAFETY: constructor initializes the header before returning.
+        unsafe { &*self.seg.payload_ptr().cast::<LogHdr>() }
+    }
+
+    fn rec(&self, i: usize) -> &OpRecord {
+        debug_assert!(i < self.cap);
+        // SAFETY: records follow the header; i bounds-checked above.
+        unsafe {
+            &*self
+                .seg
+                .payload_ptr()
+                .add(Self::recs_offset())
+                .cast::<OpRecord>()
+                .add(i)
+        }
+    }
+
+    fn recs_offset() -> usize {
+        align_up(
+            std::mem::size_of::<LogHdr>(),
+            std::mem::align_of::<OpRecord>(),
+        )
+    }
+
+    /// Create a log with room for `cap` operations in a fresh anonymous
+    /// shared segment.
+    pub fn create_anon(cap: usize) -> std::io::Result<OpLog> {
+        assert!(cap > 0);
+        let bytes = Self::recs_offset() + cap * std::mem::size_of::<OpRecord>();
+        let seg = ShmSegment::create_anon(bytes, OPLOG_TAG)?;
+        // SAFETY: payload is zeroed and large enough; only the capacity
+        // word needs writing (zeroed atomics are the correct init).
+        unsafe {
+            (*seg.payload_ptr().cast::<LogHdr>()).capacity = cap as u64;
+        }
+        seg.publish();
+        Ok(OpLog {
+            seg: Arc::new(seg),
+            cap,
+        })
+    }
+
+    /// Capacity in operations.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Log an invoke; returns the record id to pass to
+    /// [`log_return`](Self::log_return), or `None` when the log is full
+    /// (callers simply stop logging — the workload continues unlogged).
+    pub fn log_invoke(&self, tid: u64, kind: OpKind, value: u64) -> Option<usize> {
+        let h = self.hdr();
+        let i = h.next_rec.fetch_add(1, Ordering::SeqCst) as usize;
+        if i >= self.cap {
+            return None;
+        }
+        let r = self.rec(i);
+        r.kind.store(
+            match kind {
+                OpKind::Enqueue => K_ENQ,
+                OpKind::Dequeue => K_DEQ,
+            },
+            Ordering::SeqCst,
+        );
+        r.tid.store(tid, Ordering::SeqCst);
+        r.value.store(value, Ordering::SeqCst);
+        // The stamp is taken last so the logged invoke precedes the op
+        // but follows the record's field writes.
+        let stamp = h.event_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        r.invoke_seq.store(stamp, Ordering::SeqCst);
+        Some(i)
+    }
+
+    /// Log the return of record `rec`.
+    pub fn log_return(&self, rec: usize, ret: RetKind, ret_val: u64) {
+        let h = self.hdr();
+        let r = self.rec(rec);
+        r.ret_kind.store(
+            match ret {
+                RetKind::EnqOk => R_ENQ_OK,
+                RetKind::EnqFull => R_ENQ_FULL,
+                RetKind::DeqVal => R_DEQ_VAL,
+                RetKind::DeqEmpty => R_DEQ_EMPTY,
+            },
+            Ordering::SeqCst,
+        );
+        r.ret_val.store(ret_val, Ordering::SeqCst);
+        let stamp = h.event_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        r.return_seq.store(stamp, Ordering::SeqCst);
+    }
+
+    /// Reconstruct the completed history: all events of records whose
+    /// return was logged, totally ordered by global stamp. The second
+    /// return value lists records still **pending** (invoked, never
+    /// returned — i.e. the ops of killed processes).
+    pub fn reconstruct(&self) -> (Vec<LoggedEvent>, Vec<usize>) {
+        let used = (self.hdr().next_rec.load(Ordering::SeqCst) as usize).min(self.cap);
+        let mut events: Vec<(u64, LoggedEvent)> = Vec::new();
+        let mut pending = Vec::new();
+        for i in 0..used {
+            let r = self.rec(i);
+            let inv = r.invoke_seq.load(Ordering::SeqCst);
+            if inv == 0 {
+                continue; // allocated but never stamped (killed inside log_invoke)
+            }
+            let ret = r.return_seq.load(Ordering::SeqCst);
+            if ret == 0 {
+                pending.push(i);
+                continue;
+            }
+            let kind = if r.kind.load(Ordering::SeqCst) == K_ENQ {
+                OpKind::Enqueue
+            } else {
+                OpKind::Dequeue
+            };
+            events.push((
+                inv,
+                LoggedEvent::Invoke {
+                    rec: i,
+                    tid: r.tid.load(Ordering::SeqCst),
+                    kind,
+                    value: r.value.load(Ordering::SeqCst),
+                },
+            ));
+            let ret_kind = match r.ret_kind.load(Ordering::SeqCst) {
+                R_ENQ_OK => RetKind::EnqOk,
+                R_ENQ_FULL => RetKind::EnqFull,
+                R_DEQ_VAL => RetKind::DeqVal,
+                R_DEQ_EMPTY => RetKind::DeqEmpty,
+                other => unreachable!("corrupt ret_kind {other}"),
+            };
+            events.push((
+                ret,
+                LoggedEvent::Return {
+                    rec: i,
+                    ret: ret_kind,
+                    ret_val: r.ret_val.load(Ordering::SeqCst),
+                },
+            ));
+        }
+        events.sort_by_key(|(stamp, _)| *stamp);
+        (events.into_iter().map(|(_, e)| e).collect(), pending)
+    }
+}
+
+const _: () = {
+    use std::mem::{offset_of, size_of};
+    assert!(size_of::<OpRecord>() == 56);
+    assert!(offset_of!(OpRecord, invoke_seq) == 0);
+    assert!(offset_of!(OpRecord, return_seq) == 8);
+    assert!(size_of::<LogHdr>() == 128);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_round_trip_orders_events() {
+        let log = OpLog::create_anon(8).unwrap();
+        let a = log.log_invoke(0, OpKind::Enqueue, 41).unwrap();
+        let b = log.log_invoke(1, OpKind::Dequeue, 0).unwrap();
+        log.log_return(a, RetKind::EnqOk, 0);
+        log.log_return(b, RetKind::DeqVal, 41);
+        let (events, pending) = log.reconstruct();
+        assert!(pending.is_empty());
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0],
+            LoggedEvent::Invoke {
+                rec: a,
+                tid: 0,
+                kind: OpKind::Enqueue,
+                value: 41
+            }
+        );
+        assert_eq!(
+            events[1],
+            LoggedEvent::Invoke {
+                rec: b,
+                tid: 1,
+                kind: OpKind::Dequeue,
+                value: 0
+            }
+        );
+        // Returns were logged after both invokes, in call order.
+        assert_eq!(
+            events[2],
+            LoggedEvent::Return {
+                rec: a,
+                ret: RetKind::EnqOk,
+                ret_val: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pending_ops_are_surfaced_not_dropped_silently() {
+        let log = OpLog::create_anon(4).unwrap();
+        let a = log.log_invoke(0, OpKind::Enqueue, 1).unwrap();
+        let b = log.log_invoke(0, OpKind::Enqueue, 2).unwrap();
+        log.log_return(b, RetKind::EnqOk, 0);
+        let (events, pending) = log.reconstruct();
+        assert_eq!(pending, vec![a], "killed-mid-op record is reported");
+        assert_eq!(events.len(), 2, "only the completed op's events");
+    }
+
+    #[test]
+    fn full_log_returns_none_and_keeps_working() {
+        let log = OpLog::create_anon(2).unwrap();
+        assert!(log.log_invoke(0, OpKind::Enqueue, 1).is_some());
+        assert!(log.log_invoke(0, OpKind::Enqueue, 2).is_some());
+        assert!(log.log_invoke(0, OpKind::Enqueue, 3).is_none());
+        let (events, _) = log.reconstruct();
+        assert_eq!(events.len(), 0, "no returns yet");
+    }
+}

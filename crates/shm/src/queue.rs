@@ -1,0 +1,694 @@
+//! `ShmQueue<T>` — an N-producer/M-consumer bounded queue whose entire
+//! shared state lives inside a [`ShmSegment`], built on the relocatable
+//! [`RelocRing`] layout, under a **crash-consistent publication protocol**
+//! (DESIGN.md §10.3).
+//!
+//! ## The protocol
+//!
+//! The per-slot sequence word of the Vyukov layout is re-encoded as
+//!
+//! ```text
+//! bits 0..=47   round     (the global position the slot serves)
+//! bits 48..=49  state     FREE → CLAIMED → PUB → CONSUMING → FREE(+C)
+//! bits 50..=57  owner     process-table index of the claimant
+//! ```
+//!
+//! so the slot word *names the process that must finish the transition* —
+//! that is what makes orphaned operations reclaimable. The linearization
+//! points are chosen for crash-consistency: an **enqueue linearizes at its
+//! publish CAS (W4)**, a **dequeue at its claim CAS (V1)**. Everything a
+//! process does between claiming and publishing is private-until-published,
+//! so a death in the window aborts the op cleanly instead of tearing it.
+//!
+//! ## Per-write crash-consistency argument (enqueue path)
+//!
+//! A producer that dies immediately after each shared write leaves:
+//!
+//! | after | shared state left behind | who recovers, and how |
+//! |-------|--------------------------|------------------------|
+//! | (none) | nothing | nothing to recover |
+//! | W1 claim CAS `FREE(t)→CLAIMED(t,me)` | slot claimed, `tail` possibly still `t` | any producer seeing `round == tail` helps `tail → t+1`; the claim is orphaned (next row) |
+//! | W2 tail help CAS `t→t+1` | orphaned `CLAIMED(t,me)` | a consumer reaching `head == t` (or a producer seeing the slot one round later) asks the liveness oracle; dead owner ⇒ reclaim CAS `CLAIMED(t)→FREE(t+C)` + help `head → t+1`. The enqueue never linearized: no element is lost *from the queue* — the value died unpublished with its producer |
+//! | W3 value write | same as W2 — the payload bytes are unreachable while the word says `CLAIMED`, so the torn/complete value is never observed | same reclaim as W2 |
+//! | W4 publish CAS `CLAIMED→PUB(t,me)` | a fully published element | ordinary dequeues; the producer's death after its linearization point is invisible |
+//!
+//! The dequeue path mirrors it: death between the claim (V1, linearization)
+//! and the release (V4) leaves `CONSUMING(h,me)`; a producer arriving one
+//! round later (or any consumer helping `head`) reclaims it to
+//! `FREE(h+C)`. The element counts as consumed — the process died *after*
+//! its dequeue took effect, exactly as if it died one instruction after
+//! returning.
+//!
+//! ## Why reclaims cannot corrupt
+//!
+//! Reclaim fires only when the liveness oracle
+//! ([`ShmSegment::proc_is_dead`]) answers *dead*, and both its sources
+//! (parent-set flag after `waitpid`; `kill(pid,0) == ESRCH`) are one-sided:
+//! a process reported dead executes no further instruction. Hence the
+//! "delayed W3" hazard — a reclaimed-then-reused slot receiving a stale
+//! value write — cannot arise. Defensively, every ownership transition is
+//! still a CAS (never a blind store): if the oracle were ever wrong, the
+//! wrongly-reclaimed owner's publish/release CAS would fail and the
+//! operation retries instead of tearing.
+//!
+//! ## Element bounds
+//!
+//! `T:`[`Pod`] — plain old data. `Drop` types are rejected by the `Copy`
+//! bound on purpose: destructors cannot be guaranteed to run in a process
+//! that can die between any two instructions, so owning types would leak
+//! or double-free across the segment. Pointer-bearing types are rejected
+//! because a pointer is only meaningful in the address space that wrote it
+//! (the segment maps at different addresses in different processes).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bq_core::relocatable::{Pod, RelocRing};
+
+use crate::segment::ShmSegment;
+
+const ROUND_BITS: u32 = 48;
+const ROUND_MASK: u64 = (1 << ROUND_BITS) - 1;
+const STATE_SHIFT: u32 = 48;
+const OWNER_SHIFT: u32 = 50;
+
+/// Slot states (2 bits at [`STATE_SHIFT`]).
+const FREE: u64 = 0;
+const CLAIMED: u64 = 1;
+const PUB: u64 = 2;
+const CONSUMING: u64 = 3;
+
+#[inline]
+fn pack(round: u64, state: u64, owner: usize) -> u64 {
+    debug_assert!(round <= ROUND_MASK);
+    debug_assert!(state <= 3);
+    debug_assert!(owner < 256);
+    round | (state << STATE_SHIFT) | ((owner as u64) << OWNER_SHIFT)
+}
+
+#[inline]
+fn unpack(w: u64) -> (u64, u64, usize) {
+    (
+        w & ROUND_MASK,
+        (w >> STATE_SHIFT) & 0b11,
+        (w >> OWNER_SHIFT) as usize & 0xff,
+    )
+}
+
+/// Layout tag for a `ShmQueue` payload: protocol id + element size, so an
+/// attach with a differently-sized `T` is refused at the header check.
+pub fn layout_tag<T>() -> u64 {
+    0x5348_5131_0000_0000 | std::mem::size_of::<T>() as u64
+}
+
+/// Per-process (per-registrant) handle: the owner identity baked into
+/// claim words, plus the crash-injection countdown used by the soak and
+/// crash tests.
+#[derive(Debug)]
+pub struct ShmHandle {
+    proc_idx: usize,
+    /// `Some(n)`: die by `SIGKILL` after performing exactly `n` shared
+    /// writes in the next enqueue (0 = before any write).
+    crash_after_writes: Option<u64>,
+}
+
+impl ShmHandle {
+    /// This handle's process-table slot.
+    pub fn proc_idx(&self) -> usize {
+        self.proc_idx
+    }
+
+    /// Arm crash injection: the next enqueue performs exactly `n` shared
+    /// writes and then `SIGKILL`s the calling process. Test-harness
+    /// machinery (used by the crash-injection suite and the soak rounds).
+    pub fn arm_crash_after_writes(&mut self, n: u64) {
+        self.crash_after_writes = Some(n);
+    }
+
+    /// The crash gate, called once on enqueue entry and once after every
+    /// shared write the enqueue performs.
+    #[inline]
+    fn crash_gate(&mut self) {
+        if let Some(left) = self.crash_after_writes.as_mut() {
+            if *left == 0 {
+                // SAFETY: killing ourselves with SIGKILL has no
+                // preconditions; the process ends here.
+                unsafe {
+                    libc::kill(libc::getpid(), libc::SIGKILL);
+                }
+                unreachable!("survived SIGKILL to self");
+            }
+            *left -= 1;
+        }
+    }
+}
+
+/// The shared-memory multi-process bounded queue. See the module docs for
+/// the protocol and its crash-consistency argument.
+pub struct ShmQueue<T: Pod> {
+    seg: Arc<ShmSegment>,
+    ring: RelocRing<T>,
+}
+
+// SAFETY: every shared access goes through the segment's atomics under
+// the protocol above; the view's raw pointers target the mapping owned
+// (and kept alive) by `seg`.
+unsafe impl<T: Pod> Send for ShmQueue<T> {}
+unsafe impl<T: Pod> Sync for ShmQueue<T> {}
+
+impl<T: Pod> Clone for ShmQueue<T> {
+    fn clone(&self) -> Self {
+        ShmQueue {
+            seg: Arc::clone(&self.seg),
+            ring: self.ring,
+        }
+    }
+}
+
+impl<T: Pod> ShmQueue<T> {
+    /// Create a queue of capacity `c ≥ 2` in a fresh anonymous shared
+    /// segment (shared with all future `fork` children).
+    pub fn create_anon(c: usize) -> std::io::Result<ShmQueue<T>> {
+        let layout = RelocRing::<T>::layout(c);
+        let seg = ShmSegment::create_anon(layout.size(), layout_tag::<T>())?;
+        // SAFETY: the payload region is zeroed, 128-aligned, and at least
+        // `layout.size()` bytes; the segment was created by us.
+        let ring = unsafe { RelocRing::<T>::init_at(seg.payload_ptr(), c) };
+        seg.publish();
+        Ok(ShmQueue {
+            seg: Arc::new(seg),
+            ring,
+        })
+    }
+
+    /// Create a queue of capacity `c ≥ 2` in a file-backed segment at
+    /// `path`, for unrelated processes to [`open_file`](Self::open_file).
+    pub fn create_file(path: &std::path::Path, c: usize) -> std::io::Result<ShmQueue<T>> {
+        let layout = RelocRing::<T>::layout(c);
+        let seg = ShmSegment::create_file(path, layout.size(), layout_tag::<T>())?;
+        // SAFETY: as in `create_anon`.
+        let ring = unsafe { RelocRing::<T>::init_at(seg.payload_ptr(), c) };
+        seg.publish();
+        Ok(ShmQueue {
+            seg: Arc::new(seg),
+            ring,
+        })
+    }
+
+    /// Attach to a published queue segment file created by another
+    /// process. This is the relocation path: the mapping lands at a
+    /// different base address here, and the view is rebuilt from it.
+    pub fn open_file(path: &std::path::Path) -> std::io::Result<ShmQueue<T>> {
+        let seg = ShmSegment::open_file(path, layout_tag::<T>())?;
+        // SAFETY: the header check accepted magic/version/tag/length, so
+        // the payload is an initialized `RelocRing<T>` region.
+        let ring = unsafe { RelocRing::<T>::from_raw(seg.payload_ptr()) };
+        Ok(ShmQueue {
+            seg: Arc::new(seg),
+            ring,
+        })
+    }
+
+    /// The segment this queue lives in (for scratch counters, the process
+    /// table, and harness coordination).
+    pub fn segment(&self) -> &Arc<ShmSegment> {
+        &self.seg
+    }
+
+    /// Register the calling process (or thread) in the liveness table and
+    /// return its handle. Panics when the table is full.
+    pub fn register(&self) -> ShmHandle {
+        ShmHandle {
+            proc_idx: self.seg.register_self(),
+            crash_after_writes: None,
+        }
+    }
+
+    /// Capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Occupancy estimate from the counters (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.ring.counter_len()
+    }
+
+    /// Emptiness estimate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn dead(&self, owner: usize) -> bool {
+        self.seg.proc_is_dead(owner)
+    }
+
+    /// Reclaim a slot whose owner died mid-transition: CAS the observed
+    /// word to `FREE(round + C)` and help `head` past `round`. Correct for
+    /// both orphan kinds (see the table in the module docs): an orphaned
+    /// `CLAIMED` never linearized (the position yields no element), an
+    /// orphaned `CONSUMING` linearized at its claim (the element is gone).
+    fn reclaim(&self, slot: usize, observed: u64, round: u64) {
+        if self
+            .ring
+            .seq(slot)
+            .compare_exchange(
+                observed,
+                pack(round + self.capacity() as u64, FREE, 0),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            let _ = self.ring.head().compare_exchange(
+                round,
+                round + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Enqueue `v`; `Err(v)` when full (relaxed, Vyukov-style: a slot
+    /// still held by the previous round's consumer reports full).
+    ///
+    /// Shared writes, in order: **W1** claim CAS, **W2** tail help CAS,
+    /// **W3** value write, **W4** publish CAS (the linearization point).
+    /// The crash gate in `h` fires after each.
+    pub fn enqueue(&self, h: &mut ShmHandle, v: T) -> Result<(), T> {
+        let c = self.capacity() as u64;
+        h.crash_gate(); // kill point 0: before any shared write
+        loop {
+            let t = self.ring.tail().load(Ordering::SeqCst);
+            let slot = (t % c) as usize;
+            let w = self.ring.seq(slot).load(Ordering::SeqCst);
+            let (r, st, owner) = unpack(w);
+            if r == t && st == FREE {
+                if self
+                    .ring
+                    .seq(slot)
+                    .compare_exchange(
+                        w,
+                        pack(t, CLAIMED, h.proc_idx),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    // W1 done: the claim names us; the value is still ours.
+                    h.crash_gate();
+                    let _ = self.ring.tail().compare_exchange(
+                        t,
+                        t + 1,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    // W2 done (possibly a no-op if a helper beat us).
+                    h.crash_gate();
+                    // SAFETY: the claim CAS granted us exclusive write
+                    // access to this slot's payload for round `t`.
+                    unsafe { self.ring.val_write(slot, v) };
+                    // W3 done: bytes written, still unreachable (CLAIMED).
+                    h.crash_gate();
+                    if self
+                        .ring
+                        .seq(slot)
+                        .compare_exchange(
+                            pack(t, CLAIMED, h.proc_idx),
+                            pack(t, PUB, h.proc_idx),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        // W4 done: linearized.
+                        h.crash_gate();
+                        return Ok(());
+                    }
+                    // Publish failed: our claim was reclaimed. Only a
+                    // false "dead" verdict can cause this (the oracle
+                    // precludes it for live processes); retry defensively
+                    // — the enqueue has not happened.
+                    continue;
+                }
+                continue; // lost the claim race
+            }
+            if r == t {
+                // Someone claimed round `t` but its tail help hasn't
+                // landed; help and retry on the next position.
+                let _ =
+                    self.ring
+                        .tail()
+                        .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst);
+                continue;
+            }
+            if r > t {
+                continue; // stale tail read; reload
+            }
+            // r < t: the slot still serves round `t - C`.
+            match st {
+                PUB => return Err(v), // element awaiting dequeue: full
+                CLAIMED => {
+                    if self.dead(owner) {
+                        // Orphaned enqueue from the previous round blocks
+                        // the slot; reclaim it (it never linearized).
+                        self.reclaim(slot, w, r);
+                        continue;
+                    }
+                    return Err(v); // in-flight enqueue: transiently full
+                }
+                CONSUMING => {
+                    if self.dead(owner) {
+                        // Orphaned dequeue: it linearized at its claim;
+                        // finish its release.
+                        self.reclaim(slot, w, r);
+                        continue;
+                    }
+                    return Err(v); // consumer mid-dequeue: transiently full
+                }
+                _ => continue, // FREE(r<t) is unreachable (claims are monotone)
+            }
+        }
+    }
+
+    /// Dequeue the oldest element; `None` when empty (relaxed: a slot
+    /// claimed by an in-flight live producer reports empty).
+    ///
+    /// Shared accesses, in order: **V1** claim CAS (the linearization
+    /// point), **V2** head help CAS, **V3** value read, **V4** release
+    /// CAS.
+    pub fn dequeue(&self, h: &mut ShmHandle) -> Option<T> {
+        let c = self.capacity() as u64;
+        loop {
+            let hd = self.ring.head().load(Ordering::SeqCst);
+            let slot = (hd % c) as usize;
+            let w = self.ring.seq(slot).load(Ordering::SeqCst);
+            let (r, st, owner) = unpack(w);
+            if r == hd {
+                match st {
+                    PUB => {
+                        if self
+                            .ring
+                            .seq(slot)
+                            .compare_exchange(
+                                w,
+                                pack(hd, CONSUMING, h.proc_idx),
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_ok()
+                        {
+                            // V1 done: linearized — the element is ours.
+                            let _ = self.ring.head().compare_exchange(
+                                hd,
+                                hd + 1,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            );
+                            // SAFETY: the claim CAS granted us exclusive
+                            // read access to the published payload.
+                            let v = unsafe { self.ring.val_read(slot) };
+                            // V4: release. A failure means a (necessarily
+                            // false-dead-verdict) reclaim already moved
+                            // the slot to exactly this target state; the
+                            // value we read stays valid either way.
+                            let _ = self.ring.seq(slot).compare_exchange(
+                                pack(hd, CONSUMING, h.proc_idx),
+                                pack(hd + c, FREE, 0),
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            );
+                            return Some(v);
+                        }
+                        continue; // lost the claim race
+                    }
+                    CLAIMED => {
+                        if self.dead(owner) {
+                            // Orphaned enqueue at the head: it never
+                            // linearized; skip the position.
+                            self.reclaim(slot, w, hd);
+                            continue;
+                        }
+                        return None; // in-flight enqueue: transiently empty
+                    }
+                    CONSUMING => {
+                        // Another consumer claimed `hd` but its head help
+                        // hasn't landed. If it died, release for it.
+                        if self.dead(owner) {
+                            self.reclaim(slot, w, hd);
+                        } else {
+                            let _ = self.ring.head().compare_exchange(
+                                hd,
+                                hd + 1,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            );
+                        }
+                        continue;
+                    }
+                    _ => return None, // FREE(hd): nothing ever enqueued here — empty
+                }
+            }
+            if r > hd {
+                // Slot already recycled past `hd` (consumed + released)
+                // but `head` lags; help it.
+                let _ = self.ring.head().compare_exchange(
+                    hd,
+                    hd + 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                continue;
+            }
+            // r < hd: stale head read; reload.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for &(r, st, o) in &[
+            (0u64, FREE, 0usize),
+            (7, CLAIMED, 3),
+            (1 << 40, CONSUMING, 63),
+        ] {
+            let w = pack(r, st, o);
+            assert_eq!(unpack(w), (r, st, o));
+        }
+        // Initial Vyukov seeding (seq = i) decodes as FREE(i) owner 0.
+        assert_eq!(unpack(5), (5, FREE, 0));
+    }
+
+    #[test]
+    fn sequential_fifo_and_relaxed_full() {
+        let q = ShmQueue::<u64>::create_anon(4).unwrap();
+        let mut h = q.register();
+        for v in 1..=4 {
+            q.enqueue(&mut h, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut h, 5), Err(5));
+        for v in 1..=4 {
+            assert_eq!(q.dequeue(&mut h), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn wraparound_many_rounds() {
+        let q = ShmQueue::<u64>::create_anon(3).unwrap();
+        let mut h = q.register();
+        for round in 0..300u64 {
+            for i in 0..3 {
+                q.enqueue(&mut h, round * 3 + i).unwrap();
+            }
+            assert_eq!(q.len(), 3);
+            for i in 0..3 {
+                assert_eq!(q.dequeue(&mut h), Some(round * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn non_word_pod_elements() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(C)]
+        struct Msg {
+            src: u32,
+            kind: u32,
+            body: [u8; 16],
+        }
+        // SAFETY: plain integers/bytes, repr(C), Copy — no pointers, no Drop.
+        unsafe impl Pod for Msg {}
+
+        let q = ShmQueue::<Msg>::create_anon(2).unwrap();
+        let mut h = q.register();
+        let m = Msg {
+            src: 7,
+            kind: 2,
+            body: *b"hello, partition",
+        };
+        q.enqueue(&mut h, m).unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(m));
+    }
+
+    #[test]
+    fn file_backed_attach_sees_same_elements() {
+        let dir = std::env::temp_dir().join(format!("membq-shmq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queue.seg");
+        let q = ShmQueue::<u64>::create_file(&path, 8).unwrap();
+        let mut h = q.register();
+        q.enqueue(&mut h, 11).unwrap();
+        q.enqueue(&mut h, 22).unwrap();
+
+        // A second mapping of the same file — different base address,
+        // same queue.
+        let q2 = ShmQueue::<u64>::open_file(&path).unwrap();
+        let mut h2 = q2.register();
+        assert_eq!(q2.len(), 2);
+        assert_eq!(q2.dequeue(&mut h2), Some(11));
+        q2.enqueue(&mut h2, 33).unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(22));
+        assert_eq!(q.dequeue(&mut h), Some(33));
+
+        // Element-size mismatch is refused at the header.
+        assert!(ShmQueue::<u32>::open_file(&path).is_err());
+        drop(q);
+        drop(q2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn threaded_conservation_in_one_process() {
+        let q = ShmQueue::<u64>::create_anon(8).unwrap();
+        let per = 3_000u64;
+        let producers = 2u64;
+        let total = per * producers;
+        let mut ths = Vec::new();
+        for p in 0..producers {
+            let q = q.clone();
+            ths.push(std::thread::spawn(move || {
+                let mut h = q.register();
+                for i in 0..per {
+                    let v = 1 + p * per + i;
+                    while q.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let mut h = q.register();
+        let mut seen = std::collections::HashSet::new();
+        while (seen.len() as u64) < total {
+            match q.dequeue(&mut h) {
+                Some(v) => assert!(seen.insert(v), "duplicate {v}"),
+                None => std::thread::yield_now(),
+            }
+        }
+        for t in ths {
+            t.join().unwrap();
+        }
+        assert_eq!(q.dequeue(&mut h), None, "exact conservation");
+    }
+
+    #[test]
+    fn orphaned_claim_is_reclaimed_not_wedged() {
+        // Simulate a death between W1/W2/W3 and W4 without fork: register
+        // a ghost "process", hand-craft its orphaned CLAIMED word at the
+        // head position, and check both sides recover.
+        let q = ShmQueue::<u64>::create_anon(2).unwrap();
+        let mut h = q.register();
+        let ghost = q.segment().register_proc(u32::MAX - 2); // ESRCH ⇒ dead
+                                                             // Ghost claims position 0 (W1) and helps tail (W2), then "dies".
+        let w0 = q.ring.seq(0).load(Ordering::SeqCst);
+        q.ring
+            .seq(0)
+            .compare_exchange(
+                w0,
+                pack(0, CLAIMED, ghost),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap();
+        q.ring
+            .tail()
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .unwrap();
+        // A live producer continues past the orphan...
+        q.enqueue(&mut h, 42).unwrap();
+        // ...and a consumer skips the never-linearized position 0 and
+        // gets the real element at position 1.
+        assert_eq!(q.dequeue(&mut h), Some(42));
+        assert_eq!(q.dequeue(&mut h), None);
+        // The queue remains fully usable through the reclaimed slot.
+        for round in 0..10u64 {
+            q.enqueue(&mut h, 100 + round).unwrap();
+            assert_eq!(q.dequeue(&mut h), Some(100 + round));
+        }
+    }
+
+    #[test]
+    fn orphaned_consuming_is_released_by_producer() {
+        let q = ShmQueue::<u64>::create_anon(2).unwrap();
+        let mut h = q.register();
+        let ghost = q.segment().register_proc(u32::MAX - 3);
+        // Fill both slots, then let the ghost claim the head element's
+        // dequeue (V1) and die before releasing (V4).
+        q.enqueue(&mut h, 1).unwrap();
+        q.enqueue(&mut h, 2).unwrap();
+        let w = q.ring.seq(0).load(Ordering::SeqCst);
+        q.ring
+            .seq(0)
+            .compare_exchange(
+                w,
+                pack(0, CONSUMING, ghost),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap();
+        // The ghost's dequeue linearized: element 1 is gone. A producer
+        // wanting the slot for round 2 releases it and succeeds.
+        q.enqueue(&mut h, 3).unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(2));
+        assert_eq!(q.dequeue(&mut h), Some(3));
+        assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn live_owner_is_never_reclaimed() {
+        // An in-flight CLAIMED slot owned by a *live* process must read as
+        // transient full/empty, not get reclaimed.
+        let q = ShmQueue::<u64>::create_anon(2).unwrap();
+        let mut h = q.register();
+        let me = h.proc_idx();
+        let w0 = q.ring.seq(0).load(Ordering::SeqCst);
+        q.ring
+            .seq(0)
+            .compare_exchange(w0, pack(0, CLAIMED, me), Ordering::SeqCst, Ordering::SeqCst)
+            .unwrap();
+        q.ring
+            .tail()
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .unwrap();
+        // Dequeue at the in-flight position: transiently empty.
+        assert_eq!(q.dequeue(&mut h), None);
+        // Finish the publication by hand (W3 + W4); now it's visible.
+        // SAFETY: we hold the claim made above.
+        unsafe { q.ring.val_write(0, 77) };
+        q.ring
+            .seq(0)
+            .compare_exchange(
+                pack(0, CLAIMED, me),
+                pack(0, PUB, me),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(77));
+    }
+}

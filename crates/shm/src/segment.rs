@@ -1,0 +1,431 @@
+//! `mmap`-backed shared segments with a versioned header and a process
+//! liveness table — the substrate `ShmQueue` places its relocatable
+//! layout into (DESIGN.md §10.2).
+//!
+//! A segment is `SegHdr` followed (at the next 128-byte boundary) by a
+//! caller-defined **payload** whose layout is identified by a `layout_tag`
+//! in the header. Attaching (`open_file`, or implicitly after `fork`)
+//! validates magic, version, tag and length before any payload access, so
+//! a stale or foreign file can never be misread as a queue.
+//!
+//! Two backings:
+//!
+//! * [`ShmSegment::create_anon`] — `MAP_SHARED | MAP_ANONYMOUS`. The
+//!   mapping is *shared, not copied,* across `fork`, and stays at the same
+//!   virtual address in the child, so a child may keep using views built
+//!   by the parent. This is the backing the fork harness and all tests
+//!   use.
+//! * [`ShmSegment::create_file`] / [`ShmSegment::open_file`] — a mapped
+//!   file, for unrelated processes; the open path is where relocation
+//!   actually happens (each process gets a different base address and
+//!   rebuilds its views from it, which only works because payloads are
+//!   relocatable).
+
+use std::fs::OpenOptions;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bq_core::relocatable::{align_up, PadAtomicU64};
+
+/// Magic word identifying a membq shared segment ("MBQSHSEG").
+pub const SHM_MAGIC: u64 = 0x4d42_5153_4853_4547;
+/// Header format version; bumped on any layout change.
+pub const SHM_VERSION: u64 = 1;
+/// Process-table size. 8 bits of owner index are packed into queue
+/// sequence words, but 64 keeps the header compact.
+pub const MAX_PROCS: usize = 64;
+/// Number of general-purpose scratch counters in the header (used by the
+/// fork harness and workloads for cross-process coordination).
+pub const SCRATCH_WORDS: usize = 8;
+
+/// One entry of the process liveness table.
+///
+/// `pid` doubles as the allocation latch (0 = free, CAS to claim). `dead`
+/// is the **authoritative** death flag: the parent sets it after `waitpid`
+/// has reaped the process, at which point the process provably executes no
+/// further instruction. The `kill(pid, 0) == ESRCH` probe in
+/// [`ShmSegment::proc_is_dead`] is a secondary signal with the same
+/// one-sided guarantee (ESRCH is only returned once the process is gone;
+/// a zombie — dead but unreaped — still reports alive, and a recycled pid
+/// reports alive): both sources may be *late* about a death but never
+/// report a live process dead, which is what the queue's reclaim safety
+/// argument needs (DESIGN.md §10.3).
+#[repr(C)]
+pub struct ProcSlot {
+    /// Registered pid (0 = slot free).
+    pub pid: AtomicU64,
+    /// 1 once the process is known reaped.
+    pub dead: AtomicU64,
+}
+
+/// Segment header: identification words, scratch counters, process table.
+/// The payload follows at [`payload_offset`](ShmSegment::payload_offset).
+#[repr(C, align(128))]
+pub struct SegHdr {
+    /// [`SHM_MAGIC`].
+    pub magic: u64,
+    /// [`SHM_VERSION`].
+    pub version: u64,
+    /// Total mapping length in bytes (header + payload).
+    pub total_len: u64,
+    /// Caller-defined payload layout identifier.
+    pub layout_tag: u64,
+    /// 0 while the creator initializes the payload, 1 once ready.
+    /// `open_file` refuses segments still at 0.
+    pub init: AtomicU64,
+    /// Coordination counters for harnesses/workloads, one cache-line pair
+    /// each so cross-process counting does not false-share.
+    pub scratch: [PadAtomicU64; SCRATCH_WORDS],
+    /// The liveness table.
+    pub procs: [ProcSlot; MAX_PROCS],
+}
+
+/// An owned mapping of a shared segment.
+///
+/// Dropping unmaps this process's view; the underlying shared pages live
+/// until every mapping is gone (and the file, if any, is removed).
+pub struct ShmSegment {
+    base: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is shared memory by construction; all cross-process
+// coordination goes through the atomics stored inside it. The struct
+// itself only carries the base pointer and length.
+unsafe impl Send for ShmSegment {}
+unsafe impl Sync for ShmSegment {}
+
+impl ShmSegment {
+    /// Byte offset of the payload behind the header.
+    pub fn payload_offset() -> usize {
+        align_up(std::mem::size_of::<SegHdr>(), 128)
+    }
+
+    /// Total segment length for a payload of `payload_len` bytes, rounded
+    /// up to the page size.
+    pub fn total_len(payload_len: usize) -> usize {
+        align_up(Self::payload_offset() + payload_len, 4096)
+    }
+
+    fn init_header(base: *mut u8, total: usize, layout_tag: u64) {
+        // SAFETY: caller maps `total` zeroed bytes at `base`; writing the
+        // header into the front is in bounds. Zeroed scratch/procs/init
+        // are already the correct initial state, so only the id words are
+        // written.
+        unsafe {
+            let hdr = base.cast::<SegHdr>();
+            (*hdr).magic = SHM_MAGIC;
+            (*hdr).version = SHM_VERSION;
+            (*hdr).total_len = total as u64;
+            (*hdr).layout_tag = layout_tag;
+        }
+    }
+
+    /// Create an anonymous shared segment with room for `payload_len`
+    /// payload bytes, tagged `layout_tag`. The mapping (and everything in
+    /// it) is shared with all future `fork` children.
+    pub fn create_anon(payload_len: usize, layout_tag: u64) -> std::io::Result<ShmSegment> {
+        let total = Self::total_len(payload_len);
+        // SAFETY: plain anonymous mapping request; result checked below.
+        let base = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                total,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            return Err(std::io::Error::last_os_error());
+        }
+        let base = base.cast::<u8>();
+        Self::init_header(base, total, layout_tag);
+        Ok(ShmSegment { base, len: total })
+    }
+
+    /// Create a file-backed segment at `path` (truncating any previous
+    /// content). Mark it [`publish`](Self::publish)ed once the payload is
+    /// initialized so `open_file` in other processes can proceed.
+    pub fn create_file(
+        path: &Path,
+        payload_len: usize,
+        layout_tag: u64,
+    ) -> std::io::Result<ShmSegment> {
+        let total = Self::total_len(payload_len);
+        let f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        // SAFETY: valid fd from the line above.
+        if unsafe { libc::ftruncate(f.as_raw_fd(), total as libc::off_t) } != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: mapping a file we just sized; result checked below.
+        let base = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                total,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                f.as_raw_fd(),
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            return Err(std::io::Error::last_os_error());
+        }
+        let base = base.cast::<u8>();
+        Self::init_header(base, total, layout_tag);
+        Ok(ShmSegment { base, len: total })
+    }
+
+    /// Map an existing published segment file, validating the header
+    /// (magic, version, tag, recorded length) before returning.
+    pub fn open_file(path: &Path, layout_tag: u64) -> std::io::Result<ShmSegment> {
+        let f = OpenOptions::new().read(true).write(true).open(path)?;
+        let total = f.metadata()?.len() as usize;
+        if total < std::mem::size_of::<SegHdr>() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "segment file shorter than its header",
+            ));
+        }
+        // SAFETY: mapping an existing file of `total` bytes; checked below.
+        let base = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                total,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                f.as_raw_fd(),
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            return Err(std::io::Error::last_os_error());
+        }
+        let seg = ShmSegment {
+            base: base.cast::<u8>(),
+            len: total,
+        };
+        let hdr = seg.hdr();
+        let bad = |what: &str| {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("not a membq segment: bad {what}"),
+            ))
+        };
+        if hdr.magic != SHM_MAGIC {
+            return bad("magic");
+        }
+        if hdr.version != SHM_VERSION {
+            return bad("version");
+        }
+        if hdr.layout_tag != layout_tag {
+            return bad("layout tag");
+        }
+        if hdr.total_len as usize != total {
+            return bad("recorded length");
+        }
+        if hdr.init.load(Ordering::Acquire) != 1 {
+            return bad("init flag (payload not published)");
+        }
+        Ok(seg)
+    }
+
+    /// Mark the payload initialized (Release-published to openers).
+    pub fn publish(&self) {
+        self.hdr().init.store(1, Ordering::Release);
+    }
+
+    fn hdr(&self) -> &SegHdr {
+        // SAFETY: the header is written by every constructor before the
+        // segment is returned.
+        unsafe { &*self.base.cast::<SegHdr>() }
+    }
+
+    /// The payload layout tag recorded in the header.
+    pub fn layout_tag(&self) -> u64 {
+        self.hdr().layout_tag
+    }
+
+    /// Base address of the payload region in this process's mapping.
+    pub fn payload_ptr(&self) -> *mut u8 {
+        // SAFETY: payload_offset < len by construction.
+        unsafe { self.base.add(Self::payload_offset()) }
+    }
+
+    /// Payload capacity in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.len - Self::payload_offset()
+    }
+
+    /// Total mapping length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (segments cannot be empty).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Scratch counter `i` (`i <` [`SCRATCH_WORDS`]).
+    pub fn scratch(&self, i: usize) -> &AtomicU64 {
+        &self.hdr().scratch[i].0
+    }
+
+    // -- the process liveness table --------------------------------------
+
+    /// Register process `pid` in the table, returning its slot index.
+    /// Panics when all [`MAX_PROCS`] slots are taken.
+    pub fn register_proc(&self, pid: u32) -> usize {
+        assert!(pid != 0, "pid 0 cannot be registered");
+        for (i, slot) in self.hdr().procs.iter().enumerate() {
+            if slot
+                .pid
+                .compare_exchange(0, pid as u64, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.dead.store(0, Ordering::Release);
+                return i;
+            }
+        }
+        panic!("process table full ({MAX_PROCS} slots)");
+    }
+
+    /// Register the **calling** process.
+    pub fn register_self(&self) -> usize {
+        // SAFETY: getpid has no preconditions.
+        self.register_proc(unsafe { libc::getpid() } as u32)
+    }
+
+    /// The pid registered in slot `idx` (0 = free).
+    pub fn proc_pid(&self, idx: usize) -> u32 {
+        self.hdr().procs[idx].pid.load(Ordering::Acquire) as u32
+    }
+
+    /// Authoritatively mark slot `idx` dead. Call only once the process
+    /// is known to execute no further instruction (e.g. after `waitpid`
+    /// reaped it) — the queue's reclaim safety rests on this.
+    pub fn mark_dead(&self, idx: usize) {
+        self.hdr().procs[idx].dead.store(1, Ordering::Release);
+    }
+
+    /// Is the process in slot `idx` dead?
+    ///
+    /// True iff the authoritative flag is set **or** the pid probe
+    /// (`kill(pid, 0)`) reports `ESRCH`. Both sources are one-sided: they
+    /// may lag a real death (zombie, recycled pid ⇒ "alive") but never
+    /// report a live process dead, so a reclaim triggered by this answer
+    /// can never race a future write from the owner.
+    pub fn proc_is_dead(&self, idx: usize) -> bool {
+        let slot = &self.hdr().procs[idx];
+        if slot.dead.load(Ordering::Acquire) == 1 {
+            return true;
+        }
+        let pid = slot.pid.load(Ordering::Acquire);
+        if pid == 0 {
+            return false; // unregistered slot: nothing to reclaim from
+        }
+        // SAFETY: signal 0 probes existence without delivering anything.
+        let r = unsafe { libc::kill(pid as libc::pid_t, 0) };
+        // SAFETY: errno location is always valid on this thread.
+        r == -1 && unsafe { *libc::__errno_location() } == libc::ESRCH
+    }
+}
+
+impl Drop for ShmSegment {
+    fn drop(&mut self) {
+        // SAFETY: base/len are exactly the mapping created in a
+        // constructor; unmapping this process's view cannot invalidate
+        // other processes' mappings of the same pages.
+        unsafe {
+            libc::munmap(self.base.cast::<libc::c_void>(), self.len);
+        }
+    }
+}
+
+const _: () = {
+    use std::mem::{align_of, offset_of, size_of};
+    // Identification words first, then padded scratch, then the table —
+    // pinned so independently-built binaries agree on the framing.
+    assert!(align_of::<SegHdr>() == 128);
+    assert!(offset_of!(SegHdr, magic) == 0);
+    assert!(offset_of!(SegHdr, version) == 8);
+    assert!(offset_of!(SegHdr, total_len) == 16);
+    assert!(offset_of!(SegHdr, layout_tag) == 24);
+    assert!(offset_of!(SegHdr, init) == 32);
+    assert!(offset_of!(SegHdr, scratch) == 128);
+    assert!(offset_of!(SegHdr, procs) == 128 + SCRATCH_WORDS * 128);
+    assert!(size_of::<ProcSlot>() == 16);
+    assert!(size_of::<SegHdr>() == 128 + SCRATCH_WORDS * 128 + MAX_PROCS * 16);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anon_segment_header_and_payload() {
+        let seg = ShmSegment::create_anon(1000, 42).unwrap();
+        assert_eq!(seg.layout_tag(), 42);
+        assert!(seg.payload_len() >= 1000);
+        assert_eq!(seg.payload_ptr() as usize % 128, 0, "payload aligned");
+        // Payload starts zeroed.
+        // SAFETY: in-bounds read of the fresh mapping.
+        let first = unsafe { seg.payload_ptr().cast::<u64>().read() };
+        assert_eq!(first, 0);
+        seg.scratch(3).store(99, Ordering::SeqCst);
+        assert_eq!(seg.scratch(3).load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    fn proc_table_register_and_liveness() {
+        let seg = ShmSegment::create_anon(64, 1).unwrap();
+        let me = seg.register_self();
+        assert!(!seg.proc_is_dead(me), "calling process is alive");
+        // A bogus (but never-allocated) pid reads as dead via ESRCH.
+        let ghost = seg.register_proc(u32::MAX - 1);
+        assert_ne!(me, ghost);
+        assert!(seg.proc_is_dead(ghost));
+        // The authoritative flag works without any probe.
+        let flagged = seg.register_proc(seg.proc_pid(me));
+        assert!(!seg.proc_is_dead(flagged));
+        seg.mark_dead(flagged);
+        assert!(seg.proc_is_dead(flagged));
+    }
+
+    #[test]
+    fn file_segment_round_trip_and_validation() {
+        let dir = std::env::temp_dir().join(format!("membq-seg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.bin");
+
+        let seg = ShmSegment::create_file(&path, 256, 7).unwrap();
+        // Not yet published: openers must refuse.
+        assert!(ShmSegment::open_file(&path, 7).is_err());
+        // SAFETY: in-bounds write.
+        unsafe { seg.payload_ptr().cast::<u64>().write(0xAB) };
+        seg.publish();
+
+        let other = ShmSegment::open_file(&path, 7).unwrap();
+        // SAFETY: in-bounds read of the second mapping.
+        let v = unsafe { other.payload_ptr().cast::<u64>().read() };
+        assert_eq!(v, 0xAB, "both mappings see the same pages");
+
+        // Wrong tag and truncated file are rejected.
+        assert!(ShmSegment::open_file(&path, 8).is_err());
+        std::fs::write(dir.join("short.bin"), b"tiny").unwrap();
+        assert!(ShmSegment::open_file(&dir.join("short.bin"), 7).is_err());
+
+        drop(seg);
+        drop(other);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

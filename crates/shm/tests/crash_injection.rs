@@ -1,0 +1,204 @@
+//! Crash injection: a producer process is `SIGKILL`ed **at every point in
+//! the enqueue write sequence** (before any shared write, and after each
+//! of W1 claim / W2 tail-help / W3 value write / W4 publish), and the
+//! survivors must keep the queue fully operational — no wedge, no lost or
+//! duplicated elements beyond the killed op's own fate.
+//!
+//! The killed enqueue's fate is exactly determined by its kill point
+//! (solo producer, so the path is deterministic): it linearizes at W4 and
+//! at no earlier write, so the injected value must surface **iff** the
+//! producer survived past W4. That is the "allowance ∈ [committed,
+//! committed+1]" acceptance bound collapsed to an equality.
+
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use bq_shm::{fork_child, ChildExit, ShmQueue};
+
+static FORK_LOCK: Mutex<()> = Mutex::new(());
+
+const INJECTED: u64 = 0xDEAD;
+/// Retry budget for single parent-side operations; the protocol is
+/// obstruction-free for a lone survivor, so a bounded number of retries
+/// (reclaims + helps) must suffice — exhaustion means a wedge.
+const RETRY_CAP: usize = 10_000;
+
+fn enqueue_or_wedge(q: &ShmQueue<u64>, h: &mut bq_shm::ShmHandle, v: u64) {
+    for _ in 0..RETRY_CAP {
+        if q.enqueue(h, v).is_ok() {
+            return;
+        }
+        std::thread::yield_now();
+    }
+    panic!("enqueue({v}) wedged after a producer was SIGKILLed");
+}
+
+fn dequeue_or_wedge(q: &ShmQueue<u64>, h: &mut bq_shm::ShmHandle) -> u64 {
+    for _ in 0..RETRY_CAP {
+        if let Some(v) = q.dequeue(h) {
+            return v;
+        }
+        std::thread::yield_now();
+    }
+    panic!("dequeue wedged after a producer was SIGKILLed");
+}
+
+#[test]
+fn sigkill_at_every_enqueue_write_never_wedges() {
+    let _g = FORK_LOCK.lock().unwrap();
+    for kill_point in 0..=4u64 {
+        let q = ShmQueue::<u64>::create_anon(4).unwrap();
+        let seg = q.segment().clone();
+
+        let qc = q.clone();
+        let child = fork_child(move || {
+            let mut h = qc.register();
+            // Tell the parent which liveness slot to flag; +1 so the
+            // parent can distinguish "never registered".
+            qc.segment()
+                .scratch(7)
+                .store(h.proc_idx() as u64 + 1, Ordering::SeqCst);
+            h.arm_crash_after_writes(kill_point);
+            let _ = qc.enqueue(&mut h, INJECTED);
+            // Reached only if the gate never fired — a test bug.
+            qc.segment().scratch(6).store(1, Ordering::SeqCst);
+        })
+        .unwrap();
+
+        let end = child
+            .wait()
+            .unwrap_or_else(|e| panic!("wait failed at kill point {kill_point}: {e}"));
+        assert_eq!(
+            end,
+            ChildExit::Signaled(libc::SIGKILL),
+            "kill point {kill_point}: the gate must fire inside the enqueue"
+        );
+        assert_eq!(seg.scratch(6).load(Ordering::SeqCst), 0);
+
+        // Reaped ⇒ authoritative death flag for the helpers' oracle.
+        let slot = seg.scratch(7).load(Ordering::SeqCst);
+        assert!(slot > 0, "child registered before arming");
+        seg.mark_dead(slot as usize - 1);
+
+        // Survivor: push enough values through to wrap the ring twice,
+        // forcing every position (including the orphaned one) to be
+        // reclaimed or consumed. One-in/one-out, so the ring never fills
+        // even when the injected element is occupying a slot.
+        let mut h = q.register();
+        let mut out = Vec::new();
+        for v in 1..=8u64 {
+            enqueue_or_wedge(&q, &mut h, v);
+            out.push(dequeue_or_wedge(&q, &mut h));
+        }
+        // Drain the remainder (the injected element, when it linearized).
+        let mut guard = 0;
+        while !q.is_empty() {
+            out.push(dequeue_or_wedge(&q, &mut h));
+            guard += 1;
+            assert!(guard <= 4, "queue never drains to empty");
+        }
+
+        let injected = out.iter().filter(|&&v| v == INJECTED).count();
+        let expected = usize::from(kill_point == 4);
+        assert_eq!(
+            injected, expected,
+            "kill point {kill_point}: enqueue linearizes at W4 and nowhere \
+             earlier (got {out:?})"
+        );
+        let mut rest: Vec<u64> = out.into_iter().filter(|&v| v != INJECTED).collect();
+        rest.sort_unstable();
+        assert_eq!(
+            rest,
+            (1..=8).collect::<Vec<_>>(),
+            "survivor's elements conserved"
+        );
+    }
+}
+
+/// Mid-stream kill: a producer streaming values is killed at an arbitrary
+/// (but deterministic per write count) point; a consumer process drains
+/// to empty and the parent checks the consumed multiset is exactly the
+/// set of *published* values — distinct, gap-free except possibly the
+/// final in-flight op.
+#[test]
+fn sigkill_mid_stream_loses_at_most_the_in_flight_element() {
+    let _g = FORK_LOCK.lock().unwrap();
+    for writes_before_kill in [7u64, 12, 21] {
+        let q = ShmQueue::<u64>::create_anon(4).unwrap();
+        let seg = q.segment().clone();
+
+        let qp = q.clone();
+        let producer = fork_child(move || {
+            let mut h = qp.register();
+            qp.segment()
+                .scratch(7)
+                .store(h.proc_idx() as u64 + 1, Ordering::SeqCst);
+            h.arm_crash_after_writes(writes_before_kill);
+            for v in 1..=100u64 {
+                while qp.enqueue(&mut h, v).is_err() {
+                    // SAFETY: allocation-free yield in a forked child.
+                    unsafe {
+                        libc::sched_yield();
+                    }
+                }
+            }
+        })
+        .unwrap();
+
+        assert_eq!(
+            producer.wait().unwrap(),
+            ChildExit::Signaled(libc::SIGKILL),
+            "producer runs out of its write budget mid-stream"
+        );
+        let slot = seg.scratch(7).load(Ordering::SeqCst);
+        assert!(slot > 0);
+        seg.mark_dead(slot as usize - 1);
+
+        // Consumer drains after the death: it must reach a stable empty
+        // state (reclaiming the orphan if any) without wedging.
+        let qc = q.clone();
+        let mut consumer = fork_child(move || {
+            let mut h = qc.register();
+            let seg = qc.segment();
+            let mut empties = 0u32;
+            while empties < 1_000 {
+                match qc.dequeue(&mut h) {
+                    Some(v) => {
+                        empties = 0;
+                        seg.scratch(0).fetch_add(v, Ordering::SeqCst);
+                        seg.scratch(1).fetch_add(1, Ordering::SeqCst);
+                        // Values arrive in FIFO order ⇒ strictly increasing.
+                        let last = seg.scratch(2).load(Ordering::SeqCst);
+                        if v <= last {
+                            seg.scratch(3).store(1, Ordering::SeqCst); // order violation
+                        }
+                        seg.scratch(2).store(v, Ordering::SeqCst);
+                    }
+                    None => empties += 1,
+                }
+            }
+        })
+        .unwrap();
+        let end = consumer
+            .wait_deadline(Duration::from_secs(30))
+            .unwrap()
+            .expect("consumer wedged draining a crashed producer's queue");
+        assert_eq!(end, ChildExit::Exited(0));
+
+        let count = seg.scratch(1).load(Ordering::SeqCst);
+        let sum = seg.scratch(0).load(Ordering::SeqCst);
+        assert_eq!(seg.scratch(3).load(Ordering::SeqCst), 0, "FIFO order held");
+        // Published values are a prefix 1..=count of the stream: FIFO +
+        // a producer only advances after EnqOk. The killed op is the only
+        // one allowed to vanish, and it is the (count+1)-th.
+        assert!(count < 100, "producer died before finishing by design");
+        assert_eq!(
+            sum,
+            count * (count + 1) / 2,
+            "consumed exactly the published prefix (writes_before_kill = \
+             {writes_before_kill}, count = {count})"
+        );
+        assert!(q.is_empty());
+    }
+}

@@ -183,7 +183,10 @@ pub fn run_enqueue_hole(flavor: Flavor) -> AdversaryReport {
             break;
         }
     }
-    report(sim, "enqueue-into-hole (poised enqueue CAS into interior ⊥)")
+    report(
+        sim,
+        "enqueue-into-hole (poised enqueue CAS into interior ⊥)",
+    )
 }
 
 /// The **two-round sleep** construction — the paper's §4 critique of
@@ -221,7 +224,10 @@ pub fn run_two_round_sleep(flavor: Flavor) -> AdversaryReport {
             break;
         }
     }
-    report(sim, "two-round sleep (poised enqueue across two null cycles)")
+    report(
+        sim,
+        "two-round sleep (poised enqueue across two null cycles)",
+    )
 }
 
 /// The **Lemma A.2 interleaving** — the regression experiment for the
@@ -268,9 +274,11 @@ pub fn run_lemma_a2_interleaving(mode: HelpMode) -> AdversaryReport {
 
     // (4) Z reaches its previous-round replacement CAS and is poised.
     sim.invoke(2, Op::Enqueue(20));
-    let z = sim.run_until(2, STEPS, |a, _| {
-        matches!(a, Access::Cas { loc, exp, .. } if *loc == ops_loc && *exp != 0)
-    });
+    let z = sim.run_until(
+        2,
+        STEPS,
+        |a, _| matches!(a, Access::Cas { loc, exp, .. } if *loc == ops_loc && *exp != 0),
+    );
     assert!(matches!(z, RunOutcome::Poised(_)), "{z:?}");
 
     // (5) V completes: stale write-back, slot cleared.
@@ -285,7 +293,10 @@ pub fn run_lemma_a2_interleaving(mode: HelpMode) -> AdversaryReport {
             break;
         }
     }
-    report(sim, "Lemma A.2 interleaving (counter help without a descriptor)")
+    report(
+        sim,
+        "Lemma A.2 interleaving (counter help without a descriptor)",
+    )
 }
 
 /// Lemma 3.7 in miniature: with a victim poised on a value-location CAS, a
@@ -431,10 +442,7 @@ mod tests {
             let a = 10 + round * 2;
             let b = 11 + round * 2;
             assert_eq!(sim.fill(0, &[a, b], 1000), vec![Ret::EnqOk; 2]);
-            assert_eq!(
-                sim.empty(0, 2, 1000),
-                vec![Ret::DeqVal(a), Ret::DeqVal(b)]
-            );
+            assert_eq!(sim.empty(0, 2, 1000), vec![Ret::DeqVal(a), Ret::DeqVal(b)]);
         }
         assert!(check_history(sim.history(), 2).is_linearizable());
     }

@@ -57,7 +57,6 @@ impl CounterQueue {
             slots,
         }
     }
-
 }
 
 impl SimQueue for CounterQueue {
@@ -214,9 +213,7 @@ impl Machine {
             // CAS observation is the old value: success iff it matched.
             (Op::Enqueue(_), Flavor::Naive) => observed == 0,
             (Op::Enqueue(_), Flavor::Distinct) => observed == versioned_null(t / self.c),
-            (Op::Enqueue(_), Flavor::TwoNull) => {
-                observed == versioned_null((t / self.c) & 1)
-            }
+            (Op::Enqueue(_), Flavor::TwoNull) => observed == versioned_null((t / self.c) & 1),
             (Op::Dequeue, Flavor::Naive | Flavor::Distinct | Flavor::TwoNull) => {
                 let _ = h;
                 observed == e
@@ -338,7 +335,12 @@ mod tests {
 
     #[test]
     fn all_flavors_sequential_fifo() {
-        for flavor in [Flavor::Naive, Flavor::Distinct, Flavor::TwoNull, Flavor::Dcss] {
+        for flavor in [
+            Flavor::Naive,
+            Flavor::Distinct,
+            Flavor::TwoNull,
+            Flavor::Dcss,
+        ] {
             let mut sim = sim_of(flavor, 3, 1);
             assert_eq!(sim.fill(0, &[10, 20, 30], 100), vec![Ret::EnqOk; 3]);
             assert_eq!(sim.run_op(0, Op::Enqueue(40), 100), Ret::EnqFull);
@@ -357,7 +359,12 @@ mod tests {
 
     #[test]
     fn all_flavors_wraparound() {
-        for flavor in [Flavor::Naive, Flavor::Distinct, Flavor::TwoNull, Flavor::Dcss] {
+        for flavor in [
+            Flavor::Naive,
+            Flavor::Distinct,
+            Flavor::TwoNull,
+            Flavor::Dcss,
+        ] {
             let mut sim = sim_of(flavor, 2, 1);
             for round in 0..10u64 {
                 let a = 100 + round * 2;
@@ -386,16 +393,10 @@ mod tests {
                 let mut done1 = false;
                 while !done0 || !done1 {
                     if !done0 {
-                        done0 = matches!(
-                            sim.step(0),
-                            crate::controller::RunOutcome::Completed(_)
-                        );
+                        done0 = matches!(sim.step(0), crate::controller::RunOutcome::Completed(_));
                     }
                     if !done1 {
-                        done1 = matches!(
-                            sim.step(1),
-                            crate::controller::RunOutcome::Completed(_)
-                        );
+                        done1 = matches!(sim.step(1), crate::controller::RunOutcome::Completed(_));
                     }
                 }
             }

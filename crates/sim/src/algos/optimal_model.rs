@@ -168,32 +168,70 @@ impl SimQueue for OptimalModel {
 #[derive(Debug, Clone, Copy)]
 enum EState {
     ReadE,
-    ReadD { e: u64 },
-    ValE { e: u64, d: u64 },
+    ReadD {
+        e: u64,
+    },
+    ValE {
+        e: u64,
+        d: u64,
+    },
     /// `findOp`: read the announcement slot.
-    FindOp { e: u64, me: u64 },
+    FindOp {
+        e: u64,
+        me: u64,
+    },
     /// Previous-round replacement CAS.
-    ReplaceCas { e: u64, me: u64, cur: u64 },
+    ReplaceCas {
+        e: u64,
+        me: u64,
+        cur: u64,
+    },
     /// Evidence mode: re-read `ops` after a failed replacement.
-    ReFind { e: u64 },
+    ReFind {
+        e: u64,
+    },
     /// Claim the empty announcement slot.
-    PutCas { e: u64, me: u64 },
+    PutCas {
+        e: u64,
+        me: u64,
+    },
     /// `tryPut`: re-read the counter to decide the verdict.
-    TryPutReadE { e: u64, me: u64 },
+    TryPutReadE {
+        e: u64,
+        me: u64,
+    },
     /// Clean the slot after a failed `tryPut`.
-    ClearCas { e: u64, me: u64 },
+    ClearCas {
+        e: u64,
+        me: u64,
+    },
     /// `completeOp`: read the (possibly replaced) current descriptor.
-    CompRead { e: u64 },
+    CompRead {
+        e: u64,
+    },
     /// `completeOp`: write the element back to the array.
-    CompWrite { e: u64, q: u64 },
+    CompWrite {
+        e: u64,
+        q: u64,
+    },
     /// `completeOp`: help the counter for the completed descriptor.
-    CompBump { e: u64, q: u64 },
+    CompBump {
+        e: u64,
+        q: u64,
+    },
     /// `completeOp`: release the cell.
-    CompClear { e: u64, q: u64 },
+    CompClear {
+        e: u64,
+        q: u64,
+    },
     /// Line 40: help the counter, then finish successfully.
-    BumpThenDone { e: u64 },
+    BumpThenDone {
+        e: u64,
+    },
     /// Line 40 on the *failure* path (paper-faithful mode only).
-    BumpThenRestart { e: u64 },
+    BumpThenRestart {
+        e: u64,
+    },
 }
 
 struct EnqMachine {
@@ -411,13 +449,28 @@ impl OpMachine for EnqMachine {
 #[derive(Debug, Clone, Copy)]
 enum DState {
     ReadD,
-    ReadE { d: u64 },
+    ReadE {
+        d: u64,
+    },
     /// `readElem`: check the announcement slot first.
-    ReadOps { d: u64, e: u64 },
+    ReadOps {
+        d: u64,
+        e: u64,
+    },
     /// Fall back to the array.
-    ReadSlot { d: u64, e: u64 },
-    ValD { d: u64, e: u64, x: u64 },
-    CasD { d: u64, x: u64 },
+    ReadSlot {
+        d: u64,
+        e: u64,
+    },
+    ValD {
+        d: u64,
+        e: u64,
+        x: u64,
+    },
+    CasD {
+        d: u64,
+        x: u64,
+    },
 }
 
 struct DeqMachine {

@@ -48,7 +48,9 @@ impl<Q: SimQueue> Sim<Q> {
         Sim {
             mem,
             queue,
-            threads: (0..threads).map(|_| ThreadState { machine: None }).collect(),
+            threads: (0..threads)
+                .map(|_| ThreadState { machine: None })
+                .collect(),
             history: History::new(),
             next_op: 0,
         }
@@ -202,7 +204,12 @@ mod tests {
         let outs = sim.empty(0, 4, 100);
         assert_eq!(
             outs,
-            vec![Ret::DeqVal(1), Ret::DeqVal(2), Ret::DeqVal(3), Ret::DeqEmpty]
+            vec![
+                Ret::DeqVal(1),
+                Ret::DeqVal(2),
+                Ret::DeqVal(3),
+                Ret::DeqEmpty
+            ]
         );
     }
 

@@ -133,7 +133,10 @@ mod tests {
         // The violations aren't knife-edge: random schedules with repeated
         // values rediscover them. (Seeded — deterministic.)
         let (ok, bad) = sweep(Flavor::Naive, true, 0..400);
-        assert!(bad > 0, "random search should hit at least one violation ({ok} ok)");
+        assert!(
+            bad > 0,
+            "random search should hit at least one violation ({ok} ok)"
+        );
     }
 
     #[test]

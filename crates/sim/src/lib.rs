@@ -43,8 +43,8 @@ pub use adversary::{
     run_enqueue_hole, run_lemma_a2_interleaving, run_middle_steal, run_two_round_sleep,
     AdversaryReport,
 };
-pub use fuzz::{fuzz_round, FuzzConfig};
 pub use controller::{OpId, RunOutcome, Sim};
+pub use fuzz::{fuzz_round, FuzzConfig};
 pub use lincheck::{check_history, check_history_pool, History, HistoryEvent, LinResult};
 pub use machine::{Access, Op, OpMachine, Ret, Status};
 pub use mem::{Loc, LocKind, SimMemory};

@@ -498,7 +498,10 @@ mod tests {
         });
     }
     fn ret(h: &mut History, id: usize, r: Ret) {
-        h.push(HistoryEvent::Return { id: OpId(id), ret: r });
+        h.push(HistoryEvent::Return {
+            id: OpId(id),
+            ret: r,
+        });
     }
 
     #[test]

@@ -43,7 +43,10 @@ fn main() {
     print!("{}", dcss.history.render());
     match dcss.verdict {
         LinResult::Linearizable(order) => {
-            println!("checker verdict: LINEARIZABLE ✓ (witness order of {} ops found)", order.len());
+            println!(
+                "checker verdict: LINEARIZABLE ✓ (witness order of {} ops found)",
+                order.len()
+            );
             println!("  B's poised DCSS fails its counter comparison and B retries,");
             println!("  correctly dequeuing the head instead. The Θ(T) descriptors are");
             println!("  exactly the memory the lower bound says you must spend.");

@@ -109,7 +109,11 @@ fn main() {
     while reaped < requests {
         // Submit as long as the SQ accepts (backpressure = ring full).
         while submitted < requests {
-            let opcode = if submitted.is_multiple_of(3) { OP_WRITE } else { OP_READ };
+            let opcode = if submitted.is_multiple_of(3) {
+                OP_WRITE
+            } else {
+                OP_READ
+            };
             match sq.enqueue(&mut sqh, sqe(opcode, submitted)) {
                 Ok(()) => submitted += 1,
                 Err(_) => break, // ring full — go reap instead
@@ -129,6 +133,8 @@ fn main() {
     let (reads, writes) = kernel.join().unwrap();
     assert!(completed.iter().all(|&b| b), "every request completed");
     assert_eq!(reads + writes, requests);
-    println!("served {requests} requests ({reads} reads, {writes} writes), all completed exactly once");
+    println!(
+        "served {requests} requests ({reads} reads, {writes} writes), all completed exactly once"
+    );
     println!("in-flight bound held at ring depth {RING_DEPTH} throughout");
 }

@@ -115,8 +115,7 @@ impl Global {
             });
             ready
         };
-        self.garbage_count
-            .fetch_sub(ready.len(), Ordering::SeqCst);
+        self.garbage_count.fetch_sub(ready.len(), Ordering::SeqCst);
         for d in ready {
             (d.run)();
         }
@@ -182,7 +181,10 @@ pub fn pin() -> Guard {
         let depth = local.pin_depth.get();
         if depth == 0 {
             let e = global().epoch.load(Ordering::SeqCst);
-            local.participant.state.store((e << 1) | 1, Ordering::SeqCst);
+            local
+                .participant
+                .state
+                .store((e << 1) | 1, Ordering::SeqCst);
         }
         local.pin_depth.set(depth + 1);
     });

@@ -358,6 +358,12 @@ macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
 }
 
+/// Property inequality assertion (panics on failure, like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
 /// Skip the current case when its inputs don't satisfy a precondition.
 #[macro_export]
 macro_rules! prop_assume {
@@ -371,7 +377,9 @@ macro_rules! prop_assume {
 /// The common imports (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop` module path (`prop::collection::vec` etc.).
     pub mod prop {

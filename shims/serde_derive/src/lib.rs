@@ -20,12 +20,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 let _ = iter.next();
             }
-            TokenTree::Ident(id) if id.to_string() == "struct" => {
-                match iter.next() {
-                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
-                    other => panic!("derive(Serialize) shim: expected struct name, got {other:?}"),
-                }
-            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                other => panic!("derive(Serialize) shim: expected struct name, got {other:?}"),
+            },
             TokenTree::Punct(p) if p.as_char() == '<' => {
                 panic!("derive(Serialize) shim does not support generic structs");
             }
@@ -61,7 +59,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         "impl ::serde::Serialize for {name} {{\n\
          fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
     );
-    impl_src.parse().expect("derive(Serialize) shim: generated code failed to parse")
+    impl_src
+        .parse()
+        .expect("derive(Serialize) shim: generated code failed to parse")
 }
 
 /// Extract field names from the token stream of a `{ ... }` fields block.

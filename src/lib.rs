@@ -15,7 +15,9 @@
 //! * [`memtrack`](bq_memtrack) — the memory-overhead accounting;
 //! * [`baselines`](bq_baselines) — Michael–Scott, Vyukov, SCQ-style,
 //!   Tsigas–Zhang model, mutex ring, crossbeam;
-//! * [`sim`](bq_sim) — the adversary + linearizability checker.
+//! * [`sim`](bq_sim) — the adversary + linearizability checker;
+//! * [`shm`](bq_shm) — the shared-memory multi-process backend (mmap
+//!   segments, crash-consistent `ShmQueue`, fork harness).
 //!
 //! Start with [`prelude`], the examples in `examples/`, and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction map.
@@ -25,6 +27,7 @@ pub use bq_core as core;
 pub use bq_dcss as dcss;
 pub use bq_llsc as llsc;
 pub use bq_memtrack as memtrack;
+pub use bq_shm as shm;
 pub use bq_sim as sim;
 
 /// The experiment registry (all queues behind one object-safe interface),

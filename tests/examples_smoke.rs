@@ -17,6 +17,7 @@ const EXAMPLES: &[&str] = &[
     "async_pipeline",
     "task_scheduler",
     "adversary_demo",
+    "multi_process",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's own path

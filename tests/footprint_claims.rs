@@ -20,10 +20,19 @@ fn assert_linear_in_t(kind: QueueKind) {
     let t1 = overhead(kind, 1024, 1);
     let t8 = overhead(kind, 1024, 8);
     let t64 = overhead(kind, 1024, 64);
-    assert!(t8 > t1 && t64 > t8, "{}: overhead must grow with T", kind.name());
+    assert!(
+        t8 > t1 && t64 > t8,
+        "{}: overhead must grow with T",
+        kind.name()
+    );
     let per_a = (t8 - t1) / 7;
     let per_b = (t64 - t8) / 56;
-    assert_eq!(per_a, per_b, "{}: per-thread cost must be uniform", kind.name());
+    assert_eq!(
+        per_a,
+        per_b,
+        "{}: per-thread cost must be uniform",
+        kind.name()
+    );
 }
 
 /// Overhead grows linearly in `C`.
@@ -34,7 +43,12 @@ fn assert_linear_in_c(kind: QueueKind) {
     let per_a = (c2 - c1) / ((1 << 10) - (1 << 8));
     let per_b = (c3 - c2) / ((1 << 12) - (1 << 10));
     assert!(c3 > c2 && c2 > c1, "{}", kind.name());
-    assert_eq!(per_a, per_b, "{}: per-slot cost must be uniform", kind.name());
+    assert_eq!(
+        per_a,
+        per_b,
+        "{}: per-slot cost must be uniform",
+        kind.name()
+    );
 }
 
 #[test]
@@ -127,7 +141,10 @@ fn e9_ordering_holds_at_reference_point() {
         .min(overhead(QueueKind::Scq, 1024, 8))
         .min(overhead(QueueKind::Crossbeam, 1024, 8));
     assert!(theta1 < theta_t, "Θ(1) < Θ(T): {theta1} vs {theta_t}");
-    assert!(theta_t < theta_c, "Θ(T) < Θ(C) when C ≫ T: {theta_t} vs {theta_c}");
+    assert!(
+        theta_t < theta_c,
+        "Θ(T) < Θ(C) when C ≫ T: {theta_t} vs {theta_c}"
+    );
 }
 
 #[test]

@@ -115,17 +115,13 @@ fn stress_batch_paths(
                             let vs: Vec<u64> = (0..batch as u64)
                                 .map(|j| base + tid as u64 * 100 + i * 10 + j)
                                 .collect();
-                            let ids = rec
-                                .invoke_many(tid, vs.iter().map(|&v| Op::Enqueue(v)));
+                            let ids = rec.invoke_many(tid, vs.iter().map(|&v| Op::Enqueue(v)));
                             let n = q.enqueue_many(tid, &vs);
                             for (k, id) in ids.into_iter().enumerate() {
                                 rec.ret(id, if k < n { Ret::EnqOk } else { Ret::EnqFull });
                             }
                         } else {
-                            let ids = rec.invoke_many(
-                                tid,
-                                std::iter::repeat_n(Op::Dequeue, batch),
-                            );
+                            let ids = rec.invoke_many(tid, std::iter::repeat_n(Op::Dequeue, batch));
                             let mut out = Vec::new();
                             q.dequeue_many(tid, batch, &mut out);
                             for (k, id) in ids.into_iter().enumerate() {
@@ -383,8 +379,16 @@ fn sharding_relaxes_fifo_exactly() {
     );
     // (c) ...and per-shard FIFO holds: shard 0 carried 1,2,5 and shard 1
     // carried 3,4, each delivered in enqueue order.
-    let shard0: Vec<u64> = order.iter().copied().filter(|v| [1, 2, 5].contains(v)).collect();
-    let shard1: Vec<u64> = order.iter().copied().filter(|v| [3, 4].contains(v)).collect();
+    let shard0: Vec<u64> = order
+        .iter()
+        .copied()
+        .filter(|v| [1, 2, 5].contains(v))
+        .collect();
+    let shard1: Vec<u64> = order
+        .iter()
+        .copied()
+        .filter(|v| [3, 4].contains(v))
+        .collect();
     assert_eq!(shard0, vec![1, 2, 5], "per-shard FIFO (home shard)");
     assert_eq!(shard1, vec![3, 4], "per-shard FIFO (overflow shard)");
 }

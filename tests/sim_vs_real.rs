@@ -78,7 +78,13 @@ proptest! {
 #[test]
 fn sim_ports_agree_on_wraparound() {
     let ops: Vec<ScriptOp> = (0..60)
-        .map(|i| if i % 2 == 0 { ScriptOp::Enq } else { ScriptOp::Deq })
+        .map(|i| {
+            if i % 2 == 0 {
+                ScriptOp::Enq
+            } else {
+                ScriptOp::Deq
+            }
+        })
         .collect();
     for cap in [1usize, 2, 3] {
         run_pair(Flavor::Naive, QueueKind::Naive, cap, &ops);
