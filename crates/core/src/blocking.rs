@@ -38,7 +38,9 @@
 //! its element — it is never lost: it remains in the queue for later
 //! receivers (or the destructor's drain). Conservation is unaffected.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::simx::SimAtomicBool;
 
 use crate::boxed::{BoxedHandle, BoxedQueue, PointerCapable};
 use crate::event::EventCount;
@@ -94,7 +96,7 @@ pub struct BlockingQueue<T: Send, Q: PointerCapable> {
     inner: BoxedQueue<T, Q>,
     not_full: EventCount,
     not_empty: EventCount,
-    closed: AtomicBool,
+    closed: SimAtomicBool,
 }
 
 impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
@@ -104,7 +106,7 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
             inner: BoxedQueue::new(inner),
             not_full: EventCount::new(),
             not_empty: EventCount::new(),
-            closed: AtomicBool::new(false),
+            closed: SimAtomicBool::new(false),
         }
     }
 

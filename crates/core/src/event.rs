@@ -52,10 +52,10 @@
 //! an O(waiting) scan + `swap_remove` — negligible next to the park it
 //! replaces, with no `unsafe` pinning contract.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::task::Waker;
 
-use parking_lot::{Condvar, Mutex};
+use crate::simx::{SimAtomicU64, SimAtomicUsize, SimCondvar, SimMutex};
 
 /// Identifies one registered waker within an [`EventCount`]'s waiter
 /// list. Returned by [`EventCount::register`]; pass it back to
@@ -78,26 +78,26 @@ struct WaiterList {
 /// full" or "not empty"); the thing waited for is expressed as the
 /// caller's `attempt` closure / poll body, not stored here.
 pub struct EventCount {
-    gate: Mutex<WaiterList>,
-    cond: Condvar,
+    gate: SimMutex<WaiterList>,
+    cond: SimCondvar,
     /// Wake generation: bumped (under `gate`) on every notification.
-    generation: AtomicU64,
+    generation: SimAtomicU64,
     /// Number of waiters between announcement and un-park — parked (or
     /// about-to-park) threads plus registered wakers.
-    waiters: AtomicUsize,
+    waiters: SimAtomicUsize,
 }
 
 impl EventCount {
     /// A fresh eventcount at generation 0 with no waiters.
     pub fn new() -> Self {
         EventCount {
-            gate: Mutex::new(WaiterList {
+            gate: SimMutex::new(WaiterList {
                 next_id: 0,
                 entries: Vec::new(),
             }),
-            cond: Condvar::new(),
-            generation: AtomicU64::new(0),
-            waiters: AtomicUsize::new(0),
+            cond: SimCondvar::new(),
+            generation: SimAtomicU64::new(0),
+            waiters: SimAtomicUsize::new(0),
         }
     }
 

@@ -68,6 +68,7 @@ pub mod queue;
 pub mod relocatable;
 pub mod segment;
 pub mod sharded;
+pub mod simx;
 pub mod spsc;
 pub mod token;
 
@@ -86,5 +87,6 @@ pub use relocatable::{
 };
 pub use segment::{SegmentHandle, SegmentQueue};
 pub use sharded::{ShardedHandle, ShardedQueue};
+pub use simx::{SimAtomicBool, SimAtomicU64, SimAtomicUsize, SimCondvar, SimMutex, SimMutexGuard};
 pub use spsc::{spsc_ring, SpscConsumer, SpscProducer};
 pub use token::{InvalidToken, TokenGen, MAX_TOKEN, NULL};

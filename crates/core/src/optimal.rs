@@ -43,10 +43,11 @@
 //! so lock-freedom (Appendix A.1) is preserved. A regression test for the
 //! problematic interleaving lives in the `bq-sim` adversary suite.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
 use crate::queue::{ConcurrentQueue, Full};
 use crate::relocatable::{AnnounceBoard, RelocBuf, RelocEnqOp};
+use crate::simx::{SimAtomicU64, SimAtomicUsize};
 use crate::token::{is_token, MAX_TOKEN, NULL};
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
 
@@ -115,9 +116,9 @@ enum Outcome {
 /// ```
 pub struct OptimalQueue {
     /// The `C` value-locations.
-    a: Box<[AtomicU64]>,
-    enqueues: AtomicU64,
-    dequeues: AtomicU64,
+    a: Box<[SimAtomicU64]>,
+    enqueues: SimAtomicU64,
+    dequeues: SimAtomicU64,
     /// The announcement machinery — the `T`-slot announcement array of
     /// packed descriptor refs (0 = ⊥) plus the pool of `2T` reusable
     /// [`RelocEnqOp`] descriptors — lives in a relocatable
@@ -128,8 +129,8 @@ pub struct OptimalQueue {
     /// Owns the bytes `board` views.
     _board_buf: RelocBuf,
     /// Serialization point for verdicts (packed ref or 0 = ⊥).
-    active_op: AtomicU64,
-    next_tid: AtomicUsize,
+    active_op: SimAtomicU64,
+    next_tid: SimAtomicUsize,
 }
 
 // SAFETY: the board's atomics carry all cross-thread communication (the
@@ -166,13 +167,13 @@ impl OptimalQueue {
         // `AnnounceBoard::layout(max_threads)` and is exclusively owned.
         let board = unsafe { AnnounceBoard::init_at(board_buf.base(), max_threads) };
         OptimalQueue {
-            a: (0..c).map(|_| AtomicU64::new(NULL)).collect(),
-            enqueues: AtomicU64::new(0),
-            dequeues: AtomicU64::new(0),
+            a: (0..c).map(|_| SimAtomicU64::new(NULL)).collect(),
+            enqueues: SimAtomicU64::new(0),
+            dequeues: SimAtomicU64::new(0),
             board,
             _board_buf: board_buf,
-            active_op: AtomicU64::new(0),
-            next_tid: AtomicUsize::new(0),
+            active_op: SimAtomicU64::new(0),
+            next_tid: SimAtomicUsize::new(0),
         }
     }
 

@@ -56,6 +56,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::queue::Full;
+use crate::simx::SimAtomicU64;
 
 /// Marker for **plain-old-data** element types that may live in
 /// relocatable / shared memory.
@@ -708,16 +709,16 @@ pub const BOARD_MAGIC: u64 = 0x4d42_5141_4e4e_4f31; // "MBQANNO1"
 #[repr(C, align(128))]
 pub struct RelocEnqOp {
     /// Incarnation counter (even = free, odd = live).
-    pub seq: AtomicU64,
+    pub seq: SimAtomicU64,
     /// The paper's `successful: Bool?` — `(seq << 2) | state` so stale
     /// helpers' verdict CASes fail harmlessly after reuse.
-    pub status: AtomicU64,
+    pub status: SimAtomicU64,
     /// The `enqueues` value this operation is bound to.
-    pub e: AtomicU64,
+    pub e: SimAtomicU64,
     /// The element being inserted.
-    pub x: AtomicU64,
+    pub x: SimAtomicU64,
     /// Target cell, `e % C` (cached, as in the paper).
-    pub i: AtomicU64,
+    pub i: SimAtomicU64,
 }
 
 /// View over the Listing 5 helping machinery — the `T`-slot announcement
@@ -727,7 +728,7 @@ pub struct RelocEnqOp {
 #[derive(Clone, Copy)]
 pub struct AnnounceBoard {
     hdr: NonNull<BoardHdr>,
-    ops: NonNull<AtomicU64>,
+    ops: NonNull<SimAtomicU64>,
     pool: NonNull<RelocEnqOp>,
 }
 
@@ -768,18 +769,18 @@ impl AnnounceBoard {
             magic: BOARD_MAGIC,
             threads: t as u64,
         });
-        let ops = base.add(Self::ops_offset()).cast::<AtomicU64>();
+        let ops = base.add(Self::ops_offset()).cast::<SimAtomicU64>();
         for i in 0..t {
-            ops.add(i).write(AtomicU64::new(0));
+            ops.add(i).write(SimAtomicU64::new(0));
         }
         let pool = base.add(Self::pool_offset(t)).cast::<RelocEnqOp>();
         for i in 0..2 * t {
             pool.add(i).write(RelocEnqOp {
-                seq: AtomicU64::new(0),
-                status: AtomicU64::new(0),
-                e: AtomicU64::new(0),
-                x: AtomicU64::new(0),
-                i: AtomicU64::new(0),
+                seq: SimAtomicU64::new(0),
+                status: SimAtomicU64::new(0),
+                e: SimAtomicU64::new(0),
+                x: SimAtomicU64::new(0),
+                i: SimAtomicU64::new(0),
             });
         }
         AnnounceBoard {
@@ -803,7 +804,7 @@ impl AnnounceBoard {
         let t = (*hdr).threads as usize;
         AnnounceBoard {
             hdr: NonNull::new_unchecked(hdr),
-            ops: NonNull::new_unchecked(base.add(Self::ops_offset()).cast::<AtomicU64>()),
+            ops: NonNull::new_unchecked(base.add(Self::ops_offset()).cast::<SimAtomicU64>()),
             pool: NonNull::new_unchecked(base.add(Self::pool_offset(t)).cast::<RelocEnqOp>()),
         }
     }
@@ -821,7 +822,7 @@ impl AnnounceBoard {
 
     /// Announcement slot `i` (`i < T`), holding a packed descriptor
     /// reference or 0 = ⊥.
-    pub fn op(&self, i: usize) -> &AtomicU64 {
+    pub fn op(&self, i: usize) -> &SimAtomicU64 {
         debug_assert!(i < self.threads());
         // SAFETY: bounds checked above.
         unsafe { &*self.ops.as_ptr().add(i) }

@@ -23,10 +23,12 @@
 //! minimizes this at Θ(T·√C) — experiment E2 sweeps `K` to reproduce the
 //! U-shaped curve.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+
+use crate::simx::SimAtomicU64;
 use parking_lot::Mutex;
 
 use crate::queue::{ConcurrentQueue, Full};
@@ -43,7 +45,7 @@ pub const MAX_SEGMENT_TOKEN: u64 = u64::MAX - 1;
 struct Segment {
     id: u64,
     next: Atomic<Segment>,
-    cells: Box<[AtomicU64]>,
+    cells: Box<[SimAtomicU64]>,
 }
 
 impl Segment {
@@ -51,7 +53,7 @@ impl Segment {
         Segment {
             id,
             next: Atomic::null(),
-            cells: (0..k).map(|_| AtomicU64::new(NULL)).collect(),
+            cells: (0..k).map(|_| SimAtomicU64::new(NULL)).collect(),
         }
     }
 
@@ -66,8 +68,8 @@ impl Segment {
 pub struct SegmentQueue {
     k: usize,
     capacity: usize,
-    tail: AtomicU64,
-    head: AtomicU64,
+    tail: SimAtomicU64,
+    head: SimAtomicU64,
     head_seg: Atomic<Segment>,
     tail_seg: Atomic<Segment>,
     /// Segments ever allocated fresh (statistics for the overhead
@@ -112,8 +114,8 @@ impl SegmentQueue {
         let q = SegmentQueue {
             k,
             capacity: c,
-            tail: AtomicU64::new(0),
-            head: AtomicU64::new(0),
+            tail: SimAtomicU64::new(0),
+            head: SimAtomicU64::new(0),
             head_seg: Atomic::null(),
             tail_seg: Atomic::null(),
             allocated_segments: AtomicUsize::new(1),

@@ -55,6 +55,8 @@
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::simx::SimAtomicUsize;
+
 use crate::boxed::PointerCapable;
 use crate::optimal::OptimalQueue;
 use crate::queue::{ConcurrentQueue, Full};
@@ -78,7 +80,7 @@ use bq_memtrack::{FootprintBreakdown, FootprintEntry, MemoryFootprint, OverheadC
 /// ```
 pub struct ShardedQueue<Q: ConcurrentQueue> {
     shards: Box<[Q]>,
-    next_tid: AtomicUsize,
+    next_tid: SimAtomicUsize,
 }
 
 /// Per-thread handle: the home-shard index plus one sub-handle per shard
@@ -96,7 +98,7 @@ impl<Q: ConcurrentQueue> ShardedQueue<Q> {
         assert!(!shards.is_empty(), "at least one shard required");
         ShardedQueue {
             shards: shards.into_boxed_slice(),
-            next_tid: AtomicUsize::new(0),
+            next_tid: SimAtomicUsize::new(0),
         }
     }
 

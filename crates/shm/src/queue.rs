@@ -108,7 +108,7 @@ pub fn layout_tag<T>() -> u64 {
 pub struct ShmHandle {
     proc_idx: usize,
     /// `Some(n)`: die by `SIGKILL` after performing exactly `n` shared
-    /// writes in the next enqueue (0 = before any write).
+    /// accesses in the next enqueue or dequeue (0 = before any access).
     crash_after_writes: Option<u64>,
 }
 
@@ -118,15 +118,17 @@ impl ShmHandle {
         self.proc_idx
     }
 
-    /// Arm crash injection: the next enqueue performs exactly `n` shared
-    /// writes and then `SIGKILL`s the calling process. Test-harness
-    /// machinery (used by the crash-injection suite and the soak rounds).
+    /// Arm crash injection: the next enqueue or dequeue performs exactly
+    /// `n` shared accesses and then `SIGKILL`s the calling process.
+    /// Test-harness machinery (used by the crash-injection suite and the
+    /// soak rounds).
     pub fn arm_crash_after_writes(&mut self, n: u64) {
         self.crash_after_writes = Some(n);
     }
 
-    /// The crash gate, called once on enqueue entry and once after every
-    /// shared write the enqueue performs.
+    /// The crash gate, called once on operation entry and once after every
+    /// protocol step (W1–W4 for enqueue, V1–V4 for dequeue) the operation
+    /// performs.
     #[inline]
     fn crash_gate(&mut self) {
         if let Some(left) = self.crash_after_writes.as_mut() {
@@ -377,9 +379,10 @@ impl<T: Pod> ShmQueue<T> {
     ///
     /// Shared accesses, in order: **V1** claim CAS (the linearization
     /// point), **V2** head help CAS, **V3** value read, **V4** release
-    /// CAS.
+    /// CAS. The crash gate in `h` fires after each.
     pub fn dequeue(&self, h: &mut ShmHandle) -> Option<T> {
         let c = self.capacity() as u64;
+        h.crash_gate(); // kill point 0: before any shared access
         loop {
             let hd = self.ring.head().load(Ordering::SeqCst);
             let slot = (hd % c) as usize;
@@ -400,15 +403,20 @@ impl<T: Pod> ShmQueue<T> {
                             .is_ok()
                         {
                             // V1 done: linearized — the element is ours.
+                            h.crash_gate();
                             let _ = self.ring.head().compare_exchange(
                                 hd,
                                 hd + 1,
                                 Ordering::SeqCst,
                                 Ordering::SeqCst,
                             );
+                            // V2 done (possibly a no-op if a helper beat us).
+                            h.crash_gate();
                             // SAFETY: the claim CAS granted us exclusive
                             // read access to the published payload.
                             let v = unsafe { self.ring.val_read(slot) };
+                            // V3 done: bytes read, slot still CONSUMING.
+                            h.crash_gate();
                             // V4: release. A failure means a (necessarily
                             // false-dead-verdict) reclaim already moved
                             // the slot to exactly this target state; the
@@ -419,6 +427,8 @@ impl<T: Pod> ShmQueue<T> {
                                 Ordering::SeqCst,
                                 Ordering::SeqCst,
                             );
+                            // V4 done: slot recycled.
+                            h.crash_gate();
                             return Some(v);
                         }
                         continue; // lost the claim race

@@ -1,14 +1,18 @@
-//! Crash injection: a producer process is `SIGKILL`ed **at every point in
-//! the enqueue write sequence** (before any shared write, and after each
-//! of W1 claim / W2 tail-help / W3 value write / W4 publish), and the
+//! Crash injection: a process is `SIGKILL`ed **at every point in the
+//! enqueue write sequence** (before any shared write, and after each of
+//! W1 claim / W2 tail-help / W3 value write / W4 publish) and **at every
+//! point in the dequeue access sequence** (before any access, and after
+//! each of V1 claim / V2 head-help / V3 value read / V4 release), and the
 //! survivors must keep the queue fully operational — no wedge, no lost or
 //! duplicated elements beyond the killed op's own fate.
 //!
-//! The killed enqueue's fate is exactly determined by its kill point
-//! (solo producer, so the path is deterministic): it linearizes at W4 and
-//! at no earlier write, so the injected value must surface **iff** the
-//! producer survived past W4. That is the "allowance ∈ [committed,
-//! committed+1]" acceptance bound collapsed to an equality.
+//! The killed op's fate is exactly determined by its kill point (solo
+//! producer/consumer, so the path is deterministic): an enqueue
+//! linearizes at W4 and at no earlier write, so the injected value must
+//! surface **iff** the producer survived past W4; a dequeue linearizes at
+//! V1, so the head element must survive **iff** the consumer died before
+//! V1. That is the "allowance ∈ [committed, committed+1]" acceptance
+//! bound collapsed to an equality.
 
 use std::sync::atomic::Ordering;
 use std::sync::Mutex;
@@ -111,6 +115,78 @@ fn sigkill_at_every_enqueue_write_never_wedges() {
         assert_eq!(
             rest,
             (1..=8).collect::<Vec<_>>(),
+            "survivor's elements conserved"
+        );
+    }
+}
+
+#[test]
+fn sigkill_at_every_dequeue_access_never_wedges() {
+    let _g = FORK_LOCK.lock().unwrap();
+    for kill_point in 0..=4u64 {
+        let q = ShmQueue::<u64>::create_anon(4).unwrap();
+        let seg = q.segment().clone();
+
+        // Pre-fill; the head element is the one the child will claim.
+        let mut h = q.register();
+        q.enqueue(&mut h, INJECTED).unwrap();
+        q.enqueue(&mut h, 101).unwrap();
+        q.enqueue(&mut h, 102).unwrap();
+
+        let qc = q.clone();
+        let child = fork_child(move || {
+            let mut ch = qc.register();
+            qc.segment()
+                .scratch(7)
+                .store(ch.proc_idx() as u64 + 1, Ordering::SeqCst);
+            ch.arm_crash_after_writes(kill_point);
+            let _ = qc.dequeue(&mut ch);
+            // Reached only if the gate never fired — a test bug.
+            qc.segment().scratch(6).store(1, Ordering::SeqCst);
+        })
+        .unwrap();
+
+        let end = child
+            .wait()
+            .unwrap_or_else(|e| panic!("wait failed at kill point {kill_point}: {e}"));
+        assert_eq!(
+            end,
+            ChildExit::Signaled(libc::SIGKILL),
+            "kill point {kill_point}: the gate must fire inside the dequeue"
+        );
+        assert_eq!(seg.scratch(6).load(Ordering::SeqCst), 0);
+
+        let slot = seg.scratch(7).load(Ordering::SeqCst);
+        assert!(slot > 0, "child registered before arming");
+        seg.mark_dead(slot as usize - 1);
+
+        // Survivor: wrap the ring twice so every position — including the
+        // one the dead consumer may have left CONSUMING — must be
+        // reclaimed or recycled. One-in/one-out keeps headroom.
+        let mut out = Vec::new();
+        for v in 1..=8u64 {
+            enqueue_or_wedge(&q, &mut h, v);
+            out.push(dequeue_or_wedge(&q, &mut h));
+        }
+        let mut guard = 0;
+        while !q.is_empty() {
+            out.push(dequeue_or_wedge(&q, &mut h));
+            guard += 1;
+            assert!(guard <= 4, "queue never drains to empty");
+        }
+
+        let injected = out.iter().filter(|&&v| v == INJECTED).count();
+        let expected = usize::from(kill_point == 0);
+        assert_eq!(
+            injected, expected,
+            "kill point {kill_point}: dequeue linearizes at V1 claim and \
+             nowhere later (got {out:?})"
+        );
+        let mut rest: Vec<u64> = out.into_iter().filter(|&v| v != INJECTED).collect();
+        rest.sort_unstable();
+        assert_eq!(
+            rest,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 101, 102],
             "survivor's elements conserved"
         );
     }

@@ -27,12 +27,18 @@
 //! * [`adversary`] — the packaged experiments E4/E8: the Figure 3
 //!   middle-steal and the enqueue-into-hole constructions, run against each
 //!   simulated algorithm.
+//! * [`explore`] — the schedule explorer (DESIGN.md §11): a replayable
+//!   [`Schedule`](explore::Schedule) artifact, a machine-level schedule
+//!   runner used by the pinned regression fixtures, and — under the
+//!   `explore` feature — bounded enumeration of interleavings of the
+//!   *real* `bq-core` algorithms through their `simyield` hook seam.
 
 #![deny(missing_docs)]
 
 pub mod adversary;
 pub mod algos;
 pub mod controller;
+pub mod explore;
 pub mod fuzz;
 pub mod lincheck;
 pub mod machine;
@@ -44,6 +50,7 @@ pub use adversary::{
     AdversaryReport,
 };
 pub use controller::{OpId, RunOutcome, Sim};
+pub use explore::{run_machine_schedule, token_domain_violations, MachinePlan, Schedule};
 pub use fuzz::{fuzz_round, FuzzConfig};
 pub use lincheck::{check_history, check_history_pool, History, HistoryEvent, LinResult};
 pub use machine::{Access, Op, OpMachine, Ret, Status};

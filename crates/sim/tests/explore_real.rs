@@ -1,0 +1,680 @@
+//! Schedule exploration of the **real** `bq-core` algorithms (DESIGN.md
+//! §11). Requires the `explore` feature, which builds `bq-core` with its
+//! `sim-explore` hook seam:
+//!
+//! ```sh
+//! cargo test -p bq-sim --features explore --test explore_real
+//! ```
+//!
+//! Every test here enumerates interleavings with the engine in
+//! `bq_sim::explore` and feeds completed histories to the Wing–Gong
+//! checkers; deadlock detection doubles as the lost-wake oracle. Smoke
+//! runs (`MEMBQ_SMOKE=1`) shrink the preemption bounds.
+#![cfg(feature = "explore")]
+
+use std::collections::HashSet;
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use bq_core::{
+    AsyncQueue, BlockingQueue, ConcurrentQueue, EventCount, OptimalQueue, SegmentQueue,
+    ShardedQueue, SimAtomicU64,
+};
+use bq_sim::explore::{explore, replay, ExploreConfig, Report, RunOutcomeKind, RunSpec};
+use bq_sim::{check_history, check_history_pool, History, HistoryEvent, Op, Ret};
+
+fn smoke() -> bool {
+    std::env::var("MEMBQ_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn cfg(preemption_bound: usize) -> ExploreConfig {
+    ExploreConfig {
+        preemption_bound: if smoke() {
+            preemption_bound.min(2)
+        } else {
+            preemption_bound
+        },
+        ..ExploreConfig::default()
+    }
+}
+
+/// Successful enqueues must equal successful dequeues plus the drain —
+/// element-wise, not just by count.
+fn conservation(h: &History, drained: &[u64]) -> Result<(), String> {
+    let mut sent = Vec::new();
+    let mut got: Vec<u64> = drained.to_vec();
+    let mut pending_enq: std::collections::HashMap<usize, u64> = Default::default();
+    for e in h.events() {
+        match e {
+            HistoryEvent::Invoke {
+                id,
+                op: Op::Enqueue(v),
+                ..
+            } => {
+                pending_enq.insert(id.0, *v);
+            }
+            HistoryEvent::Return {
+                id,
+                ret: Ret::EnqOk,
+            } => {
+                sent.push(pending_enq[&id.0]);
+            }
+            HistoryEvent::Return {
+                ret: Ret::DeqVal(v),
+                ..
+            } => got.push(*v),
+            _ => {}
+        }
+    }
+    sent.sort_unstable();
+    got.sort_unstable();
+    if sent == got {
+        Ok(())
+    } else {
+        Err(format!("conservation broken: sent {sent:?}, got {got:?}"))
+    }
+}
+
+fn assert_passed(report: &Report, what: &str) {
+    if let Some(f) = &report.failure {
+        panic!("{what} found a failing interleaving:\n{}", f.render());
+    }
+    assert!(report.executions > 0, "{what} ran no executions");
+}
+
+// ---------------------------------------------------------------------------
+// Engine sanity: a planted lost-update race must be found
+// ---------------------------------------------------------------------------
+
+/// Two threads increment a counter with a non-atomic load→store pair.
+/// The explorer must find the interleaving that loses an update — this
+/// is the teeth test for the engine itself (if enumeration or the hook
+/// seam were broken, the default schedule alone would pass).
+#[test]
+fn engine_finds_planted_lost_update() {
+    let mk = || {
+        let x = Arc::new(SimAtomicU64::new(0));
+        let body = |x: Arc<SimAtomicU64>| {
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                let v = x.load(Ordering::SeqCst);
+                x.store(v + 1, Ordering::SeqCst);
+            }
+        };
+        let xc = Arc::clone(&x);
+        RunSpec {
+            bodies: vec![
+                Box::new(body(Arc::clone(&x))),
+                Box::new(body(Arc::clone(&x))),
+            ],
+            check: Box::new(move |_h| {
+                let v = xc.load(Ordering::SeqCst);
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("lost update: counter is {v}, expected 2"))
+                }
+            }),
+        }
+    };
+    let report = explore(&cfg(1), mk);
+    let failure = report
+        .failure
+        .as_ref()
+        .expect("the planted race must be discovered at preemption bound 1");
+    assert!(
+        failure.reason.contains("lost update"),
+        "unexpected failure: {}",
+        failure.render()
+    );
+
+    // The printed artifact replays to the same oracle rejection.
+    let artifact = failure.schedule.to_string();
+    let parsed: bq_sim::Schedule = artifact.parse().unwrap();
+    let r = replay(&cfg(1), &parsed, mk());
+    assert_eq!(r.outcome, RunOutcomeKind::Completed);
+    let err = r.check.unwrap().unwrap_err();
+    assert!(err.contains("lost update"), "replay lost the bug: {err}");
+}
+
+// ---------------------------------------------------------------------------
+// OptimalQueue 2P+1C — the acceptance scenario
+// ---------------------------------------------------------------------------
+
+fn optimal_2p1c_spec() -> RunSpec {
+    let q = Arc::new(OptimalQueue::with_capacity_and_threads(2, 4));
+    let mut handles: Vec<_> = (0..3).map(|_| q.register()).collect();
+    let hc = handles.pop().unwrap();
+    let h1 = handles.pop().unwrap();
+    let h0 = handles.pop().unwrap();
+
+    let producer = |q: Arc<OptimalQueue>, mut h: bq_core::OptimalHandle, v: u64| {
+        move |ctx: &mut bq_sim::explore::Ctx| {
+            let id = ctx.invoke(Op::Enqueue(v));
+            match q.enqueue(&mut h, v) {
+                Ok(()) => ctx.ret(id, Ret::EnqOk),
+                Err(_) => ctx.ret(id, Ret::EnqFull),
+            }
+        }
+    };
+    let consumer = {
+        let q = Arc::clone(&q);
+        let mut h = hc;
+        move |ctx: &mut bq_sim::explore::Ctx| {
+            for _ in 0..2 {
+                let id = ctx.invoke(Op::Dequeue);
+                match q.dequeue(&mut h) {
+                    Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                    None => ctx.ret(id, Ret::DeqEmpty),
+                }
+            }
+        }
+    };
+    let qc = Arc::clone(&q);
+    RunSpec {
+        bodies: vec![
+            Box::new(producer(Arc::clone(&q), h0, 11)),
+            Box::new(producer(Arc::clone(&q), h1, 22)),
+            Box::new(consumer),
+        ],
+        check: Box::new(move |h| {
+            let mut dh = qc.register();
+            let mut drained = Vec::new();
+            while let Some(v) = qc.dequeue(&mut dh) {
+                drained.push(v);
+            }
+            conservation(h, &drained)?;
+            if check_history(h, 2).is_linearizable() {
+                Ok(())
+            } else {
+                Err("history is not linearizable against the FIFO spec".into())
+            }
+        }),
+    }
+}
+
+/// The acceptance criterion: 2 producers + 1 consumer on the real
+/// `OptimalQueue`, every interleaving up to preemption bound 3, each
+/// completed history checked for FIFO linearizability and element
+/// conservation.
+#[test]
+fn optimal_2p1c_all_interleavings_to_bound3() {
+    let report = explore(&cfg(3), optimal_2p1c_spec);
+    assert_passed(&report, "OptimalQueue 2P+1C");
+    assert!(
+        !report.hit_execution_cap,
+        "sweep was truncated by the execution cap: {report:?}"
+    );
+    eprintln!(
+        "OptimalQueue 2P+1C: {} executions, {} pruned, {} sliced",
+        report.executions, report.pruned, report.sliced
+    );
+}
+
+/// Replay determinism, byte for byte: any printed `Schedule` artifact
+/// re-runs to the identical history. This is what makes a red CI log
+/// actionable — the artifact alone reproduces the execution.
+#[test]
+fn replay_reproduces_histories_byte_for_byte() {
+    // First execution under the default policy: capture its schedule.
+    let base = replay(
+        &ExploreConfig::default(),
+        &bq_sim::Schedule::new(),
+        optimal_2p1c_spec(),
+    );
+    assert_eq!(base.outcome, RunOutcomeKind::Completed);
+    assert!(!base.schedule.is_empty());
+
+    // Round-trip the artifact through its text form and replay twice.
+    let artifact = base.schedule.to_string();
+    let parsed: bq_sim::Schedule = artifact.parse().unwrap();
+    assert_eq!(parsed, base.schedule, "artifact text round-trips");
+    let r1 = replay(&ExploreConfig::default(), &parsed, optimal_2p1c_spec());
+    let r2 = replay(&ExploreConfig::default(), &parsed, optimal_2p1c_spec());
+    assert_eq!(r1.outcome, RunOutcomeKind::Completed);
+    assert_eq!(
+        r1.history, base.history,
+        "replaying the captured schedule must reproduce the original history"
+    );
+    assert_eq!(r1.history, r2.history, "replay is deterministic");
+    assert_eq!(r1.schedule, r2.schedule);
+
+    // A perturbed prefix yields a (possibly) different but equally
+    // deterministic execution.
+    let mut alt = parsed.clone();
+    if alt.0[0] == 0 {
+        alt.0.truncate(1);
+        alt.0[0] = 1;
+    } else {
+        alt.0.truncate(1);
+        alt.0[0] = 0;
+    }
+    let a1 = replay(&ExploreConfig::default(), &alt, optimal_2p1c_spec());
+    let a2 = replay(&ExploreConfig::default(), &alt, optimal_2p1c_spec());
+    assert_eq!(
+        a1.history, a2.history,
+        "perturbed schedule still deterministic"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// EventCount: announce → snapshot → park vs wakes, spurious bumps, close
+// ---------------------------------------------------------------------------
+
+struct EcWorld {
+    ec: EventCount,
+    flag: SimAtomicU64,
+}
+
+/// Two waiters and a publisher interleaved with a spurious
+/// generation-bumper: no interleaving may leave a waiter parked past the
+/// publish (the deadlock detector is the lost-wake oracle), and the
+/// eventcount must end quiescent.
+#[test]
+fn eventcount_waiters_never_park_past_the_publish() {
+    let mk = || {
+        let w = Arc::new(EcWorld {
+            ec: EventCount::new(),
+            flag: SimAtomicU64::new(0),
+        });
+        let waiter = |w: Arc<EcWorld>| {
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                w.ec.wait_until(|| {
+                    if w.flag.load(Ordering::SeqCst) == 1 {
+                        Some(())
+                    } else {
+                        None
+                    }
+                });
+            }
+        };
+        let publisher = {
+            let w = Arc::clone(&w);
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                w.flag.store(1, Ordering::SeqCst);
+                w.ec.wake_all();
+            }
+        };
+        let bumper = {
+            let w = Arc::clone(&w);
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                // Spurious wake: bumps the generation without publishing.
+                w.ec.wake_all();
+            }
+        };
+        let wc = Arc::clone(&w);
+        RunSpec {
+            bodies: vec![
+                Box::new(waiter(Arc::clone(&w))),
+                Box::new(publisher),
+                Box::new(bumper),
+            ],
+            check: Box::new(move |_h| {
+                if wc.ec.waiter_count() != 0 || wc.ec.registered_wakers() != 0 {
+                    return Err(format!(
+                        "eventcount not quiescent: {} waiters, {} wakers",
+                        wc.ec.waiter_count(),
+                        wc.ec.registered_wakers()
+                    ));
+                }
+                Ok(())
+            }),
+        }
+    };
+    let report = explore(&cfg(3), mk);
+    assert_passed(&report, "EventCount announce/park protocol");
+    eprintln!(
+        "EventCount protocol: {} executions, {} pruned",
+        report.executions, report.pruned
+    );
+}
+
+/// Teeth: break the protocol on purpose — publish the flag *after* the
+/// wake — and the explorer must find the interleaving where the waiter
+/// announces, re-attempts (sees no flag), parks, and the wake never
+/// comes: a deadlock. The failure artifact must replay to the same
+/// deadlock.
+#[test]
+fn eventcount_teeth_wake_before_publish_is_caught() {
+    let mk = || {
+        let w = Arc::new(EcWorld {
+            ec: EventCount::new(),
+            flag: SimAtomicU64::new(0),
+        });
+        let waiter = {
+            let w = Arc::clone(&w);
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                w.ec.wait_until(|| {
+                    if w.flag.load(Ordering::SeqCst) == 1 {
+                        Some(())
+                    } else {
+                        None
+                    }
+                });
+            }
+        };
+        let broken_publisher = {
+            let w = Arc::clone(&w);
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                // BUG (deliberate): wake precedes the publish, so a waiter
+                // that snapshots the generation after this wake parks
+                // forever.
+                w.ec.wake_all();
+                w.flag.store(1, Ordering::SeqCst);
+            }
+        };
+        RunSpec {
+            bodies: vec![Box::new(waiter), Box::new(broken_publisher)],
+            check: Box::new(|_h| Ok(())),
+        }
+    };
+    let report = explore(&cfg(2), mk);
+    let failure = report
+        .failure
+        .as_ref()
+        .expect("wake-before-publish must produce a parked-forever waiter");
+    assert!(
+        failure.reason.contains("deadlock"),
+        "expected a deadlock, got: {}",
+        failure.render()
+    );
+
+    let parsed: bq_sim::Schedule = failure.schedule.to_string().parse().unwrap();
+    let r = replay(&cfg(2), &parsed, mk());
+    assert!(
+        matches!(r.outcome, RunOutcomeKind::Deadlock(_)),
+        "artifact must replay to the same deadlock, got {:?}",
+        r.outcome
+    );
+}
+
+/// `close()` racing a parked receiver: the shutdown wake must reach the
+/// waiter in every interleaving (a swallowed close wake would park the
+/// receiver forever — caught as deadlock).
+#[test]
+fn blocking_close_always_wakes_a_parked_receiver() {
+    let mk = || {
+        let q: Arc<BlockingQueue<u64, OptimalQueue>> = Arc::new(BlockingQueue::new(
+            OptimalQueue::with_capacity_and_threads(2, 2),
+        ));
+        let mut h = q.register();
+        let receiver = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Dequeue);
+                match q.recv(&mut h) {
+                    Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                    None => ctx.ret(id, Ret::DeqEmpty), // closed-and-drained
+                }
+            }
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                q.close();
+            }
+        };
+        let qc = Arc::clone(&q);
+        RunSpec {
+            bodies: vec![Box::new(receiver), Box::new(closer)],
+            check: Box::new(move |_h| {
+                if qc.not_empty_event().waiter_count() != 0 {
+                    return Err("receiver finished but waiter count leaked".into());
+                }
+                Ok(())
+            }),
+        }
+    };
+    let report = explore(&cfg(3), mk);
+    assert_passed(&report, "close() vs parked receiver");
+}
+
+// ---------------------------------------------------------------------------
+// Async cancellation: drop a pending RecvFuture at every yield point
+// ---------------------------------------------------------------------------
+
+struct Flag(AtomicBool);
+
+impl Wake for Flag {
+    fn wake(self: Arc<Self>) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+fn flag_waker() -> Waker {
+    Waker::from(Arc::new(Flag(AtomicBool::new(false))))
+}
+
+/// The two-waiter lost-wake scenario from `tests/async_cancel.rs`, under
+/// exploration instead of sleeps: a doomed `RecvFuture` is polled once
+/// and dropped (its deregistration interleaves with everything else), a
+/// surviving blocking receiver parks, and one value is sent. In every
+/// interleaving the survivor must obtain a value — a cancelled waiter
+/// swallowing the wake parks the survivor forever, which the deadlock
+/// detector reports with a replayable artifact. Registrations must not
+/// leak.
+#[test]
+fn async_recv_cancel_never_swallows_the_wake() {
+    let mk = || {
+        let q: Arc<AsyncQueue<u64, OptimalQueue>> = Arc::new(AsyncQueue::new(
+            OptimalQueue::with_capacity_and_threads(2, 3),
+        ));
+        let mut hd = q.register();
+        let mut hs = q.register();
+        let mut hp = q.register();
+
+        let doomed = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let waker = flag_waker();
+                let mut cx = Context::from_waker(&waker);
+                let id = ctx.invoke(Op::Dequeue);
+                let polled = {
+                    let mut fut = std::pin::pin!(q.recv(&mut hd));
+                    // Pending → the future is dropped at the end of this
+                    // block: cancellation mid-wait. The drop deregisters,
+                    // and every placement of that deregistration is
+                    // explored.
+                    fut.as_mut().poll(&mut cx)
+                };
+                match polled {
+                    Poll::Pending => ctx.ret(id, Ret::DeqEmpty),
+                    // The value raced in first: hand it back so the
+                    // survivor can finish in this interleaving too.
+                    Poll::Ready(Some(v)) => {
+                        ctx.ret(id, Ret::DeqVal(v));
+                        let id2 = ctx.invoke(Op::Enqueue(v));
+                        q.try_send(&mut hd, v).unwrap();
+                        ctx.ret(id2, Ret::EnqOk);
+                    }
+                    Poll::Ready(None) => unreachable!("never closed"),
+                }
+            }
+        };
+        let survivor = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Dequeue);
+                match q.blocking().recv(&mut hs) {
+                    Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                    None => unreachable!("never closed"),
+                }
+            }
+        };
+        let sender = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Enqueue(77));
+                q.try_send(&mut hp, 77).unwrap();
+                ctx.ret(id, Ret::EnqOk);
+            }
+        };
+        let qc = Arc::clone(&q);
+        RunSpec {
+            bodies: vec![Box::new(doomed), Box::new(survivor), Box::new(sender)],
+            check: Box::new(move |h| {
+                let ne = qc.blocking().not_empty_event();
+                if ne.registered_wakers() != 0 {
+                    return Err(format!(
+                        "cancelled future leaked {} waker registrations",
+                        ne.registered_wakers()
+                    ));
+                }
+                if ne.waiter_count() != 0 {
+                    return Err(format!("leaked waiter count {}", ne.waiter_count()));
+                }
+                // The survivor must have received the (possibly re-sent)
+                // value.
+                let survivor_got = h.events().iter().any(|e| {
+                    matches!(e, HistoryEvent::Invoke { tid: 1, op: Op::Dequeue, id }
+                        if h.events().iter().any(|r| matches!(r,
+                            HistoryEvent::Return { id: rid, ret: Ret::DeqVal(_) } if rid == id)))
+                });
+                if !survivor_got {
+                    return Err("survivor finished without a value".into());
+                }
+                Ok(())
+            }),
+        }
+    };
+    let report = explore(&cfg(2), mk);
+    assert_passed(&report, "async recv cancellation");
+    eprintln!(
+        "async cancel: {} executions, {} pruned",
+        report.executions, report.pruned
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SegmentQueue and ShardedQueue under smaller bounds
+// ---------------------------------------------------------------------------
+
+/// One producer, one consumer on the real `SegmentQueue` (Listing 1):
+/// FIFO linearizability plus conservation across all interleavings at
+/// preemption bound 2.
+#[test]
+fn segment_queue_1p1c_bound2() {
+    let mk = || {
+        let q = Arc::new(SegmentQueue::with_capacity_and_segment_size(2, 2));
+        let mut hp = q.register();
+        let mut hc = q.register();
+        let producer = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                for v in [5u64, 6] {
+                    let id = ctx.invoke(Op::Enqueue(v));
+                    match q.enqueue(&mut hp, v) {
+                        Ok(()) => ctx.ret(id, Ret::EnqOk),
+                        Err(_) => ctx.ret(id, Ret::EnqFull),
+                    }
+                }
+            }
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                for _ in 0..2 {
+                    let id = ctx.invoke(Op::Dequeue);
+                    match q.dequeue(&mut hc) {
+                        Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                        None => ctx.ret(id, Ret::DeqEmpty),
+                    }
+                }
+            }
+        };
+        let qc = Arc::clone(&q);
+        RunSpec {
+            bodies: vec![Box::new(producer), Box::new(consumer)],
+            check: Box::new(move |h| {
+                let mut dh = qc.register();
+                let mut drained = Vec::new();
+                while let Some(v) = qc.dequeue(&mut dh) {
+                    drained.push(v);
+                }
+                conservation(h, &drained)?;
+                if check_history(h, 2).is_linearizable() {
+                    Ok(())
+                } else {
+                    Err("SegmentQueue history not linearizable".into())
+                }
+            }),
+        }
+    };
+    let report = explore(&cfg(2), mk);
+    assert_passed(&report, "SegmentQueue 1P+1C");
+    eprintln!(
+        "SegmentQueue 1P+1C: {} executions, {} pruned",
+        report.executions, report.pruned
+    );
+}
+
+/// Two threads on a 2-shard `ShardedQueue<OptimalQueue>`: the scale
+/// layer relaxes global FIFO to per-shard FIFO, so completed histories
+/// are checked against the pool spec plus conservation and
+/// no-duplicate-tokens.
+#[test]
+fn sharded_queue_2threads_pool_spec_bound2() {
+    let mk = || {
+        let q = Arc::new(ShardedQueue::<OptimalQueue>::optimal(4, 2, 3));
+        let mut h0 = q.register();
+        let mut h1 = q.register();
+        let worker = |q: Arc<ShardedQueue<OptimalQueue>>, vs: [u64; 2]| {
+            move |h: &mut bq_core::ShardedHandle<OptimalQueue>, ctx: &mut bq_sim::explore::Ctx| {
+                for v in vs {
+                    let id = ctx.invoke(Op::Enqueue(v));
+                    match q.enqueue(h, v) {
+                        Ok(()) => ctx.ret(id, Ret::EnqOk),
+                        Err(_) => ctx.ret(id, Ret::EnqFull),
+                    }
+                }
+                let id = ctx.invoke(Op::Dequeue);
+                match q.dequeue(h) {
+                    Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                    None => ctx.ret(id, Ret::DeqEmpty),
+                }
+            }
+        };
+        let w0 = worker(Arc::clone(&q), [31, 32]);
+        let w1 = worker(Arc::clone(&q), [41, 42]);
+        let qc = Arc::clone(&q);
+        RunSpec {
+            bodies: vec![
+                Box::new(move |ctx: &mut bq_sim::explore::Ctx| w0(&mut h0, ctx)),
+                Box::new(move |ctx: &mut bq_sim::explore::Ctx| w1(&mut h1, ctx)),
+            ],
+            check: Box::new(move |h| {
+                let mut dh = qc.register();
+                let mut drained = Vec::new();
+                while let Some(v) = qc.dequeue(&mut dh) {
+                    drained.push(v);
+                }
+                conservation(h, &drained)?;
+                // No duplicate tokens anywhere in the dequeue stream.
+                let mut seen = HashSet::new();
+                for e in h.events() {
+                    if let HistoryEvent::Return {
+                        ret: Ret::DeqVal(v),
+                        ..
+                    } = e
+                    {
+                        if !seen.insert(*v) {
+                            return Err(format!("token {v} dequeued twice"));
+                        }
+                    }
+                }
+                if check_history_pool(h, 4).is_linearizable() {
+                    Ok(())
+                } else {
+                    Err("sharded history broke the pool spec".into())
+                }
+            }),
+        }
+    };
+    let report = explore(&cfg(2), mk);
+    assert_passed(&report, "ShardedQueue 2-thread pool spec");
+    eprintln!(
+        "ShardedQueue: {} executions, {} pruned",
+        report.executions, report.pruned
+    );
+}
