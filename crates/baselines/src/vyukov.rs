@@ -18,7 +18,7 @@
 //! duplicated.
 
 use bq_core::queue::{ConcurrentQueue, Full};
-use bq_core::relocatable::{PadAtomicU64, RelocBuf, RelocRing};
+use bq_core::relocatable::{PadAtomicU64, RelocBuf, RelocRing, RingReadGrant, RingWriteGrant};
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
 
 /// Vyukov bounded MPMC queue (Θ(C) overhead baseline).
@@ -59,6 +59,23 @@ impl VyukovQueue {
         // exclusively owned here.
         let ring = unsafe { RelocRing::<u64>::init_at(buf.base(), c) };
         VyukovQueue { _buf: buf, ring }
+    }
+
+    /// Reserve up to `n` slots for a zero-copy in-place write (DESIGN.md
+    /// §12): the run is claimed with one tail CAS and handed out as
+    /// `&mut [MaybeUninit<u64>]`; committed slots publish through the
+    /// normal sequence-word protocol, the rest abort (consumers skip
+    /// them). `None` when full (same relaxed report as `enqueue`).
+    pub fn try_reserve(&self, n: usize) -> Option<RingWriteGrant<'_, u64>> {
+        self.ring.try_reserve(n)
+    }
+
+    /// Claim up to `n` published elements for a zero-copy in-place read
+    /// (DESIGN.md §12), borrowing them as `&[u64]` straight over the
+    /// slot memory; the slots recycle when the grant drops. `None` when
+    /// empty (same relaxed report as `dequeue`).
+    pub fn try_read(&self, n: usize) -> Option<RingReadGrant<'_, u64>> {
+        self.ring.try_read(n)
     }
 }
 
@@ -169,6 +186,67 @@ mod tests {
                 assert_eq!(q.dequeue(&mut h), Some(7));
             }
         }
+    }
+
+    #[test]
+    fn pow2_and_non_pow2_capacities_behave_identically() {
+        // S1 (ISSUE 8): indexing uses a mask when C is a power of two
+        // and `%` otherwise; the observable behaviour must be the same
+        // apart from the capacity itself. Drive both shapes through the
+        // identical op sequence, including wraparound and full/empty
+        // reports, and compare against the FIFO model.
+        for &c in &[2usize, 3, 4, 5, 7, 8, 16, 17] {
+            let q = VyukovQueue::with_capacity(c);
+            let mut h = q.register();
+            let mut next = 0u64;
+            let mut expect = 0u64;
+            for _ in 0..5 {
+                // Fill to the exact capacity, then observe full.
+                loop {
+                    match q.enqueue(&mut h, next) {
+                        Ok(()) => next += 1,
+                        Err(Full(v)) => {
+                            assert_eq!(v, next);
+                            break;
+                        }
+                    }
+                }
+                assert_eq!(q.len(), c, "single-threaded full is exact");
+                // Drain fully, then observe empty.
+                while let Some(v) = q.dequeue(&mut h) {
+                    assert_eq!(v, expect, "FIFO across the wrap");
+                    expect += 1;
+                }
+                assert_eq!(expect, next, "drained exactly what was queued");
+            }
+            assert_eq!(next, 5 * c as u64);
+        }
+    }
+
+    #[test]
+    fn grant_paths_interoperate_with_moves() {
+        let q = VyukovQueue::with_capacity(8);
+        let mut h = q.register();
+        q.enqueue(&mut h, 1).unwrap();
+        {
+            let mut g = q.try_reserve(3).unwrap();
+            assert_eq!(g.len(), 3);
+            for (i, s) in g.uninit_slice().iter_mut().enumerate() {
+                s.write(2 + i as u64);
+            }
+            g.commit(3);
+        }
+        {
+            let g = q.try_read(2).unwrap();
+            assert_eq!(&*g, &[1, 2]);
+        }
+        assert_eq!(q.dequeue(&mut h), Some(3));
+        // An aborted reservation is skipped, not delivered.
+        drop(q.try_reserve(2).unwrap());
+        q.enqueue(&mut h, 5).unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(4));
+        assert_eq!(q.dequeue(&mut h), Some(5));
+        assert_eq!(q.dequeue(&mut h), None);
     }
 
     #[test]

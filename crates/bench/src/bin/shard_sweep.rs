@@ -13,6 +13,7 @@
 //!
 //! Run: `cargo run --release -p bq-bench --bin shard_sweep`
 
+use bq_bench::meta::{run_meta, smoke_mode, write_bench_json};
 use bq_bench::registry::{sharded_optimal, QueueKind};
 use bq_bench::workload::{batched_pairs_throughput, print_batch_win_table};
 use serde::Serialize;
@@ -29,7 +30,8 @@ struct SweepCell {
 }
 
 fn main() {
-    let smoke = std::env::var("MEMBQ_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let smoke = smoke_mode();
+    let meta = run_meta();
     let c = 1024;
     let threads = 2usize;
     let total_elems_per_thread: u64 = if smoke { 4_096 } else { 65_536 };
@@ -87,7 +89,12 @@ fn main() {
          hardware to show its contention win — see the ROADMAP open item."
     );
 
-    let json = serde_json::to_string_pretty(&cells).expect("serialize sweep cells");
-    std::fs::write("BENCH_shard_sweep.json", &json).expect("write BENCH_shard_sweep.json");
-    println!("\nwrote {} cells to BENCH_shard_sweep.json", cells.len());
+    write_bench_json("BENCH_shard_sweep.json", &meta, &cells);
+    println!(
+        "\nwrote {} cells to BENCH_shard_sweep.json (git_sha {}, smoke {}, {} cores)",
+        cells.len(),
+        meta.git_sha,
+        meta.smoke,
+        meta.host_cores
+    );
 }

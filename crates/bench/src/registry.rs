@@ -13,8 +13,8 @@ use bq_baselines::{
     CrossbeamArrayQueue, MsQueue, MutexRingQueue, ScqStyleQueue, TwoNullQueue, VyukovQueue,
 };
 use bq_core::{
-    ConcurrentQueue, DcssQueue, DistinctQueue, LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue,
-    ShardedQueue,
+    byte_ring, ByteConsumer, ByteProducer, ConcurrentQueue, DcssQueue, DistinctQueue, LlScQueue,
+    NaiveQueue, OptimalQueue, SegmentQueue, ShardedQueue,
 };
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint};
 use bq_shm::ShmQueue;
@@ -128,6 +128,101 @@ impl<Q: ConcurrentQueue + MemoryFootprint> DynQueue for Registered<Q> {
     }
 }
 
+/// The byte ring behind the registry interface: `u64` tokens travel as
+/// 8-byte little-endian messages (16-byte records: length header + body),
+/// so the variable-length data path can sit in the same tables as the
+/// slot queues. The ring itself is SPSC; the registry's per-endpoint
+/// mutexes serialize the benchmark threads onto the two roles — the same
+/// uniform constant every `Registered` queue pays per handle.
+struct ByteTokenQueue {
+    prod: Mutex<ByteProducer>,
+    cons: Mutex<ByteConsumer>,
+    cap: usize,
+    threads: usize,
+}
+
+impl ByteTokenQueue {
+    fn new(c: usize, threads: usize) -> Self {
+        // Two records must fit for the wrap-pad progress bound; each
+        // token record is exactly 16 bytes, so 16·C bytes = C tokens.
+        let c = c.max(2);
+        let (prod, cons) = byte_ring(16 * c, 8);
+        ByteTokenQueue {
+            prod: Mutex::new(prod),
+            cons: Mutex::new(cons),
+            cap: c,
+            threads,
+        }
+    }
+}
+
+impl DynQueue for ByteTokenQueue {
+    fn name(&self) -> &'static str {
+        "byte-ring"
+    }
+
+    fn enqueue(&self, _tid: usize, v: u64) -> bool {
+        self.prod.lock().push(&v.to_le_bytes())
+    }
+
+    fn dequeue(&self, _tid: usize) -> Option<u64> {
+        let mut cons = self.cons.lock();
+        let g = cons.try_read()?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&g);
+        Some(u64::from_le_bytes(b))
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn max_token(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn footprint(&self) -> FootprintBreakdown {
+        self.prod.lock().footprint()
+    }
+
+    fn sound(&self) -> bool {
+        true
+    }
+
+    fn fifo(&self) -> bool {
+        true
+    }
+
+    fn enqueue_many(&self, _tid: usize, vs: &[u64]) -> usize {
+        let mut prod = self.prod.lock();
+        let mut n = 0;
+        for v in vs {
+            if !prod.push(&v.to_le_bytes()) {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    fn dequeue_many(&self, _tid: usize, max: usize, out: &mut Vec<u64>) -> usize {
+        let mut cons = self.cons.lock();
+        let mut n = 0;
+        while n < max {
+            let Some(g) = cons.try_read() else { break };
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&g);
+            out.push(u64::from_le_bytes(b));
+            n += 1;
+        }
+        n
+    }
+}
+
 /// Identifiers for every queue implementation in the workspace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueKind {
@@ -168,6 +263,11 @@ pub enum QueueKind {
     /// in-process `ConcurrentQueue` facade; the cross-process numbers are
     /// E13's fork-based workload.
     Shm,
+    /// Variable-length byte ring (`bq_core::bytering`), tokens as 8-byte
+    /// messages through the zero-copy grant machinery. SPSC by contract;
+    /// registered behind per-role mutexes so the MPMC drivers can run it
+    /// (E15 measures the unserialized payload path directly).
+    ByteRing,
 }
 
 /// All kinds, in the order the paper discusses them.
@@ -188,6 +288,7 @@ pub const ALL_KINDS: &[QueueKind] = &[
     QueueKind::ShardedOptimal,
     QueueKind::ShardedSegment,
     QueueKind::Shm,
+    QueueKind::ByteRing,
 ];
 
 /// Default shard count for the registry's sharded kinds (the sweep binary
@@ -214,6 +315,7 @@ impl QueueKind {
             QueueKind::ShardedOptimal => "sharded4-optimal",
             QueueKind::ShardedSegment => "sharded4-segment",
             QueueKind::Shm => "shm-mpmc",
+            QueueKind::ByteRing => "byte-ring",
         }
     }
 
@@ -237,6 +339,7 @@ impl QueueKind {
             QueueKind::ShardedOptimal => "Θ(S·T)",
             QueueKind::ShardedSegment => "Θ(C/K + S·T·K)",
             QueueKind::Shm => "Θ(C) [multi-proc]",
+            QueueKind::ByteRing => "Θ(1) [SPSC bytes]",
         }
     }
 
@@ -343,6 +446,7 @@ impl QueueKind {
                 ShmQueue::<u64>::create_anon(c.max(2)).expect("anonymous shm segment"),
                 t,
             )),
+            QueueKind::ByteRing => Box::new(ByteTokenQueue::new(c, t)),
         }
     }
 }

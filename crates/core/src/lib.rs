@@ -58,6 +58,7 @@
 pub mod async_queue;
 pub mod blocking;
 pub mod boxed;
+pub mod bytering;
 pub mod dcss_queue;
 pub mod distinct;
 pub mod event;
@@ -75,6 +76,7 @@ pub mod token;
 pub use async_queue::{AsyncQueue, RecvFuture, RecvManyFuture, SendAllFuture, SendFuture};
 pub use blocking::{BlockingQueue, SendError, TryRecvError, TrySendError};
 pub use boxed::{BoxedHandle, BoxedQueue, PointerCapable};
+pub use bytering::{byte_ring, ByteConsumer, ByteProducer};
 pub use dcss_queue::{DcssHandle, DcssQueue};
 pub use distinct::{DistinctHandle, DistinctQueue};
 pub use event::{EventCount, WaiterId};
@@ -83,7 +85,9 @@ pub use naive::{NaiveHandle, NaiveQueue};
 pub use optimal::{OptimalHandle, OptimalQueue};
 pub use queue::{ConcurrentQueue, EnqueueError, Full, SeqRingQueue};
 pub use relocatable::{
-    AnnounceBoard, PadAtomicU64, Pod, RelocBuf, RelocEnqOp, RelocRing, RelocSeqRing, RelocSlot,
+    byte_record_size, AnnounceBoard, ByteReadGrant, ByteRingHdr, ByteWriteGrant, PadAtomicU64,
+    PadSimAtomicU64, Pod, RelocBuf, RelocByteRing, RelocEnqOp, RelocRing, RelocSeqRing,
+    RingReadGrant, RingWriteGrant, SeqReadGrant, SeqWriteGrant,
 };
 pub use segment::{SegmentHandle, SegmentQueue};
 pub use sharded::{ShardedHandle, ShardedQueue};

@@ -1,7 +1,7 @@
 //! The common bounded-queue interface and the sequential reference queue
 //! (the paper's Figure 1).
 
-use crate::relocatable::{RelocBuf, RelocSeqRing};
+use crate::relocatable::{RelocBuf, RelocSeqRing, SeqReadGrant, SeqWriteGrant};
 use crate::token::InvalidToken;
 use bq_memtrack::{FootprintBreakdown, MemoryFootprint, OverheadClass};
 
@@ -233,6 +233,24 @@ impl SeqRingQueue {
     /// Peek at the oldest element without removing it.
     pub fn peek(&self) -> Option<u64> {
         self.ring.peek()
+    }
+
+    /// Reserve up to `n` slots for a zero-copy in-place write (DESIGN.md
+    /// §12). The grant exposes `&mut [MaybeUninit<u64>]` over the slot
+    /// memory; nothing is published until
+    /// [`commit`](crate::relocatable::SeqWriteGrant::commit), and
+    /// dropping the grant aborts with no state change. `None` when full
+    /// or `n == 0`.
+    pub fn try_reserve(&mut self, n: usize) -> Option<SeqWriteGrant<'_>> {
+        self.ring.try_reserve(n)
+    }
+
+    /// Borrow up to `n` queued elements in place as `&[u64]` (DESIGN.md
+    /// §12). Elements leave the queue only via
+    /// [`release`](crate::relocatable::SeqReadGrant::release); dropping
+    /// the grant leaves them queued. `None` when empty or `n == 0`.
+    pub fn try_read(&mut self, n: usize) -> Option<SeqReadGrant<'_>> {
+        self.ring.try_read(n)
     }
 
     /// Iterate over the current elements, oldest first.

@@ -15,7 +15,7 @@
 //! `Copy` values reconstructed by each process from its own mapping; only
 //! views hold pointers, and views are never stored in shared memory.
 //!
-//! Three layouts are provided, each with a [`Layout`]-computing
+//! Four layouts are provided, each with a [`Layout`]-computing
 //! constructor pair (`layout` / `init_at` / `from_raw`):
 //!
 //! * [`RelocSeqRing`] — the Figure 1 sequential ring
@@ -23,12 +23,38 @@
 //!   wrapper over it);
 //! * [`RelocRing<T>`] — the Vyukov-style sequenced MPMC ring
 //!   (`bq-baselines`' `VyukovQueue` wraps `RelocRing<u64>`; `bq-shm`'s
-//!   `ShmQueue<T>` reuses the identical slot layout under a
-//!   crash-consistent publication protocol);
+//!   `ShmQueue<T>` reuses the identical layout under a crash-consistent
+//!   publication protocol);
+//! * [`RelocByteRing`] — an SPSC ring of *bytes* carrying length-prefixed
+//!   variable-size messages (pad records at the wrap point), the
+//!   descriptor-ring data plane of DESIGN.md §12
+//!   ([`byte_ring`](crate::byte_ring) is the heap owner, `bq-shm`'s
+//!   `ShmByteRing` the cross-process one);
 //! * [`AnnounceBoard`] — the Listing 5 announcement array + the 2·T
 //!   reusable [`RelocEnqOp`] descriptor pool
 //!   ([`OptimalQueue`](crate::OptimalQueue) serves its helping machinery
 //!   out of it).
+//!
+//! ## Zero-copy grants (DESIGN.md §12)
+//!
+//! The rings no longer force a move through the API boundary: a producer
+//! can [`try_reserve`](RelocRing::try_reserve) a run of slots and receive
+//! a **write grant** exposing `&mut [MaybeUninit<T>]` over the claimed
+//! payload memory, filled in place and published with
+//! [`commit`](RingWriteGrant::commit); a consumer can
+//! [`try_read`](RelocRing::try_read) a run and receive a **read grant**
+//! exposing `&[T]` directly over published slots. Publication stays the
+//! seq-word protocol: a write grant owns slots whose sequence word is in
+//! the *free-for-round* state, a read grant owns slots in the
+//! *published* state, so the two can never alias. Dropping a write grant
+//! **aborts**: the slots are marked as-if-consumed (`seq ← pos + C`) and
+//! consumers skip them by helping the head forward.
+//!
+//! To make multi-slot grants contiguous, [`RelocRing`] stores its
+//! metadata **structure-of-arrays**: the `C` sequence words form one
+//! array (exactly the Θ(C) metadata the paper's lower bound prices) and
+//! the `C` payloads another, so a non-wrapping slot run is a contiguous
+//! `&[T]`.
 //!
 //! ## Layout rules (stability contract)
 //!
@@ -36,12 +62,18 @@
 //! 2. No pointer-sized-dependent fields: everything is `u64`/`AtomicU64`
 //!    or a `Pod` payload, so 32-/64-bit layouts agree.
 //! 3. Contended words are isolated with `#[repr(C, align(128))]`
-//!    ([`PadAtomicU64`]) — two cache lines, matching `CachePadded`.
+//!    ([`PadAtomicU64`], [`PadSimAtomicU64`]) — two cache lines, matching
+//!    `CachePadded`.
 //! 4. Each layout starts with a magic word; `from_raw` refuses memory
 //!    that does not carry it.
 //! 5. Compile-time `size_of`/`align_of`/`offset_of` assertions pin every
 //!    struct (this module, bottom); an accidental field reorder is a
 //!    compile error, not a live-segment corruption.
+//!
+//! Ring indexing uses a power-of-two **mask fast path** chosen at
+//! construction (`pos & (C-1)` when `C` is a power of two, `pos % C`
+//! otherwise); behaviour is identical either way, only the instruction
+//! count differs.
 //!
 //! Element types crossing a segment boundary must be [`Pod`]: `Copy`
 //! (hence no `Drop` — a crashed process cannot run destructors, so a
@@ -50,8 +82,8 @@
 //! address space that created it).
 
 use std::alloc::Layout;
-use std::cell::UnsafeCell;
 use std::marker::PhantomData;
+use std::mem::MaybeUninit;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -108,6 +140,19 @@ impl PadAtomicU64 {
     /// A padded atomic starting at `v`.
     pub const fn new(v: u64) -> Self {
         PadAtomicU64(AtomicU64::new(v))
+    }
+}
+
+/// A [`SimAtomicU64`] alone on (a pair of) cache lines — identical bytes
+/// to [`PadAtomicU64`] (`SimAtomicU64` is `#[repr(transparent)]`), but
+/// its operations are explorer scheduling points under `sim-explore`.
+#[repr(C, align(128))]
+pub struct PadSimAtomicU64(pub SimAtomicU64);
+
+impl PadSimAtomicU64 {
+    /// A padded atomic starting at `v`.
+    pub const fn new(v: u64) -> Self {
+        PadSimAtomicU64(SimAtomicU64::new(v))
     }
 }
 
@@ -206,6 +251,20 @@ pub const SEQ_RING_MAGIC: u64 = 0x4d42_5153_4551_5231; // "MBQSEQR1"
 #[derive(Clone, Copy)]
 pub struct RelocSeqRing {
     hdr: NonNull<SeqRingHdr>,
+    cap: u64,
+    /// `C - 1` when `C` is a power of two, else 0 (mod fallback).
+    mask: u64,
+}
+
+/// `C - 1` if `c` is a power of two, else the 0 sentinel selecting the
+/// `%` slow path. `c ≥ 1` everywhere this is used, so a real mask is
+/// never 0 confusable only for `c == 1`, where `pos & 0 == pos % 1`.
+const fn mask_of(c: u64) -> u64 {
+    if c.is_power_of_two() {
+        c - 1
+    } else {
+        0
+    }
 }
 
 impl RelocSeqRing {
@@ -239,6 +298,8 @@ impl RelocSeqRing {
         // accept stale values — the counters make them unreachable).
         RelocSeqRing {
             hdr: NonNull::new_unchecked(hdr),
+            cap: c as u64,
+            mask: mask_of(c as u64),
         }
     }
 
@@ -253,8 +314,11 @@ impl RelocSeqRing {
     pub unsafe fn from_raw(base: *mut u8) -> RelocSeqRing {
         let hdr = base.cast::<SeqRingHdr>();
         assert_eq!((*hdr).magic, SEQ_RING_MAGIC, "not a RelocSeqRing region");
+        let cap = (*hdr).capacity;
         RelocSeqRing {
             hdr: NonNull::new_unchecked(hdr),
+            cap,
+            mask: mask_of(cap),
         }
     }
 
@@ -274,9 +338,20 @@ impl RelocSeqRing {
         unsafe { self.hdr.as_ptr().add(1).cast::<u64>() }
     }
 
+    /// Slot index of absolute position `pos` — mask fast path when the
+    /// capacity is a power of two.
+    #[inline]
+    fn slot_of(&self, pos: u64) -> usize {
+        if self.mask != 0 {
+            (pos & self.mask) as usize
+        } else {
+            (pos % self.cap) as usize
+        }
+    }
+
     /// Capacity `C`.
     pub fn capacity(&self) -> usize {
-        self.hdr().capacity as usize
+        self.cap as usize
     }
 
     /// Current number of elements.
@@ -291,18 +366,14 @@ impl RelocSeqRing {
 
     /// Is the ring full?
     pub fn is_full(&self) -> bool {
-        self.hdr().tail == self.hdr().head + self.hdr().capacity
+        self.hdr().tail == self.hdr().head + self.cap
     }
 
     /// The value at absolute position `pos` (`head ≤ pos < tail`).
     pub fn get_abs(&self, pos: u64) -> u64 {
         debug_assert!(self.hdr().head <= pos && pos < self.hdr().tail);
-        // SAFETY: pos % C is in bounds.
-        unsafe {
-            self.slots()
-                .add((pos % self.hdr().capacity) as usize)
-                .read()
-        }
+        // SAFETY: pos mod C is in bounds.
+        unsafe { self.slots().add(self.slot_of(pos)).read() }
     }
 
     /// Total successful enqueues (the Figure 1 `tail` counter).
@@ -320,10 +391,10 @@ impl RelocSeqRing {
         if self.is_full() {
             return Err(Full(v));
         }
-        let c = self.hdr().capacity;
         let tail = self.hdr().tail;
-        // SAFETY: tail % C is in bounds; &mut self gives exclusivity.
-        unsafe { self.slots().add((tail % c) as usize).write(v) };
+        let slot = self.slot_of(tail);
+        // SAFETY: tail mod C is in bounds; &mut self gives exclusivity.
+        unsafe { self.slots().add(slot).write(v) };
         self.hdr_mut().tail += 1;
         Ok(())
     }
@@ -333,10 +404,10 @@ impl RelocSeqRing {
         if self.is_empty() {
             return None;
         }
-        let c = self.hdr().capacity;
         let head = self.hdr().head;
-        // SAFETY: head % C is in bounds.
-        let v = unsafe { self.slots().add((head % c) as usize).read() };
+        let slot = self.slot_of(head);
+        // SAFETY: head mod C is in bounds.
+        let v = unsafe { self.slots().add(slot).read() };
         self.hdr_mut().head += 1;
         Some(v)
     }
@@ -349,15 +420,139 @@ impl RelocSeqRing {
             Some(self.get_abs(self.hdr().head))
         }
     }
+
+    /// Reserve up to `n` slots for an in-place write. Returns `None` when
+    /// the ring is full or `n == 0`; otherwise the grant covers
+    /// `min(n, free, distance-to-wrap)` slots (a grant never wraps, so
+    /// its memory is contiguous). Nothing is published until
+    /// [`SeqWriteGrant::commit`]; dropping the grant aborts with no
+    /// state change.
+    pub fn try_reserve(&mut self, n: usize) -> Option<SeqWriteGrant<'_>> {
+        let free = self.capacity() - self.len();
+        let to_wrap = self.capacity() - self.slot_of(self.hdr().tail);
+        let run = n.min(free).min(to_wrap);
+        if run == 0 {
+            return None;
+        }
+        Some(SeqWriteGrant {
+            ring: self,
+            len: run,
+        })
+    }
+
+    /// Borrow up to `n` queued elements in place. Returns `None` when the
+    /// ring is empty or `n == 0`; otherwise the grant covers
+    /// `min(n, len, distance-to-wrap)` contiguous elements. Elements
+    /// leave the queue only on [`SeqReadGrant::release`]; dropping the
+    /// grant leaves them queued.
+    pub fn try_read(&mut self, n: usize) -> Option<SeqReadGrant<'_>> {
+        let queued = self.len();
+        let to_wrap = self.capacity() - self.slot_of(self.hdr().head);
+        let run = n.min(queued).min(to_wrap);
+        if run == 0 {
+            return None;
+        }
+        Some(SeqReadGrant {
+            ring: self,
+            len: run,
+        })
+    }
+}
+
+/// A reserved, contiguous, not-yet-published run of slots in a
+/// [`RelocSeqRing`]. Fill [`uninit_slice`](Self::uninit_slice) in place,
+/// then [`commit`](Self::commit) a prefix; dropping the grant publishes
+/// nothing (abort is free here — the tail was never moved).
+pub struct SeqWriteGrant<'a> {
+    ring: &'a mut RelocSeqRing,
+    len: usize,
+}
+
+impl SeqWriteGrant<'_> {
+    /// Number of reserved slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the grant is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The reserved payload memory, to be filled in place.
+    pub fn uninit_slice(&mut self) -> &mut [MaybeUninit<u64>] {
+        let slot0 = self.ring.slot_of(self.ring.hdr().tail);
+        // SAFETY: try_reserve bounded the run to not wrap, so
+        // slots[slot0 .. slot0+len] is in bounds; the &mut borrow of the
+        // ring makes the access exclusive.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.ring.slots().add(slot0).cast::<MaybeUninit<u64>>(),
+                self.len,
+            )
+        }
+    }
+
+    /// Publish the first `k ≤ len` reserved slots (they must have been
+    /// initialized through [`uninit_slice`](Self::uninit_slice)).
+    pub fn commit(self, k: usize) {
+        assert!(k <= self.len, "commit beyond reservation");
+        self.ring.hdr_mut().tail += k as u64;
+    }
+}
+
+/// A borrowed, contiguous run of queued elements in a [`RelocSeqRing`].
+/// Consume a prefix with [`release`](Self::release); dropping the grant
+/// releases nothing (the elements stay queued).
+pub struct SeqReadGrant<'a> {
+    ring: &'a mut RelocSeqRing,
+    len: usize,
+}
+
+impl SeqReadGrant<'_> {
+    /// Number of borrowed elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the grant is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The borrowed elements, oldest first.
+    pub fn slice(&self) -> &[u64] {
+        let slot0 = self.ring.slot_of(self.ring.hdr().head);
+        // SAFETY: try_read bounded the run to queued, non-wrapping
+        // elements; the &mut borrow of the ring makes the access
+        // exclusive.
+        unsafe { std::slice::from_raw_parts(self.ring.slots().add(slot0), self.len) }
+    }
+
+    /// Dequeue the first `k ≤ len` borrowed elements.
+    pub fn release(self, k: usize) {
+        assert!(k <= self.len, "release beyond grant");
+        self.ring.hdr_mut().head += k as u64;
+    }
+}
+
+impl std::ops::Deref for SeqReadGrant<'_> {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        self.slice()
+    }
 }
 
 // ---------------------------------------------------------------------------
-// RelocRing<T> — the Vyukov-style sequenced MPMC ring, relocatable
+// RelocRing<T> — the Vyukov-style sequenced MPMC ring, relocatable (SoA)
 // ---------------------------------------------------------------------------
 
 /// Header of the sequenced ring: magic + capacity, then the two
-/// cache-padded positioning counters. `C` [`RelocSlot<T>`]s follow at the
-/// next `RelocSlot<T>`-aligned offset.
+/// cache-padded positioning counters. The `C` sequence words follow
+/// immediately; the `C` payloads follow at the next
+/// `max(align_of::<T>(), 128)` boundary (structure-of-arrays, so a
+/// non-wrapping slot run is contiguous payload memory — the grant API
+/// depends on this).
 #[repr(C, align(128))]
 pub struct RingHdr {
     /// [`RING_MAGIC`].
@@ -365,36 +560,41 @@ pub struct RingHdr {
     /// Capacity `C`.
     pub capacity: u64,
     /// Producer counter (cache-padded).
-    pub tail: PadAtomicU64,
+    pub tail: PadSimAtomicU64,
     /// Consumer counter (cache-padded).
-    pub head: PadAtomicU64,
+    pub head: PadSimAtomicU64,
 }
 
 /// Magic word identifying an initialized [`RelocRing`] region.
 pub const RING_MAGIC: u64 = 0x4d42_5153_4551_5232; // "MBQSEQR2"
-
-/// One sequenced slot: the per-slot round word (exactly the Θ(C)
-/// metadata the paper's lower bound prices) and the payload.
-#[repr(C)]
-pub struct RelocSlot<T> {
-    /// The sequence/round word. Encoding is protocol-defined: plain
-    /// Vyukov rounds here, the packed round/state/owner word in
-    /// `bq-shm`'s crash-consistent protocol.
-    pub seq: AtomicU64,
-    /// The payload; written only by the slot's unique round-owner.
-    pub val: UnsafeCell<T>,
-}
 
 /// View over a sequenced MPMC ring placed in caller-provided memory.
 ///
 /// The view is `Copy` and per-process: each process (or each heap owner)
 /// reconstructs it from its own mapping of the shared bytes via
 /// [`from_raw`](Self::from_raw). The plain Vyukov protocol is provided as
-/// the `vy_*` methods; `bq-shm` drives the same layout under its
-/// crash-consistent protocol through the raw accessors.
+/// the `vy_*` methods and the [`try_reserve`](Self::try_reserve) /
+/// [`try_read`](Self::try_read) grants; `bq-shm` drives the same layout
+/// under its crash-consistent protocol through the raw accessors.
+///
+/// ### Seq-word states (capacity `C`, absolute position `pos`)
+///
+/// | `seq(pos mod C)`   | meaning                                      |
+/// |--------------------|----------------------------------------------|
+/// | `pos`              | free — claimable by the round-`pos` producer |
+/// | `pos + 1`          | published — claimable by the consumer        |
+/// | `pos + C`          | consumed **or aborted** (free next round)    |
+///
+/// An aborted write grant moves its slots straight from `pos` to
+/// `pos + C`; a consumer whose head points at such a slot helps the head
+/// past it (see [`vy_dequeue`](Self::vy_dequeue)).
 pub struct RelocRing<T: Pod> {
     hdr: NonNull<RingHdr>,
-    slots: NonNull<RelocSlot<T>>,
+    seqs: NonNull<SimAtomicU64>,
+    vals: NonNull<T>,
+    cap: u64,
+    /// `C - 1` when `C` is a power of two, else 0 (mod fallback).
+    mask: u64,
     _pd: PhantomData<T>,
 }
 
@@ -407,23 +607,24 @@ impl<T: Pod> Clone for RelocRing<T> {
 impl<T: Pod> Copy for RelocRing<T> {}
 
 impl<T: Pod> RelocRing<T> {
-    const fn slots_offset() -> usize {
-        align_up(
-            std::mem::size_of::<RingHdr>(),
-            std::mem::align_of::<RelocSlot<T>>(),
-        )
+    const fn seqs_offset() -> usize {
+        std::mem::size_of::<RingHdr>()
+    }
+
+    /// Payload array offset: after the seq array, on its own cache-line
+    /// pair (and at least `T`-aligned).
+    fn vals_offset(c: usize) -> usize {
+        let align = std::mem::align_of::<T>().max(128);
+        align_up(Self::seqs_offset() + c * std::mem::size_of::<u64>(), align)
     }
 
     /// Memory layout for capacity `c ≥ 2` (the sequence encoding needs
     /// at least two slots; see `VyukovQueue::with_capacity`).
     pub fn layout(c: usize) -> Layout {
         assert!(c >= 2, "sequenced rings require capacity >= 2");
-        let align = std::mem::align_of::<RingHdr>().max(std::mem::align_of::<RelocSlot<T>>());
-        Layout::from_size_align(
-            Self::slots_offset() + c * std::mem::size_of::<RelocSlot<T>>(),
-            align,
-        )
-        .expect("ring layout")
+        let align = std::mem::align_of::<RingHdr>().max(std::mem::align_of::<T>());
+        Layout::from_size_align(Self::vals_offset(c) + c * std::mem::size_of::<T>(), align)
+            .expect("ring layout")
     }
 
     /// Initialize an empty ring of capacity `c` at `base` and return its
@@ -441,18 +642,21 @@ impl<T: Pod> RelocRing<T> {
         hdr.write(RingHdr {
             magic: RING_MAGIC,
             capacity: c as u64,
-            tail: PadAtomicU64::new(0),
-            head: PadAtomicU64::new(0),
+            tail: PadSimAtomicU64::new(0),
+            head: PadSimAtomicU64::new(0),
         });
-        let slots = base.add(Self::slots_offset()).cast::<RelocSlot<T>>();
+        let seqs = base.add(Self::seqs_offset()).cast::<SimAtomicU64>();
         for i in 0..c {
-            let s = slots.add(i);
-            (*s).seq = AtomicU64::new(i as u64);
-            std::ptr::write_bytes((*s).val.get(), 0, 1);
+            seqs.add(i).write(SimAtomicU64::new(i as u64));
         }
+        let vals = base.add(Self::vals_offset(c)).cast::<T>();
+        std::ptr::write_bytes(vals, 0, c);
         RelocRing {
             hdr: NonNull::new_unchecked(hdr),
-            slots: NonNull::new_unchecked(slots),
+            seqs: NonNull::new_unchecked(seqs),
+            vals: NonNull::new_unchecked(vals),
+            cap: c as u64,
+            mask: mask_of(c as u64),
             _pd: PhantomData,
         }
     }
@@ -468,10 +672,15 @@ impl<T: Pod> RelocRing<T> {
     pub unsafe fn from_raw(base: *mut u8) -> RelocRing<T> {
         let hdr = base.cast::<RingHdr>();
         assert_eq!((*hdr).magic, RING_MAGIC, "not a RelocRing region");
-        let slots = base.add(Self::slots_offset()).cast::<RelocSlot<T>>();
+        let cap = (*hdr).capacity;
+        let seqs = base.add(Self::seqs_offset()).cast::<SimAtomicU64>();
+        let vals = base.add(Self::vals_offset(cap as usize)).cast::<T>();
         RelocRing {
             hdr: NonNull::new_unchecked(hdr),
-            slots: NonNull::new_unchecked(slots),
+            seqs: NonNull::new_unchecked(seqs),
+            vals: NonNull::new_unchecked(vals),
+            cap,
+            mask: mask_of(cap),
             _pd: PhantomData,
         }
     }
@@ -481,26 +690,37 @@ impl<T: Pod> RelocRing<T> {
         unsafe { self.hdr.as_ref() }
     }
 
+    /// Slot index of absolute position `pos` — mask fast path when the
+    /// capacity is a power of two.
+    #[inline]
+    pub fn slot_of(&self, pos: u64) -> usize {
+        if self.mask != 0 {
+            (pos & self.mask) as usize
+        } else {
+            (pos % self.cap) as usize
+        }
+    }
+
     /// Capacity `C`.
     pub fn capacity(&self) -> usize {
-        self.hdr().capacity as usize
+        self.cap as usize
     }
 
     /// The producer counter.
-    pub fn tail(&self) -> &AtomicU64 {
+    pub fn tail(&self) -> &SimAtomicU64 {
         &self.hdr().tail.0
     }
 
     /// The consumer counter.
-    pub fn head(&self) -> &AtomicU64 {
+    pub fn head(&self) -> &SimAtomicU64 {
         &self.hdr().head.0
     }
 
     /// The sequence word of slot `i` (`i < C`).
-    pub fn seq(&self, i: usize) -> &AtomicU64 {
+    pub fn seq(&self, i: usize) -> &SimAtomicU64 {
         debug_assert!(i < self.capacity());
-        // SAFETY: bounds checked above; slots array is C entries.
-        unsafe { &(*self.slots.as_ptr().add(i)).seq }
+        // SAFETY: bounds checked above; seq array is C entries.
+        unsafe { &*self.seqs.as_ptr().add(i) }
     }
 
     /// Write slot `i`'s payload.
@@ -511,7 +731,7 @@ impl<T: Pod> RelocRing<T> {
     /// governing protocol (e.g. won the claiming CAS for this round).
     pub unsafe fn val_write(&self, i: usize, v: T) {
         debug_assert!(i < self.capacity());
-        (*self.slots.as_ptr().add(i)).val.get().write(v);
+        self.vals.as_ptr().add(i).write(v);
     }
 
     /// Read slot `i`'s payload.
@@ -522,7 +742,7 @@ impl<T: Pod> RelocRing<T> {
     /// have been published per the governing protocol.
     pub unsafe fn val_read(&self, i: usize) -> T {
         debug_assert!(i < self.capacity());
-        (*self.slots.as_ptr().add(i)).val.get().read()
+        self.vals.as_ptr().add(i).read()
     }
 
     /// Occupancy estimate from the counters (exact when quiescent).
@@ -538,10 +758,9 @@ impl<T: Pod> RelocRing<T> {
     /// payload, release the slot's sequence word. May report full
     /// spuriously under concurrency (the design's documented relaxation).
     pub fn vy_enqueue(&self, v: T) -> Result<(), T> {
-        let c = self.capacity() as u64;
         let mut pos = self.tail().load(Ordering::Relaxed);
         loop {
-            let slot = (pos % c) as usize;
+            let slot = self.slot_of(pos);
             let seq = self.seq(slot).load(Ordering::Acquire);
             if seq == pos {
                 if self
@@ -565,12 +784,26 @@ impl<T: Pod> RelocRing<T> {
         }
     }
 
+    /// Help the head counter past an aborted slot: at head position
+    /// `pos`, `seq ≥ pos + C` means the round-`pos` writer aborted (a
+    /// consumer only stores `pos + C` *after* moving the head past
+    /// `pos`, so a live head can see it only via an abort). The CAS
+    /// fails benignly when another thread already advanced the head.
+    #[inline]
+    fn help_skip_aborted(&self, pos: u64) {
+        let _ = self
+            .head()
+            .compare_exchange(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
     /// Vyukov `dequeue`: the mirror of [`vy_enqueue`](Self::vy_enqueue).
+    /// Additionally skips slots whose writer aborted its grant (see the
+    /// state table on [`RelocRing`]).
     pub fn vy_dequeue(&self) -> Option<T> {
-        let c = self.capacity() as u64;
+        let c = self.cap;
         let mut pos = self.head().load(Ordering::Relaxed);
         loop {
-            let slot = (pos % c) as usize;
+            let slot = self.slot_of(pos);
             let seq = self.seq(slot).load(Ordering::Acquire);
             if seq == pos + 1 {
                 if self
@@ -588,6 +821,9 @@ impl<T: Pod> RelocRing<T> {
             } else if seq < pos + 1 {
                 return None;
             } else {
+                if seq >= pos + c {
+                    self.help_skip_aborted(pos);
+                }
                 pos = self.head().load(Ordering::Relaxed);
             }
         }
@@ -597,7 +833,6 @@ impl<T: Pod> RelocRing<T> {
     /// run with one tail CAS, fill and release in order (DESIGN.md §8.1's
     /// slot-run fast path, verbatim on the relocatable layout).
     pub fn vy_enqueue_many(&self, vs: &[T]) -> usize {
-        let c = self.capacity() as u64;
         let cap = self.capacity();
         let mut done = 0usize;
         while done < vs.len() {
@@ -605,14 +840,14 @@ impl<T: Pod> RelocRing<T> {
             let want = (vs.len() - done).min(cap);
             let mut m = 0usize;
             while m < want {
-                let slot = ((pos + m as u64) % c) as usize;
+                let slot = self.slot_of(pos + m as u64);
                 if self.seq(slot).load(Ordering::Acquire) != pos + m as u64 {
                     break;
                 }
                 m += 1;
             }
             if m == 0 {
-                let slot = (pos % c) as usize;
+                let slot = self.slot_of(pos);
                 let seq = self.seq(slot).load(Ordering::Acquire);
                 if seq < pos {
                     // Same (relaxed) full report as the single-element op.
@@ -626,7 +861,7 @@ impl<T: Pod> RelocRing<T> {
                 .is_ok()
             {
                 for i in 0..m {
-                    let slot = ((pos + i as u64) % c) as usize;
+                    let slot = self.slot_of(pos + i as u64);
                     // SAFETY: the tail CAS claimed rounds pos..pos+m; each
                     // claimed slot has exactly one writer this round.
                     unsafe { self.val_write(slot, vs[done + i]) };
@@ -639,9 +874,10 @@ impl<T: Pod> RelocRing<T> {
     }
 
     /// Native batch dequeue: the mirror slot-run claim over the head
-    /// counter (`seq == pos + i + 1` marks a filled slot).
+    /// counter (`seq == pos + i + 1` marks a filled slot). Skips aborted
+    /// slots like [`vy_dequeue`](Self::vy_dequeue).
     pub fn vy_dequeue_many(&self, max: usize, out: &mut Vec<T>) -> usize {
-        let c = self.capacity() as u64;
+        let c = self.cap;
         let cap = self.capacity();
         let mut done = 0usize;
         while done < max {
@@ -649,16 +885,18 @@ impl<T: Pod> RelocRing<T> {
             let want = (max - done).min(cap);
             let mut m = 0usize;
             while m < want {
-                let slot = ((pos + m as u64) % c) as usize;
+                let slot = self.slot_of(pos + m as u64);
                 if self.seq(slot).load(Ordering::Acquire) != pos + m as u64 + 1 {
                     break;
                 }
                 m += 1;
             }
             if m == 0 {
-                let slot = (pos % c) as usize;
+                let slot = self.slot_of(pos);
                 let seq = self.seq(slot).load(Ordering::Acquire);
-                if seq < pos + 1 {
+                if seq >= pos + c {
+                    self.help_skip_aborted(pos);
+                } else if seq < pos + 1 {
                     return done; // empty (same relaxed report as vy_dequeue)
                 }
                 continue;
@@ -669,7 +907,7 @@ impl<T: Pod> RelocRing<T> {
                 .is_ok()
             {
                 for i in 0..m {
-                    let slot = ((pos + i as u64) % c) as usize;
+                    let slot = self.slot_of(pos + i as u64);
                     // SAFETY: the head CAS claimed rounds pos..pos+m.
                     out.push(unsafe { self.val_read(slot) });
                     self.seq(slot).store(pos + i as u64 + c, Ordering::Release);
@@ -678,6 +916,677 @@ impl<T: Pod> RelocRing<T> {
             }
         }
         done
+    }
+
+    // -- zero-copy grants over the same protocol ---------------------------
+
+    /// Reserve up to `n` slots for an in-place write: scan a run of free
+    /// slots from the tail, claim the whole run with one tail CAS, and
+    /// hand it out as a [`RingWriteGrant`]. The run never wraps, so the
+    /// grant's payload memory is contiguous. Returns `None` when the
+    /// ring is full (same relaxed report as
+    /// [`vy_enqueue`](Self::vy_enqueue)) or `n == 0`.
+    pub fn try_reserve(&self, n: usize) -> Option<RingWriteGrant<'_, T>> {
+        if n == 0 {
+            return None;
+        }
+        let mut pos = self.tail().load(Ordering::Relaxed);
+        loop {
+            let slot0 = self.slot_of(pos);
+            let limit = n.min(self.capacity() - slot0);
+            let mut m = 0usize;
+            while m < limit {
+                if self.seq(slot0 + m).load(Ordering::Acquire) != pos + m as u64 {
+                    break;
+                }
+                m += 1;
+            }
+            if m == 0 {
+                let seq = self.seq(slot0).load(Ordering::Acquire);
+                if seq < pos {
+                    return None; // full (relaxed)
+                }
+                pos = self.tail().load(Ordering::Relaxed);
+                continue;
+            }
+            if self
+                .tail()
+                .compare_exchange(pos, pos + m as u64, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(RingWriteGrant {
+                    ring: *self,
+                    pos,
+                    len: m,
+                    _pd: PhantomData,
+                });
+            }
+            pos = self.tail().load(Ordering::Relaxed);
+        }
+    }
+
+    /// Claim up to `n` published slots for an in-place read: scan a run
+    /// of published slots from the head, claim it with one head CAS, and
+    /// hand it out as a [`RingReadGrant`] borrowing `&[T]` directly over
+    /// the slot memory. The run never wraps. Returns `None` when the
+    /// ring is empty (same relaxed report as
+    /// [`vy_dequeue`](Self::vy_dequeue)) or `n == 0`.
+    pub fn try_read(&self, n: usize) -> Option<RingReadGrant<'_, T>> {
+        if n == 0 {
+            return None;
+        }
+        let c = self.cap;
+        let mut pos = self.head().load(Ordering::Relaxed);
+        loop {
+            let slot0 = self.slot_of(pos);
+            let limit = n.min(self.capacity() - slot0);
+            let mut m = 0usize;
+            while m < limit {
+                if self.seq(slot0 + m).load(Ordering::Acquire) != pos + m as u64 + 1 {
+                    break;
+                }
+                m += 1;
+            }
+            if m == 0 {
+                let seq = self.seq(slot0).load(Ordering::Acquire);
+                if seq >= pos + c {
+                    self.help_skip_aborted(pos);
+                } else if seq < pos + 1 {
+                    return None; // empty (relaxed)
+                }
+                pos = self.head().load(Ordering::Relaxed);
+                continue;
+            }
+            if self
+                .head()
+                .compare_exchange(pos, pos + m as u64, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(RingReadGrant {
+                    ring: *self,
+                    pos,
+                    len: m,
+                    _pd: PhantomData,
+                });
+            }
+            pos = self.head().load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// A claimed, contiguous, not-yet-published run of slots in a
+/// [`RelocRing`] (rounds `pos .. pos + len`, all in the *free* seq-word
+/// state and owned exclusively by this grant — the claiming tail CAS is
+/// what makes the `&mut` payload slice sound).
+///
+/// Fill [`uninit_slice`](Self::uninit_slice) in place, then
+/// [`commit`](Self::commit) a prefix: committed slots are published
+/// (`seq ← pos + i + 1`), the rest are **aborted** (`seq ← pos + i + C`,
+/// as if consumed — consumers skip them). Dropping the grant aborts
+/// every slot, so a panicking producer never wedges the ring.
+pub struct RingWriteGrant<'a, T: Pod> {
+    ring: RelocRing<T>,
+    pos: u64,
+    len: usize,
+    _pd: PhantomData<&'a RelocRing<T>>,
+}
+
+impl<T: Pod> RingWriteGrant<'_, T> {
+    /// Number of claimed slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the grant is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Absolute position of the first claimed slot.
+    pub fn start(&self) -> u64 {
+        self.pos
+    }
+
+    /// The claimed payload memory, to be filled in place.
+    pub fn uninit_slice(&mut self) -> &mut [MaybeUninit<T>] {
+        let slot0 = self.ring.slot_of(self.pos);
+        // SAFETY: try_reserve bounded the run to not wrap, so
+        // vals[slot0 .. slot0+len] is in bounds; the claiming CAS gave
+        // this grant exclusive round-ownership of exactly those slots
+        // (no other producer can claim them until the seq words move,
+        // which only commit/drop does).
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.ring.vals.as_ptr().add(slot0).cast::<MaybeUninit<T>>(),
+                self.len,
+            )
+        }
+    }
+
+    /// Publish the first `k ≤ len` slots (they must have been
+    /// initialized through [`uninit_slice`](Self::uninit_slice)) and
+    /// abort the rest.
+    pub fn commit(self, k: usize) {
+        assert!(k <= self.len, "commit beyond reservation");
+        let c = self.ring.cap;
+        for i in 0..self.len {
+            let slot = self.ring.slot_of(self.pos + i as u64);
+            let publish = if i < k {
+                self.pos + i as u64 + 1 // published for the consumer
+            } else {
+                self.pos + i as u64 + c // aborted: as-if consumed
+            };
+            self.ring.seq(slot).store(publish, Ordering::Release);
+        }
+        std::mem::forget(self); // seq words already resolved; skip Drop
+    }
+}
+
+impl<T: Pod> Drop for RingWriteGrant<'_, T> {
+    fn drop(&mut self) {
+        // Abort every claimed slot: mark as-if-consumed so consumers
+        // help the head past them (never published, never read).
+        let c = self.ring.cap;
+        for i in 0..self.len {
+            let slot = self.ring.slot_of(self.pos + i as u64);
+            self.ring
+                .seq(slot)
+                .store(self.pos + i as u64 + c, Ordering::Release);
+        }
+    }
+}
+
+/// A claimed, contiguous run of published slots in a [`RelocRing`]
+/// (rounds `pos .. pos + len`, claimed from the head by one CAS),
+/// borrowing the elements in place as `&[T]`.
+///
+/// The slots return to the free pool when the grant is dropped (or via
+/// the explicit [`release`](Self::release)); unlike the sequential
+/// ring's grant, a claimed MPMC run cannot be un-claimed, so the whole
+/// grant is always consumed.
+pub struct RingReadGrant<'a, T: Pod> {
+    ring: RelocRing<T>,
+    pos: u64,
+    len: usize,
+    _pd: PhantomData<&'a RelocRing<T>>,
+}
+
+impl<T: Pod> RingReadGrant<'_, T> {
+    /// Number of claimed elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the grant is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Absolute position of the first claimed slot.
+    pub fn start(&self) -> u64 {
+        self.pos
+    }
+
+    /// The claimed elements, oldest first.
+    pub fn slice(&self) -> &[T] {
+        let slot0 = self.ring.slot_of(self.pos);
+        // SAFETY: the head CAS claimed exactly these published slots;
+        // their seq words hold pos+i+1 until this grant resolves them,
+        // so no producer can touch the payload while the borrow lives.
+        unsafe { std::slice::from_raw_parts(self.ring.vals.as_ptr().add(slot0), self.len) }
+    }
+
+    /// Consume the grant (equivalent to dropping it).
+    pub fn release(self) {}
+}
+
+impl<T: Pod> std::ops::Deref for RingReadGrant<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.slice()
+    }
+}
+
+impl<T: Pod> Drop for RingReadGrant<'_, T> {
+    fn drop(&mut self) {
+        let c = self.ring.cap;
+        for i in 0..self.len {
+            let slot = self.ring.slot_of(self.pos + i as u64);
+            self.ring
+                .seq(slot)
+                .store(self.pos + i as u64 + c, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RelocByteRing — SPSC variable-length byte ring (length-prefixed records)
+// ---------------------------------------------------------------------------
+
+/// Header of the byte ring: magic + geometry + the SPSC role-claim words
+/// (used by `bq-shm` to hand out at most one producer and one consumer
+/// per segment), then the two cache-padded byte counters. `capacity`
+/// data bytes follow immediately.
+#[repr(C, align(128))]
+pub struct ByteRingHdr {
+    /// [`BYTE_RING_MAGIC`].
+    pub magic: u64,
+    /// Data capacity in bytes (a multiple of 8).
+    pub capacity: u64,
+    /// Maximum message length in bytes.
+    pub max_msg: u64,
+    /// Producer role claim: 0 = free, else claimant pid (`bq-shm`).
+    pub prod_claim: SimAtomicU64,
+    /// Consumer role claim: 0 = free, else claimant pid (`bq-shm`).
+    pub cons_claim: SimAtomicU64,
+    /// Bytes ever published (cache-padded, monotonic).
+    pub tail: PadSimAtomicU64,
+    /// Bytes ever consumed (cache-padded, monotonic).
+    pub head: PadSimAtomicU64,
+}
+
+/// Magic word identifying an initialized [`RelocByteRing`] region.
+pub const BYTE_RING_MAGIC: u64 = 0x4d42_5142_5954_4531; // "MBQBYTE1"
+
+/// Record header flag: this record is wrap padding, not a message.
+pub const BYTE_PAD_BIT: u64 = 1 << 63;
+
+/// Record header mask extracting the payload length in bytes.
+pub const BYTE_LEN_MASK: u64 = 0xFFFF_FFFF;
+
+/// Bytes occupied by a record carrying a `len`-byte message: an 8-byte
+/// header word plus the payload padded to the next 8-byte boundary (so
+/// every record header is 8-aligned).
+pub const fn byte_record_size(len: usize) -> usize {
+    8 + align_up(len, 8)
+}
+
+/// View over an SPSC ring of **bytes** carrying length-prefixed
+/// variable-size messages — the descriptor-ring data plane (DESIGN.md
+/// §12; ARINC 653 queuing-port semantics, DESIGN.md §10.4).
+///
+/// ### Record format
+///
+/// Every record starts at an 8-byte boundary with one `u64` header:
+/// bit 63 ([`BYTE_PAD_BIT`]) marks wrap padding, the low 32 bits
+/// ([`BYTE_LEN_MASK`]) give the body length. A message record's body is
+/// the message, padded to 8 bytes ([`byte_record_size`]); a pad record's
+/// body is dead space inserted when a message would wrap (records never
+/// wrap, so a message is always one contiguous `&[u8]`).
+///
+/// `tail`/`head` are *monotonic byte counters* (position mod capacity is
+/// the ring offset); construction requires
+/// `2 · byte_record_size(max_msg) ≤ capacity`, which guarantees an empty
+/// ring always has room for a maximum-size message plus the worst-case
+/// pad in front of it — a producer loop can never be permanently stuck.
+///
+/// ### Concurrency & crash consistency
+///
+/// Strictly one producer and one consumer (the `unsafe` on the methods
+/// is that contract; [`byte_ring`](crate::byte_ring) enforces it with
+/// unique endpoint values, `bq-shm` with the claim words). The producer
+/// writes body + header *then* publishes with a `Release` store of
+/// `tail`; the consumer `Acquire`-loads `tail`, so a producer dying
+/// before the `tail` store leaves a torn record invisible forever. The
+/// consumer advances `head` (`Release`) only after it is done with the
+/// bytes; a consumer dying mid-read redelivers the message to its
+/// successor.
+pub struct RelocByteRing {
+    hdr: NonNull<ByteRingHdr>,
+    data: NonNull<u8>,
+    cap: u64,
+    max_msg: u64,
+}
+
+impl Clone for RelocByteRing {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl Copy for RelocByteRing {}
+
+impl RelocByteRing {
+    const fn data_offset() -> usize {
+        std::mem::size_of::<ByteRingHdr>()
+    }
+
+    /// Validate a (capacity, max message) geometry. The progress bound
+    /// `2 · record(max_msg) ≤ capacity` makes the wrap-pad worst case
+    /// (pad shorter than a record, then the record itself) always fit an
+    /// empty ring.
+    fn check_geometry(cap_bytes: usize, max_msg: usize) {
+        assert!(
+            cap_bytes > 0 && cap_bytes.is_multiple_of(8),
+            "capacity must be a positive multiple of 8"
+        );
+        assert!(max_msg >= 1, "max message length must be positive");
+        assert!(
+            max_msg as u64 <= BYTE_LEN_MASK,
+            "max message length exceeds the 32-bit record header"
+        );
+        assert!(
+            2 * byte_record_size(max_msg) <= cap_bytes,
+            "capacity must hold two maximum-size records (wrap-pad progress bound)"
+        );
+    }
+
+    /// Memory layout for `cap_bytes` data bytes.
+    pub fn layout(cap_bytes: usize) -> Layout {
+        assert!(
+            cap_bytes > 0 && cap_bytes.is_multiple_of(8),
+            "capacity must be a positive multiple of 8"
+        );
+        Layout::from_size_align(
+            Self::data_offset() + cap_bytes,
+            std::mem::align_of::<ByteRingHdr>(),
+        )
+        .expect("byte ring layout")
+    }
+
+    /// Initialize an empty byte ring at `base` and return its view.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be valid for writes of [`Self::layout`]`(cap_bytes)`
+    /// bytes and aligned to that layout; no other view may be
+    /// concurrently initializing the same region.
+    pub unsafe fn init_at(base: *mut u8, cap_bytes: usize, max_msg: usize) -> RelocByteRing {
+        Self::check_geometry(cap_bytes, max_msg);
+        let hdr = base.cast::<ByteRingHdr>();
+        hdr.write(ByteRingHdr {
+            magic: BYTE_RING_MAGIC,
+            capacity: cap_bytes as u64,
+            max_msg: max_msg as u64,
+            prod_claim: SimAtomicU64::new(0),
+            cons_claim: SimAtomicU64::new(0),
+            tail: PadSimAtomicU64::new(0),
+            head: PadSimAtomicU64::new(0),
+        });
+        let data = base.add(Self::data_offset());
+        RelocByteRing {
+            hdr: NonNull::new_unchecked(hdr),
+            data: NonNull::new_unchecked(data),
+            cap: cap_bytes as u64,
+            max_msg: max_msg as u64,
+        }
+    }
+
+    /// Re-attach to an initialized byte ring at `base`. Panics if the
+    /// magic word is absent.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to memory initialized by [`Self::init_at`] (or
+    /// a byte copy / shared mapping of it) and stay valid for the view's
+    /// lifetime.
+    pub unsafe fn from_raw(base: *mut u8) -> RelocByteRing {
+        let hdr = base.cast::<ByteRingHdr>();
+        assert_eq!((*hdr).magic, BYTE_RING_MAGIC, "not a RelocByteRing region");
+        let cap = (*hdr).capacity;
+        let max_msg = (*hdr).max_msg;
+        let data = base.add(Self::data_offset());
+        RelocByteRing {
+            hdr: NonNull::new_unchecked(hdr),
+            data: NonNull::new_unchecked(data),
+            cap,
+            max_msg,
+        }
+    }
+
+    fn hdr(&self) -> &ByteRingHdr {
+        // SAFETY: view invariant.
+        unsafe { self.hdr.as_ref() }
+    }
+
+    /// Data capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.cap as usize
+    }
+
+    /// Maximum message length in bytes.
+    pub fn max_msg(&self) -> usize {
+        self.max_msg as usize
+    }
+
+    /// The producer byte counter (bytes ever published).
+    pub fn tail(&self) -> &SimAtomicU64 {
+        &self.hdr().tail.0
+    }
+
+    /// The consumer byte counter (bytes ever consumed).
+    pub fn head(&self) -> &SimAtomicU64 {
+        &self.hdr().head.0
+    }
+
+    /// The producer role-claim word (`bq-shm`'s endpoint handout).
+    pub fn prod_claim(&self) -> &SimAtomicU64 {
+        &self.hdr().prod_claim
+    }
+
+    /// The consumer role-claim word (`bq-shm`'s endpoint handout).
+    pub fn cons_claim(&self) -> &SimAtomicU64 {
+        &self.hdr().cons_claim
+    }
+
+    /// Bytes currently in flight (published, not yet consumed) —
+    /// includes record headers and wrap padding.
+    pub fn bytes_used(&self) -> usize {
+        let t = self.tail().load(Ordering::SeqCst);
+        let h = self.head().load(Ordering::SeqCst);
+        t.saturating_sub(h) as usize
+    }
+
+    /// Record header word at byte offset `off` (8-aligned, in bounds).
+    unsafe fn header_read(&self, off: u64) -> u64 {
+        debug_assert!(off.is_multiple_of(8) && off < self.cap);
+        self.data.as_ptr().add(off as usize).cast::<u64>().read()
+    }
+
+    /// Write the record header word at byte offset `off`.
+    unsafe fn header_write(&self, off: u64, word: u64) {
+        debug_assert!(off.is_multiple_of(8) && off < self.cap);
+        self.data
+            .as_ptr()
+            .add(off as usize)
+            .cast::<u64>()
+            .write(word);
+    }
+
+    /// Reserve space for one message of up to `len ≤ max_msg` bytes,
+    /// inserting a wrap-pad record first if needed. Returns `None` when
+    /// the ring lacks room (exact: SPSC counters are never stale to
+    /// their owner).
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the ring's unique producer (SPSC discipline).
+    pub unsafe fn producer_grant(&self, len: usize) -> Option<ByteWriteGrant<'_>> {
+        assert!(len as u64 <= self.max_msg, "message exceeds max_msg");
+        let rec = byte_record_size(len) as u64;
+        let mut t = self.tail().load(Ordering::Relaxed);
+        let h = self.head().load(Ordering::Acquire);
+        let free = self.cap - (t - h);
+        let off = t % self.cap;
+        let room = self.cap - off; // contiguous bytes to the wrap point
+        if rec > room {
+            // The record will not fit before the wrap: lay down a pad
+            // record covering the remainder and start at offset 0.
+            if free < room + rec {
+                return None;
+            }
+            self.header_write(off, BYTE_PAD_BIT | (room - 8));
+            self.tail().store(t + room, Ordering::Release);
+            t += room;
+        } else if free < rec {
+            return None;
+        }
+        Some(ByteWriteGrant {
+            ring: *self,
+            pos: t,
+            len,
+            _pd: PhantomData,
+        })
+    }
+
+    /// Copy-convenience producer: grant + memcpy + commit. Returns
+    /// `false` when the ring lacks room.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the ring's unique producer (SPSC discipline).
+    pub unsafe fn producer_push(&self, msg: &[u8]) -> bool {
+        match self.producer_grant(msg.len()) {
+            Some(mut g) => {
+                g.buf()[..msg.len()].copy_from_slice(msg);
+                g.commit(msg.len());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Borrow the oldest published message in place, transparently
+    /// skipping wrap-pad records. Returns `None` when the ring is empty.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the ring's unique consumer (SPSC discipline).
+    pub unsafe fn consumer_read(&self) -> Option<ByteReadGrant<'_>> {
+        loop {
+            let h = self.head().load(Ordering::Relaxed);
+            let t = self.tail().load(Ordering::Acquire);
+            if h == t {
+                return None;
+            }
+            let off = h % self.cap;
+            let word = self.header_read(off);
+            let body = word & BYTE_LEN_MASK;
+            if word & BYTE_PAD_BIT != 0 {
+                // Wrap padding: consume it and look again at offset 0.
+                self.head().store(h + 8 + body, Ordering::Release);
+                continue;
+            }
+            return Some(ByteReadGrant {
+                ring: *self,
+                pos: h,
+                len: body as usize,
+                _pd: PhantomData,
+            });
+        }
+    }
+
+    /// Copy-convenience consumer: read grant + extend `out` + release.
+    /// Returns `false` when the ring is empty.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the ring's unique consumer (SPSC discipline).
+    pub unsafe fn consumer_pop(&self, out: &mut Vec<u8>) -> bool {
+        match self.consumer_read() {
+            Some(g) => {
+                out.extend_from_slice(g.msg());
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Reserved space for one variable-length message in a
+/// [`RelocByteRing`]. Fill [`buf`](Self::buf) in place, then
+/// [`commit`](Self::commit) the bytes actually used (`≤` the reserved
+/// length — a shorter commit publishes a shorter record). Dropping the
+/// grant aborts for free: the tail was never advanced past any wrap pad
+/// already laid down, so the space is simply reused.
+pub struct ByteWriteGrant<'a> {
+    ring: RelocByteRing,
+    pos: u64,
+    len: usize,
+    _pd: PhantomData<&'a RelocByteRing>,
+}
+
+impl ByteWriteGrant<'_> {
+    /// Reserved message capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff zero bytes were reserved (legal: empty messages are
+    /// valid records).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The reserved message bytes, to be filled in place.
+    pub fn buf(&mut self) -> &mut [u8] {
+        let off = (self.pos % self.ring.cap) as usize;
+        // SAFETY: producer_grant guaranteed [off+8, off+8+len) is in
+        // bounds (the record never wraps) and unpublished; the unique-
+        // producer contract makes this grant the only writer.
+        unsafe { std::slice::from_raw_parts_mut(self.ring.data.as_ptr().add(off + 8), self.len) }
+    }
+
+    /// Publish the first `used ≤ len` filled bytes as one message.
+    pub fn commit(self, used: usize) {
+        assert!(used <= self.len, "commit beyond reservation");
+        let off = self.pos % self.ring.cap;
+        // SAFETY: same bounds as `buf`; header word precedes the body.
+        unsafe { self.ring.header_write(off, used as u64) };
+        self.ring
+            .tail()
+            .store(self.pos + byte_record_size(used) as u64, Ordering::Release);
+    }
+}
+
+/// One borrowed, in-place message from a [`RelocByteRing`]. The bytes
+/// stay valid until the grant is dropped (or explicitly
+/// [`release`](Self::release)d), which is what advances the consumer
+/// counter — a consumer crashing mid-read redelivers the message.
+pub struct ByteReadGrant<'a> {
+    ring: RelocByteRing,
+    pos: u64,
+    len: usize,
+    _pd: PhantomData<&'a RelocByteRing>,
+}
+
+impl ByteReadGrant<'_> {
+    /// Message length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the message is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The message bytes, in place in the ring.
+    pub fn msg(&self) -> &[u8] {
+        let off = (self.pos % self.ring.cap) as usize;
+        // SAFETY: the record at pos was published (tail Acquire) and
+        // never wraps; head stays behind it until this grant drops, so
+        // the producer cannot reuse the bytes while the borrow lives.
+        unsafe { std::slice::from_raw_parts(self.ring.data.as_ptr().add(off + 8), self.len) }
+    }
+
+    /// Consume the grant (equivalent to dropping it).
+    pub fn release(self) {}
+}
+
+impl std::ops::Deref for ByteReadGrant<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.msg()
+    }
+}
+
+impl Drop for ByteReadGrant<'_> {
+    fn drop(&mut self) {
+        self.ring.head().store(
+            self.pos + byte_record_size(self.len) as u64,
+            Ordering::Release,
+        );
     }
 }
 
@@ -851,9 +1760,11 @@ impl AnnounceBoard {
 const _: () = {
     use std::mem::{align_of, offset_of, size_of};
 
-    // PadAtomicU64: one unit of contention isolation.
+    // PadAtomicU64 / PadSimAtomicU64: one unit of contention isolation.
     assert!(size_of::<PadAtomicU64>() == 128);
     assert!(align_of::<PadAtomicU64>() == 128);
+    assert!(size_of::<PadSimAtomicU64>() == 128);
+    assert!(align_of::<PadSimAtomicU64>() == 128);
 
     // SeqRingHdr: four plain u64 words, in order.
     assert!(size_of::<SeqRingHdr>() == 32);
@@ -872,10 +1783,17 @@ const _: () = {
     assert!(offset_of!(RingHdr, tail) == 128);
     assert!(offset_of!(RingHdr, head) == 256);
 
-    // Sequenced slots for the element types the queues instantiate.
-    assert!(size_of::<RelocSlot<u64>>() == 16);
-    assert!(offset_of!(RelocSlot<u64>, seq) == 0);
-    assert!(size_of::<RelocSlot<[u8; 24]>>() == 32);
+    // ByteRingHdr: geometry + claims in the first padded unit, then the
+    // two byte counters.
+    assert!(size_of::<ByteRingHdr>() == 384);
+    assert!(align_of::<ByteRingHdr>() == 128);
+    assert!(offset_of!(ByteRingHdr, magic) == 0);
+    assert!(offset_of!(ByteRingHdr, capacity) == 8);
+    assert!(offset_of!(ByteRingHdr, max_msg) == 16);
+    assert!(offset_of!(ByteRingHdr, prod_claim) == 24);
+    assert!(offset_of!(ByteRingHdr, cons_claim) == 32);
+    assert!(offset_of!(ByteRingHdr, tail) == 128);
+    assert!(offset_of!(ByteRingHdr, head) == 256);
 
     // BoardHdr + descriptors.
     assert!(size_of::<BoardHdr>() == 128);
@@ -890,152 +1808,5 @@ const _: () = {
 };
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn seq_ring_basic_and_wraparound() {
-        let buf = RelocBuf::zeroed(RelocSeqRing::layout(3));
-        // SAFETY: buf satisfies layout(3), exclusively owned.
-        let mut r = unsafe { RelocSeqRing::init_at(buf.base(), 3) };
-        for round in 0..50u64 {
-            for i in 0..3 {
-                r.enqueue(round * 3 + i).unwrap();
-            }
-            assert!(r.is_full());
-            assert_eq!(r.enqueue(99), Err(Full(99)));
-            for i in 0..3 {
-                assert_eq!(r.dequeue(), Some(round * 3 + i));
-            }
-            assert!(r.is_empty());
-        }
-    }
-
-    #[test]
-    fn seq_ring_survives_memcpy_relocation() {
-        let buf = RelocBuf::zeroed(RelocSeqRing::layout(4));
-        // SAFETY: buf satisfies layout(4).
-        let mut r = unsafe { RelocSeqRing::init_at(buf.base(), 4) };
-        r.enqueue(10).unwrap();
-        r.enqueue(20).unwrap();
-        r.dequeue().unwrap();
-        r.enqueue(30).unwrap();
-
-        let copy = buf.duplicate();
-        assert_ne!(copy.base(), buf.base(), "relocated to a new address");
-        // SAFETY: copy holds a byte-identical initialized region.
-        let mut r2 = unsafe { RelocSeqRing::from_raw(copy.base()) };
-        assert_eq!(r2.len(), 2);
-        assert_eq!(r2.dequeue(), Some(20));
-        assert_eq!(r2.dequeue(), Some(30));
-        assert_eq!(r2.dequeue(), None);
-        // The original is untouched by operations on the copy.
-        assert_eq!(r.len(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "not a RelocSeqRing")]
-    fn seq_ring_rejects_uninitialized_memory() {
-        let buf = RelocBuf::zeroed(RelocSeqRing::layout(2));
-        // SAFETY: the pointer is valid; the magic check is the subject.
-        let _ = unsafe { RelocSeqRing::from_raw(buf.base()) };
-    }
-
-    #[test]
-    fn vy_ring_fifo_and_relaxed_full() {
-        let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(4));
-        // SAFETY: buf satisfies layout(4).
-        let r = unsafe { RelocRing::<u64>::init_at(buf.base(), 4) };
-        for v in 1..=4 {
-            r.vy_enqueue(v).unwrap();
-        }
-        assert_eq!(r.vy_enqueue(5), Err(5));
-        for v in 1..=4 {
-            assert_eq!(r.vy_dequeue(), Some(v));
-        }
-        assert_eq!(r.vy_dequeue(), None);
-    }
-
-    #[test]
-    fn vy_ring_batch_runs_wrap() {
-        let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(4));
-        // SAFETY: buf satisfies layout(4).
-        let r = unsafe { RelocRing::<u64>::init_at(buf.base(), 4) };
-        assert_eq!(r.vy_enqueue_many(&[1, 2, 3, 4, 5]), 4);
-        let mut out = Vec::new();
-        assert_eq!(r.vy_dequeue_many(2, &mut out), 2);
-        assert_eq!(r.vy_enqueue_many(&[5, 6]), 2);
-        assert_eq!(r.vy_dequeue_many(10, &mut out), 4);
-        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
-    }
-
-    #[test]
-    fn vy_ring_survives_memcpy_relocation_mid_state() {
-        let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(8));
-        // SAFETY: buf satisfies layout(8).
-        let r = unsafe { RelocRing::<u64>::init_at(buf.base(), 8) };
-        for v in 1..=6 {
-            r.vy_enqueue(v).unwrap();
-        }
-        r.vy_dequeue().unwrap();
-        let copy = buf.duplicate();
-        // SAFETY: byte-identical initialized region.
-        let r2 = unsafe { RelocRing::<u64>::from_raw(copy.base()) };
-        assert_eq!(r2.counter_len(), 5);
-        let mut out = Vec::new();
-        assert_eq!(r2.vy_dequeue_many(8, &mut out), 5);
-        assert_eq!(out, vec![2, 3, 4, 5, 6]);
-    }
-
-    #[test]
-    fn vy_ring_nonword_pod_payload() {
-        // A 3-word Pod payload exercises the generic slot layout.
-        let buf = RelocBuf::zeroed(RelocRing::<[u64; 3]>::layout(2));
-        // SAFETY: buf satisfies layout(2).
-        let r = unsafe { RelocRing::<[u64; 3]>::init_at(buf.base(), 2) };
-        r.vy_enqueue([1, 2, 3]).unwrap();
-        r.vy_enqueue([4, 5, 6]).unwrap();
-        assert_eq!(r.vy_dequeue(), Some([1, 2, 3]));
-        assert_eq!(r.vy_dequeue(), Some([4, 5, 6]));
-        assert_eq!(r.vy_dequeue(), None);
-    }
-
-    #[test]
-    fn board_round_trips_and_relocates() {
-        let buf = RelocBuf::zeroed(AnnounceBoard::layout(3));
-        // SAFETY: buf satisfies layout(3).
-        let b = unsafe { AnnounceBoard::init_at(buf.base(), 3) };
-        assert_eq!(b.threads(), 3);
-        assert_eq!(b.pool_len(), 6);
-        b.op(1).store(77, Ordering::SeqCst);
-        b.desc(4).unwrap().x.store(42, Ordering::SeqCst);
-        assert!(b.desc(6).is_none());
-
-        let copy = buf.duplicate();
-        // SAFETY: byte-identical initialized region.
-        let b2 = unsafe { AnnounceBoard::from_raw(copy.base()) };
-        assert_eq!(b2.op(1).load(Ordering::SeqCst), 77);
-        assert_eq!(b2.desc(4).unwrap().x.load(Ordering::SeqCst), 42);
-        assert_eq!(b2.op(0).load(Ordering::SeqCst), 0);
-        assert_eq!(b2.descs().count(), 6);
-    }
-
-    #[test]
-    fn layouts_are_contiguous_and_aligned() {
-        assert_eq!(RelocSeqRing::layout(8).size(), 32 + 64);
-        let l = RelocRing::<u64>::layout(8);
-        assert_eq!(l.size(), 384 + 8 * 16);
-        assert_eq!(l.align(), 128);
-        let b = AnnounceBoard::layout(4);
-        // hdr 128 + 4 ops (32 B) padded to 128, + 8 descriptors.
-        assert_eq!(b.size(), 256 + 8 * 128);
-    }
-
-    #[test]
-    fn align_up_rounds_correctly() {
-        assert_eq!(align_up(0, 128), 0);
-        assert_eq!(align_up(1, 128), 128);
-        assert_eq!(align_up(128, 128), 128);
-        assert_eq!(align_up(129, 64), 192);
-    }
-}
+#[path = "relocatable_tests.rs"]
+mod tests;

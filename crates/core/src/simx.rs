@@ -100,6 +100,33 @@ impl SimAtomicU64 {
         })
     }
 
+    /// Weak compare-and-exchange; may fail spuriously like std's.
+    ///
+    /// Under exploration it runs the *strong* variant: schedule replay
+    /// must be deterministic, and a scheduling point already separates
+    /// the read from the write, so spurious failure would only add
+    /// schedules the strong CAS covers.
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        bracketed!(self, Cas, current, new, {
+            let r = if cfg!(feature = "sim-explore") {
+                self.0.compare_exchange(current, new, success, failure)
+            } else {
+                self.0.compare_exchange_weak(current, new, success, failure)
+            };
+            let old = match r {
+                Ok(v) | Err(v) => v,
+            };
+            (r, old)
+        })
+    }
+
     /// Atomic add returning the previous value.
     #[inline]
     pub fn fetch_add(&self, v: u64, o: Ordering) -> u64 {

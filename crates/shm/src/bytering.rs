@@ -1,0 +1,351 @@
+//! **Cross-process variable-length byte ring** — a
+//! [`RelocByteRing`](bq_core::relocatable::RelocByteRing) served out of an
+//! `mmap`-shared [`ShmSegment`], carrying length-prefixed messages between
+//! one producer *process* and one consumer *process* with zero copies on
+//! either side (DESIGN.md §12; the ARINC 653 queuing-port shape of
+//! §10.4, now with real payload bytes instead of token words).
+//!
+//! ## Role claiming
+//!
+//! The byte ring is strictly SPSC, and across processes ownership cannot
+//! be a Rust `&mut`: the producer/consumer roles are handed out through
+//! two **claim words** in the ring header. [`ShmByteRing::producer`]
+//! CASes the word from 0 to the caller's pid; a second claim from a
+//! *live* pid is refused, while a claim word held by a **dead** process
+//! (`kill(pid, 0) == ESRCH`) is stolen — the successor process resumes
+//! exactly where the victim's last published counter left it.
+//!
+//! ## Crash consistency
+//!
+//! The record protocol makes the two crash windows benign (the argument
+//! is spelled out in DESIGN.md §12.3):
+//!
+//! * producer dies before its `tail` release-store → the torn record is
+//!   after `tail`, invisible to every consumer forever; the successor
+//!   producer overwrites it;
+//! * consumer dies before its `head` release-store → the message is
+//!   still between `head` and `tail`; the successor consumer reads it
+//!   again (at-least-once on the consumer side, never lost).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bq_core::relocatable::{ByteReadGrant, ByteWriteGrant, RelocByteRing};
+use bq_core::SimAtomicU64;
+
+use crate::segment::ShmSegment;
+
+/// Layout tag for a byte-ring payload ("SHQ2" + "BYTE"): geometry lives
+/// in the ring header itself, so the tag only names the protocol.
+pub const BYTE_RING_LAYOUT_TAG: u64 = 0x5348_5132_4259_5445;
+
+/// A role claim was refused because the role is already held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoleHeld {
+    /// Pid of the live holder.
+    pub pid: u32,
+}
+
+impl std::fmt::Display for RoleHeld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "byte-ring role already held by live process {}",
+            self.pid
+        )
+    }
+}
+
+impl std::error::Error for RoleHeld {}
+
+/// `kill(pid, 0) == ESRCH`: no such process. (A pid that merely belongs
+/// to another user reports `EPERM` — alive, so not stealable.)
+fn pid_is_dead(pid: u32) -> bool {
+    // SAFETY: signal 0 performs no delivery, only the existence check.
+    let r = unsafe { libc::kill(pid as libc::pid_t, 0) };
+    r == -1 && std::io::Error::last_os_error().raw_os_error() == Some(libc::ESRCH)
+}
+
+/// Claim a role word: 0 → pid, or steal from a dead holder.
+fn claim_role(word: &SimAtomicU64) -> Result<(), RoleHeld> {
+    let me = std::process::id() as u64;
+    loop {
+        let cur = word.load(Ordering::SeqCst);
+        if cur == 0 {
+            if word
+                .compare_exchange(0, me, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(());
+            }
+            continue; // raced; re-read
+        }
+        if cur != me && pid_is_dead(cur as u32) {
+            if word
+                .compare_exchange(cur, me, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(());
+            }
+            continue;
+        }
+        // Held by ourselves (double claim) or by a live process.
+        return Err(RoleHeld { pid: cur as u32 });
+    }
+}
+
+/// Release a role word if we still hold it (benign no-op otherwise —
+/// e.g. a successor already stole it from our dead pid record).
+fn release_role(word: &SimAtomicU64) {
+    let me = std::process::id() as u64;
+    let _ = word.compare_exchange(me, 0, Ordering::SeqCst, Ordering::SeqCst);
+}
+
+/// A variable-length SPSC byte ring in an `mmap`-shared segment. `Clone`
+/// shares the mapping (for handing to `fork` children); the producer and
+/// consumer **roles** are claimed separately via [`producer`]/[`consumer`]
+/// (at most one live holder each, enforced across processes).
+///
+/// [`producer`]: Self::producer
+/// [`consumer`]: Self::consumer
+pub struct ShmByteRing {
+    seg: Arc<ShmSegment>,
+    ring: RelocByteRing,
+}
+
+// SAFETY: the segment mapping is process-shared by construction; shared
+// access through `&self` only touches the ring's atomics (counters,
+// claim words). The data-plane ops live on the role endpoints.
+unsafe impl Send for ShmByteRing {}
+unsafe impl Sync for ShmByteRing {}
+
+impl Clone for ShmByteRing {
+    fn clone(&self) -> Self {
+        ShmByteRing {
+            seg: Arc::clone(&self.seg),
+            ring: self.ring,
+        }
+    }
+}
+
+impl ShmByteRing {
+    /// Create a byte ring with `cap_bytes` data bytes (multiple of 8,
+    /// holding at least two maximum-size records) carrying messages up
+    /// to `max_msg` bytes, in a fresh anonymous shared segment (shared
+    /// with all future `fork` children).
+    pub fn create_anon(cap_bytes: usize, max_msg: usize) -> std::io::Result<ShmByteRing> {
+        let layout = RelocByteRing::layout(cap_bytes);
+        let seg = ShmSegment::create_anon(layout.size(), BYTE_RING_LAYOUT_TAG)?;
+        // SAFETY: the payload region is zeroed, 128-aligned, and at
+        // least `layout.size()` bytes; the segment was created by us.
+        let ring = unsafe { RelocByteRing::init_at(seg.payload_ptr(), cap_bytes, max_msg) };
+        seg.publish();
+        Ok(ShmByteRing {
+            seg: Arc::new(seg),
+            ring,
+        })
+    }
+
+    /// Create a byte ring in a file-backed segment at `path`, for
+    /// unrelated processes to [`open_file`](Self::open_file).
+    pub fn create_file(
+        path: &std::path::Path,
+        cap_bytes: usize,
+        max_msg: usize,
+    ) -> std::io::Result<ShmByteRing> {
+        let layout = RelocByteRing::layout(cap_bytes);
+        let seg = ShmSegment::create_file(path, layout.size(), BYTE_RING_LAYOUT_TAG)?;
+        // SAFETY: as in `create_anon`.
+        let ring = unsafe { RelocByteRing::init_at(seg.payload_ptr(), cap_bytes, max_msg) };
+        seg.publish();
+        Ok(ShmByteRing {
+            seg: Arc::new(seg),
+            ring,
+        })
+    }
+
+    /// Attach to a published byte-ring segment file created by another
+    /// process (the relocation path: the mapping lands at a different
+    /// base address here and the view is rebuilt from it).
+    pub fn open_file(path: &std::path::Path) -> std::io::Result<ShmByteRing> {
+        let seg = ShmSegment::open_file(path, BYTE_RING_LAYOUT_TAG)?;
+        // SAFETY: the header check accepted magic/version/tag/length, so
+        // the payload is an initialized `RelocByteRing` region.
+        let ring = unsafe { RelocByteRing::from_raw(seg.payload_ptr()) };
+        Ok(ShmByteRing {
+            seg: Arc::new(seg),
+            ring,
+        })
+    }
+
+    /// The segment this ring lives in (scratch counters, process table).
+    pub fn segment(&self) -> &Arc<ShmSegment> {
+        &self.seg
+    }
+
+    /// Data capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.ring.capacity_bytes()
+    }
+
+    /// Maximum message length in bytes.
+    pub fn max_msg(&self) -> usize {
+        self.ring.max_msg()
+    }
+
+    /// Bytes currently in flight (records + wrap padding).
+    pub fn bytes_used(&self) -> usize {
+        self.ring.bytes_used()
+    }
+
+    /// Claim the producer role for the calling process. Fails with the
+    /// holder's pid while the role is held by a live process; a dead
+    /// holder's claim is stolen.
+    pub fn producer(&self) -> Result<ShmByteProducer, RoleHeld> {
+        claim_role(self.ring.prod_claim())?;
+        Ok(ShmByteProducer { ring: self.clone() })
+    }
+
+    /// Claim the consumer role for the calling process (same contract as
+    /// [`producer`](Self::producer)).
+    pub fn consumer(&self) -> Result<ShmByteConsumer, RoleHeld> {
+        claim_role(self.ring.cons_claim())?;
+        Ok(ShmByteConsumer { ring: self.clone() })
+    }
+}
+
+/// The claimed producer role of a [`ShmByteRing`]. Releases the claim
+/// word on drop; a crashed holder is stolen from via the pid liveness
+/// check instead.
+pub struct ShmByteProducer {
+    ring: ShmByteRing,
+}
+
+// SAFETY: the endpoint is the unique producer by claim-word contract;
+// moving it between threads moves the role with it.
+unsafe impl Send for ShmByteProducer {}
+
+impl ShmByteProducer {
+    /// Reserve in-place space for one message of up to `len ≤ max_msg`
+    /// bytes (`None` when the ring lacks room). Fill and `commit(used)`;
+    /// dropping the grant aborts.
+    pub fn try_grant(&mut self, len: usize) -> Option<ByteWriteGrant<'_>> {
+        // SAFETY: holding the claimed endpoint is the single-producer
+        // discipline the ring op requires.
+        unsafe { self.ring.ring.producer_grant(len) }
+    }
+
+    /// Copy-convenience enqueue. `false` when the ring lacks room.
+    pub fn push(&mut self, msg: &[u8]) -> bool {
+        // SAFETY: as in `try_grant`.
+        unsafe { self.ring.ring.producer_push(msg) }
+    }
+
+    /// The underlying ring (counters, geometry).
+    pub fn ring(&self) -> &ShmByteRing {
+        &self.ring
+    }
+}
+
+impl Drop for ShmByteProducer {
+    fn drop(&mut self) {
+        release_role(self.ring.ring.prod_claim());
+    }
+}
+
+/// The claimed consumer role of a [`ShmByteRing`] (mirror of
+/// [`ShmByteProducer`]).
+pub struct ShmByteConsumer {
+    ring: ShmByteRing,
+}
+
+// SAFETY: unique consumer by claim-word contract.
+unsafe impl Send for ShmByteConsumer {}
+
+impl ShmByteConsumer {
+    /// Borrow the oldest message in place (`None` when empty). The ring
+    /// space is reclaimed when the grant drops — a process dying with a
+    /// live grant redelivers the message to its successor.
+    pub fn try_read(&mut self) -> Option<ByteReadGrant<'_>> {
+        // SAFETY: holding the claimed endpoint is the single-consumer
+        // discipline the ring op requires.
+        unsafe { self.ring.ring.consumer_read() }
+    }
+
+    /// Copy-convenience dequeue appending to `out`. `false` when empty.
+    pub fn pop(&mut self, out: &mut Vec<u8>) -> bool {
+        // SAFETY: as in `try_read`.
+        unsafe { self.ring.ring.consumer_pop(out) }
+    }
+
+    /// The underlying ring (counters, geometry).
+    pub fn ring(&self) -> &ShmByteRing {
+        &self.ring
+    }
+}
+
+impl Drop for ShmByteConsumer {
+    fn drop(&mut self) {
+        release_role(self.ring.ring.cons_claim());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_roundtrip_and_role_exclusion() {
+        let ring = ShmByteRing::create_anon(4096, 512).unwrap();
+        let mut tx = ring.producer().unwrap();
+        // The role is exclusive while held...
+        let held = match ring.producer() {
+            Err(e) => e,
+            Ok(_) => panic!("second producer claim must be refused"),
+        };
+        assert_eq!(
+            held,
+            RoleHeld {
+                pid: std::process::id()
+            }
+        );
+        let mut rx = ring.consumer().unwrap();
+        assert!(tx.push(b"ping"));
+        {
+            let g = rx.try_read().unwrap();
+            assert_eq!(&*g, b"ping");
+        }
+        assert!(rx.try_read().is_none());
+        // ...and released on drop.
+        drop(tx);
+        let _tx2 = ring.producer().unwrap();
+    }
+
+    #[test]
+    fn file_backed_attach_round_trips() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bq_byte_ring_{}.seg", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ring = ShmByteRing::create_file(&path, 1024, 128).unwrap();
+        let mut tx = ring.producer().unwrap();
+        assert!(tx.push(b"over the file"));
+
+        let attached = ShmByteRing::open_file(&path).unwrap();
+        assert_eq!(attached.capacity_bytes(), 1024);
+        assert_eq!(attached.max_msg(), 128);
+        let mut rx = attached.consumer().unwrap();
+        let mut out = Vec::new();
+        assert!(rx.pop(&mut out));
+        assert_eq!(out, b"over the file");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dead_holder_claim_is_stolen() {
+        let ring = ShmByteRing::create_anon(256, 32).unwrap();
+        // Plant a pid that certainly does not exist: pid_max on Linux
+        // defaults well below this, and kill(, 0) then reports ESRCH.
+        ring.ring.prod_claim().store(0x3FFF_FF17, Ordering::SeqCst);
+        let _tx = ring.producer().expect("dead holder must be stolen from");
+    }
+}

@@ -17,6 +17,10 @@
 //!   between **any** two shared writes leaves a state the survivors
 //!   either complete or reclaim (the per-write argument is tabulated in
 //!   [`queue`]'s module docs);
+//! * [`ShmByteRing`] — a variable-length SPSC byte ring over the same
+//!   segments: zero-copy grants on both sides, with the producer and
+//!   consumer roles claimed per-process through header claim words
+//!   (dead holders detected via pid liveness and stolen);
 //! * [`fork_child`]/[`Child`] — a fork harness with deadline waits, so a
 //!   wedged queue fails tests instead of hanging them;
 //! * [`OpLog`] — a cross-process operation log with globally sequenced
@@ -28,11 +32,13 @@
 
 #![deny(missing_docs)]
 
+pub mod bytering;
 pub mod harness;
 pub mod oplog;
 pub mod queue;
 pub mod segment;
 
+pub use bytering::{RoleHeld, ShmByteConsumer, ShmByteProducer, ShmByteRing, BYTE_RING_LAYOUT_TAG};
 pub use harness::{fork_child, Child, ChildExit};
 pub use oplog::{LoggedEvent, OpKind, OpLog, RetKind};
 pub use queue::{layout_tag, ShmHandle, ShmQueue};

@@ -279,11 +279,10 @@ impl<T: Pod> ShmQueue<T> {
     /// **W3** value write, **W4** publish CAS (the linearization point).
     /// The crash gate in `h` fires after each.
     pub fn enqueue(&self, h: &mut ShmHandle, v: T) -> Result<(), T> {
-        let c = self.capacity() as u64;
         h.crash_gate(); // kill point 0: before any shared write
         loop {
             let t = self.ring.tail().load(Ordering::SeqCst);
-            let slot = (t % c) as usize;
+            let slot = self.ring.slot_of(t);
             let w = self.ring.seq(slot).load(Ordering::SeqCst);
             let (r, st, owner) = unpack(w);
             if r == t && st == FREE {
@@ -385,7 +384,7 @@ impl<T: Pod> ShmQueue<T> {
         h.crash_gate(); // kill point 0: before any shared access
         loop {
             let hd = self.ring.head().load(Ordering::SeqCst);
-            let slot = (hd % c) as usize;
+            let slot = self.ring.slot_of(hd);
             let w = self.ring.seq(slot).load(Ordering::SeqCst);
             let (r, st, owner) = unpack(w);
             if r == hd {

@@ -1,0 +1,119 @@
+//! Cross-**process** byte-ring tests: a forked producer streams
+//! variable-length checksummed messages to the parent consumer through a
+//! [`ShmByteRing`], and a claim-stealing test shows the producer role of
+//! a killed process is reclaimable by its successor (DESIGN.md §12.3).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use bq_shm::{fork_child, ShmByteRing};
+
+/// Forky tests share a binary with the std test harness's threads, so
+/// they are serialized (see `bq_shm::harness` docs on fork discipline).
+static FORK_LOCK: Mutex<()> = Mutex::new(());
+
+fn yield_now() {
+    // SAFETY: sched_yield has no preconditions; allocation-free (a child
+    // of a threaded parent must not touch the allocator).
+    unsafe {
+        libc::sched_yield();
+    }
+}
+
+/// Deterministic body byte for message `i` at offset `j` — lets the
+/// consumer verify content without any side channel.
+fn body_byte(i: u64, j: usize) -> u8 {
+    (i as u8).wrapping_mul(31).wrapping_add(j as u8)
+}
+
+/// Message `i`'s length: sweeps 1..=max and hits the wrap pad often.
+fn msg_len(i: u64, max: usize) -> usize {
+    (i as usize * 7 + 1) % max + 1
+}
+
+#[test]
+fn forked_producer_streams_variable_messages() {
+    let _serial = FORK_LOCK.lock().unwrap();
+    const MSGS: u64 = 400;
+    const MAX: usize = 96;
+
+    let ring = ShmByteRing::create_anon(1024, MAX).unwrap();
+    let child_ring = ring.clone();
+    let child = fork_child(move || {
+        // Claim strictly inside the child: the grant/commit stores all
+        // happen in shared memory, no allocator needed after this point.
+        let mut tx = child_ring.producer().expect("child claims producer");
+        for i in 0..MSGS {
+            let len = msg_len(i, MAX);
+            loop {
+                if let Some(mut g) = tx.try_grant(len) {
+                    for (j, b) in g.buf()[..len].iter_mut().enumerate() {
+                        *b = body_byte(i, j);
+                    }
+                    g.commit(len);
+                    break;
+                }
+                yield_now();
+            }
+        }
+    })
+    .unwrap();
+
+    let mut rx = ring.consumer().unwrap();
+    let mut seen = 0u64;
+    while seen < MSGS {
+        if let Some(g) = rx.try_read() {
+            let want = msg_len(seen, MAX);
+            assert_eq!(g.len(), want, "message {seen} length");
+            for (j, &b) in g.iter().enumerate() {
+                assert_eq!(b, body_byte(seen, j), "message {seen} byte {j}");
+            }
+            seen += 1;
+        } else {
+            yield_now();
+        }
+    }
+    assert!(rx.try_read().is_none(), "ring drained exactly");
+    assert!(child.wait().unwrap().success());
+}
+
+#[test]
+fn producer_claim_of_killed_process_is_stolen() {
+    let _serial = FORK_LOCK.lock().unwrap();
+    let ring = ShmByteRing::create_anon(256, 32).unwrap();
+
+    let child_ring = ring.clone();
+    let mut child = fork_child(move || {
+        let mut tx = child_ring.producer().expect("child claims producer");
+        assert!(tx.push(b"last words"));
+        // Hold the claim forever; the parent kills us mid-hold. The
+        // endpoint's Drop (claim release) never runs — that is the point.
+        loop {
+            yield_now();
+        }
+    })
+    .unwrap();
+
+    // Wait until the child's claim + message are visible, then kill it
+    // while it still holds the producer role.
+    let mut rx = ring.consumer().unwrap();
+    let mut out = Vec::new();
+    while !rx.pop(&mut out) {
+        yield_now();
+    }
+    assert_eq!(out, b"last words");
+    child.kill();
+    // Reap so the pid goes away entirely (a zombie still "exists" for
+    // kill(pid, 0), so stealing must wait for the reap).
+    let exit = child
+        .wait_deadline(Duration::from_secs(5))
+        .unwrap()
+        .expect("killed child reaped");
+    assert!(!exit.success());
+
+    // The dead holder's claim is stolen and the ring keeps working.
+    let mut tx2 = ring.producer().expect("steal claim from dead process");
+    assert!(tx2.push(b"successor"));
+    let g = rx.try_read().unwrap();
+    assert_eq!(&*g, b"successor");
+}

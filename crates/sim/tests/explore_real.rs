@@ -19,8 +19,8 @@ use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
 use bq_core::{
-    AsyncQueue, BlockingQueue, ConcurrentQueue, EventCount, OptimalQueue, SegmentQueue,
-    ShardedQueue, SimAtomicU64,
+    AsyncQueue, BlockingQueue, ConcurrentQueue, EventCount, OptimalQueue, RelocBuf, RelocRing,
+    SegmentQueue, ShardedQueue, SimAtomicU64,
 };
 use bq_sim::explore::{explore, replay, ExploreConfig, Report, RunOutcomeKind, RunSpec};
 use bq_sim::{check_history, check_history_pool, History, HistoryEvent, Op, Ret};
@@ -255,6 +255,241 @@ fn replay_reproduces_histories_byte_for_byte() {
     assert_eq!(
         a1.history, a2.history,
         "perturbed schedule still deterministic"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy grants on the sequenced ring (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// The sequenced ring shares Vyukov's documented relaxation: between a
+/// producer's tail claim and its seq-word publish, a consumer behind that
+/// slot reports *empty* even if a later enqueue already completed (and
+/// symmetrically for *full*). So ring histories are checked two ways:
+/// the **full** history against the pool spec (conservation, causality,
+/// capacity, no duplicates — refusals admitted), and the history
+/// **restricted to successful operations** against the strict FIFO queue
+/// spec (values must come out in exactly enqueue order).
+fn check_ring_history(h: &History, cap: usize) -> Result<(), String> {
+    if !check_history_pool(h, cap).is_linearizable() {
+        return Err("ring history breaks the pool spec".into());
+    }
+    let refused: HashSet<usize> = h
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            HistoryEvent::Return {
+                id,
+                ret: Ret::EnqFull,
+            }
+            | HistoryEvent::Return {
+                id,
+                ret: Ret::DeqEmpty,
+            } => Some(id.0),
+            _ => None,
+        })
+        .collect();
+    let mut successes = History::new();
+    for e in h.events() {
+        let id = match e {
+            HistoryEvent::Invoke { id, .. } | HistoryEvent::Return { id, .. } => id.0,
+        };
+        if !refused.contains(&id) {
+            successes.push(*e);
+        }
+    }
+    if check_history(&successes, cap).is_linearizable() {
+        Ok(())
+    } else {
+        Err("successful ring ops are not FIFO-linearizable".into())
+    }
+}
+
+/// Heap home for a `RelocRing<u64>` shared across explored threads (the
+/// view is `Copy`; the buf owns the bytes).
+struct RingWorld {
+    _buf: RelocBuf,
+    ring: RelocRing<u64>,
+}
+
+// SAFETY: all shared state inside the ring is SimAtomicU64s, and the
+// explorer serializes steps; the buf is immovably heap-allocated.
+unsafe impl Send for RingWorld {}
+unsafe impl Sync for RingWorld {}
+
+fn ring_world(c: usize) -> Arc<RingWorld> {
+    let buf = RelocBuf::zeroed(RelocRing::<u64>::layout(c));
+    // SAFETY: buf satisfies layout(c) and is exclusively owned here.
+    let ring = unsafe { RelocRing::<u64>::init_at(buf.base(), c) };
+    Arc::new(RingWorld { _buf: buf, ring })
+}
+
+/// The grant acceptance scenario: a producer that **reserves** a slot,
+/// gets preempted at every possible point between the claim and the
+/// commit (and between the commit's publish stores), racing a plain
+/// Vyukov producer, a consumer, and an **aborting** reserver whose grant
+/// drops uncommitted. Every completed history must be FIFO-linearizable
+/// and conserve elements — in particular, no interleaving may let the
+/// consumer observe a reserved-but-uncommitted slot, and the aborted
+/// slot must be skipped without wedging or leaking anything.
+#[test]
+fn ring_grant_reserve_preempt_commit_vs_reader() {
+    let mk = || {
+        let w = ring_world(2);
+        let granting_producer = {
+            let w = Arc::clone(&w);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let ring = w.ring;
+                let id = ctx.invoke(Op::Enqueue(11));
+                match ring.try_reserve(1) {
+                    Some(mut g) => {
+                        // The preemption window under test: the slot is
+                        // claimed (seq consumed by the tail CAS) but not
+                        // yet published — every interleaving of the
+                        // reader with this gap is explored.
+                        g.uninit_slice()[0].write(11);
+                        g.commit(1);
+                        ctx.ret(id, Ret::EnqOk);
+                    }
+                    None => ctx.ret(id, Ret::EnqFull),
+                };
+            }
+        };
+        let aborting_producer = {
+            let w = Arc::clone(&w);
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                let ring = w.ring;
+                // Reserve and drop: the slot aborts (seq jumps a round)
+                // and consumers must skip it. Logically no operation
+                // happened, so nothing is recorded in the history.
+                let g = ring.try_reserve(1);
+                drop(g);
+            }
+        };
+        let move_producer = {
+            let w = Arc::clone(&w);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Enqueue(22));
+                match w.ring.vy_enqueue(22) {
+                    Ok(()) => ctx.ret(id, Ret::EnqOk),
+                    Err(_) => ctx.ret(id, Ret::EnqFull),
+                }
+            }
+        };
+        let consumer = {
+            let w = Arc::clone(&w);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                for _ in 0..2 {
+                    let id = ctx.invoke(Op::Dequeue);
+                    match w.ring.vy_dequeue() {
+                        Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                        None => ctx.ret(id, Ret::DeqEmpty),
+                    }
+                }
+            }
+        };
+        let wc = Arc::clone(&w);
+        RunSpec {
+            bodies: vec![
+                Box::new(granting_producer),
+                Box::new(aborting_producer),
+                Box::new(move_producer),
+                Box::new(consumer),
+            ],
+            check: Box::new(move |h| {
+                let mut drained = Vec::new();
+                while let Some(v) = wc.ring.vy_dequeue() {
+                    drained.push(v);
+                }
+                for v in h
+                    .events()
+                    .iter()
+                    .filter_map(|e| match e {
+                        HistoryEvent::Return {
+                            ret: Ret::DeqVal(v),
+                            ..
+                        } => Some(*v),
+                        _ => None,
+                    })
+                    .chain(drained.iter().copied())
+                {
+                    if v != 11 && v != 22 {
+                        return Err(format!(
+                            "observed {v}: an unpublished or aborted slot leaked"
+                        ));
+                    }
+                }
+                conservation(h, &drained)?;
+                check_ring_history(h, 2)
+            }),
+        }
+    };
+    let report = explore(&cfg(2), mk);
+    assert_passed(&report, "RelocRing grant reserve/commit vs reader");
+    eprintln!(
+        "ring grants: {} executions, {} pruned",
+        report.executions, report.pruned
+    );
+}
+
+/// Read grants under exploration: the consumer borrows the oldest run in
+/// place while producers keep publishing. The borrowed values must always
+/// be a committed FIFO prefix, and dropping the read grant must free the
+/// slots for the producers (no interleaving wedges the ring).
+#[test]
+fn ring_read_grant_borrows_only_committed_prefixes() {
+    let mk = || {
+        let w = ring_world(2);
+        let producer = |w: Arc<RingWorld>, v: u64| {
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Enqueue(v));
+                match w.ring.vy_enqueue(v) {
+                    Ok(()) => ctx.ret(id, Ret::EnqOk),
+                    Err(_) => ctx.ret(id, Ret::EnqFull),
+                }
+            }
+        };
+        let reading_consumer = {
+            let w = Arc::clone(&w);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let ring = w.ring;
+                for _ in 0..2 {
+                    let id = ctx.invoke(Op::Dequeue);
+                    match ring.try_read(1) {
+                        Some(g) => {
+                            let v = g.slice()[0];
+                            // The release (slot free) interleaves with the
+                            // producers — explored via the grant's drop.
+                            g.release();
+                            ctx.ret(id, Ret::DeqVal(v));
+                        }
+                        None => ctx.ret(id, Ret::DeqEmpty),
+                    }
+                }
+            }
+        };
+        let wc = Arc::clone(&w);
+        RunSpec {
+            bodies: vec![
+                Box::new(producer(Arc::clone(&w), 31)),
+                Box::new(producer(Arc::clone(&w), 32)),
+                Box::new(reading_consumer),
+            ],
+            check: Box::new(move |h| {
+                let mut drained = Vec::new();
+                while let Some(v) = wc.ring.vy_dequeue() {
+                    drained.push(v);
+                }
+                conservation(h, &drained)?;
+                check_ring_history(h, 2)
+            }),
+        }
+    };
+    let report = explore(&cfg(2), mk);
+    assert_passed(&report, "RelocRing read grants vs producers");
+    eprintln!(
+        "ring read grants: {} executions, {} pruned",
+        report.executions, report.pruned
     );
 }
 

@@ -37,10 +37,10 @@ pub use bq_bench::registry as bench_registry;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use bq_core::{
-        spsc_ring, AsyncQueue, BlockingQueue, BoxedQueue, ConcurrentQueue, DcssQueue,
-        DistinctQueue, EventCount, Full, LlScQueue, NaiveQueue, OptimalQueue, SegmentQueue,
-        SendError, SeqRingQueue, ShardedQueue, SpscConsumer, SpscProducer, TokenGen, TryRecvError,
-        TrySendError,
+        byte_ring, spsc_ring, AsyncQueue, BlockingQueue, BoxedQueue, ByteConsumer, ByteProducer,
+        ConcurrentQueue, DcssQueue, DistinctQueue, EventCount, Full, LlScQueue, NaiveQueue,
+        OptimalQueue, SegmentQueue, SendError, SeqRingQueue, ShardedQueue, SpscConsumer,
+        SpscProducer, TokenGen, TryRecvError, TrySendError,
     };
     pub use bq_memtrack::MemoryFootprint;
 }
