@@ -8,13 +8,15 @@
 //! Run: `cargo run --release -p bq-bench --bin soak [rounds]`
 
 use std::io::Write;
+use std::time::Duration;
 
-use bq_bench::facade::ALL_FACADES;
+use bq_bench::facade::{timed_recv_dropped_wake_round, ALL_FACADES};
 use bq_bench::registry::{sharded_optimal, ALL_KINDS};
-use bq_bench::shm_procs::{shm_crash_round, shm_fork_pairs_throughput};
+use bq_bench::shm_procs::{shm_crash_round, shm_fault_round, shm_fork_pairs_throughput};
 use bq_bench::workload::{
     batched_pairs_throughput, pairs_throughput, producer_consumer_throughput,
 };
+use bq_shm::FaultPlan;
 
 fn main() {
     let rounds: u64 = std::env::args()
@@ -73,6 +75,30 @@ fn main() {
         let budget = 1 + (round * 7) % 23;
         let published = shm_crash_round(budget);
         println!("ok ({published} published before kill)");
+        // Unified fault rounds (DESIGN.md §13.4): a seed-derived
+        // FaultPlan per round. The replayable plan:v1: artifact is
+        // printed BEFORE the round runs, so a panic or wedge below is
+        // reproducible from the log alone (`FaultPlan::from_str`).
+        let plan = FaultPlan::from_seed(round);
+        print!("round {round}: shm fault plan {plan} ... ");
+        std::io::stdout().flush().unwrap();
+        let published = shm_fault_round(&plan);
+        print!("ok ({published} published); ");
+        // drop_wakes is driver-side: withhold every wake and require the
+        // deadline (not a hang) to end a timed wait.
+        if plan.drop_wakes {
+            print!("dropped-wake timed recv ... ");
+            std::io::stdout().flush().unwrap();
+            let timeout = Duration::from_millis(25);
+            let waited = timed_recv_dropped_wake_round(timeout);
+            assert!(
+                waited < timeout + Duration::from_millis(250),
+                "timed recv overshot deadline + quantum: {waited:?}"
+            );
+            println!("ok (deadline recovered in {waited:?})");
+        } else {
+            println!("no dropped wakes in this plan");
+        }
     }
     println!("soak complete: {rounds} rounds");
 }

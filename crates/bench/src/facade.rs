@@ -14,9 +14,9 @@
 //! speedup.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use bq_core::{AsyncQueue, BlockingQueue, OptimalQueue};
+use bq_core::{AsyncQueue, BlockingQueue, OptimalQueue, RecvTimeoutError};
 
 use crate::workload::WorkloadResult;
 
@@ -88,6 +88,69 @@ pub fn blocking_pairs_throughput(c: usize, threads: usize, ops_per_thread: u64) 
     }
 }
 
+/// Timed-pairs workload (experiment **E16**): identical to
+/// [`blocking_pairs_throughput`], except every operation carries a
+/// deadline (`send_timeout`/`recv_timeout`) generous enough never to
+/// fire. The deadline resolves lazily at the *first park*, so on an
+/// uncontended run a timed pair never reads the clock at all — which is
+/// exactly the ≤5%-overhead claim E16 measures against the untimed
+/// twin. Under contention the timed path adds one clock read per park.
+pub fn blocking_timed_pairs_throughput(
+    c: usize,
+    threads: usize,
+    ops_per_thread: u64,
+) -> WorkloadResult {
+    // Far beyond any bench round's runtime: the deadline exists to be
+    // carried, not to fire.
+    const PATIENCE: Duration = Duration::from_secs(600);
+    let q: BlockingQueue<u64, OptimalQueue> =
+        BlockingQueue::new(OptimalQueue::with_capacity_and_threads(c, threads + 1));
+    let mut h = q.register();
+    for i in 0..(c / 2) as u64 {
+        q.try_send(&mut h, 1 + i).expect("pre-fill failed");
+    }
+    let token_base = AtomicU64::new(1_000_000);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let q = &q;
+            let token_base = &token_base;
+            s.spawn(move || {
+                let mut h = q.register();
+                for _ in 0..ops_per_thread {
+                    let v = token_base.fetch_add(1, Ordering::Relaxed);
+                    q.send_timeout(&mut h, v, PATIENCE)
+                        .expect("patient send never times out");
+                    q.recv_timeout(&mut h, PATIENCE)
+                        .expect("patient recv never times out");
+                }
+            });
+        }
+    });
+    WorkloadResult {
+        ops: 2 * threads as u64 * ops_per_thread,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The soak driver for the [`FaultPlan::drop_wakes`](bq_shm::FaultPlan)
+/// fault: park a receiver on an empty queue and *withhold every wake* —
+/// nothing ever sends — so only the carried deadline can end the wait.
+/// Returns the observed wait; the caller asserts it lands within
+/// `timeout` plus one scheduling quantum (the §13 acceptance bound: a
+/// dropped wake degrades a timed wait to its deadline, never to a hang).
+pub fn timed_recv_dropped_wake_round(timeout: Duration) -> Duration {
+    let q: BlockingQueue<u64, OptimalQueue> =
+        BlockingQueue::new(OptimalQueue::with_capacity_and_threads(2, 1));
+    let mut h = q.register();
+    let start = Instant::now();
+    match q.recv_timeout(&mut h, timeout) {
+        Err(RecvTimeoutError::Timeout) => start.elapsed(),
+        Ok(v) => panic!("received {v} from an empty queue nobody sends to"),
+        Err(RecvTimeoutError::Closed) => panic!("queue was never closed"),
+    }
+}
+
 /// Pairs workload over the async façade (**E12**, and the `async_pairs`
 /// soak workload): same structure as the blocking version, but every
 /// worker thread drives an async task via `pollster::block_on`, so full/
@@ -143,5 +206,28 @@ mod tests {
     fn names_are_stable_and_distinct() {
         assert_eq!(FacadeKind::Blocking.name(), "blocking-optimal");
         assert_eq!(FacadeKind::Async.name(), "async-optimal");
+    }
+
+    #[test]
+    fn timed_pairs_complete_without_firing_deadlines() {
+        // Contended enough to park (C = 2, 2 threads): the deadlines are
+        // carried through real parks and still never fire.
+        let r = blocking_timed_pairs_throughput(2, 2, 200);
+        assert_eq!(r.ops, 800);
+        assert!(r.mops() > 0.0);
+    }
+
+    #[test]
+    fn dropped_wake_round_recovers_via_the_deadline() {
+        let timeout = Duration::from_millis(20);
+        let waited = timed_recv_dropped_wake_round(timeout);
+        assert!(
+            waited >= timeout,
+            "deadline fired early: waited {waited:?} of {timeout:?}"
+        );
+        assert!(
+            waited < timeout + Duration::from_millis(250),
+            "timeout overshot the deadline + quantum bound: {waited:?}"
+        );
     }
 }

@@ -12,7 +12,7 @@
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use bq_shm::{fork_child, ChildExit, ShmQueue};
+use bq_shm::{fork_child, ChildExit, FaultPlan, ShmQueue};
 
 use crate::workload::WorkloadResult;
 
@@ -168,6 +168,110 @@ pub fn shm_crash_round(writes_before_kill: u64) -> u64 {
     count
 }
 
+/// One **unified fault round** (DESIGN.md §13.4): the producer executes
+/// an entire [`FaultPlan`] — forced refusals consumed at operation
+/// entry, injected delays widening the crash windows, and (for plans
+/// that kill) a `SIGKILL` landing mid-protocol. The parent then reaps,
+/// flags the victim, runs **one** [`ShmQueue::recover`] sweep, and a
+/// consumer process drains to stable empty; the contiguous-published-
+/// prefix conservation check is the same as [`shm_crash_round`]'s.
+/// Returns the number of elements published before the fault.
+///
+/// `plan.drop_wakes` is a *driver-side* fault with no meaning on the
+/// spin-based shm protocol; the soak honors it separately through
+/// [`crate::facade::timed_recv_dropped_wake_round`]. Panics on wedge or
+/// conservation failure — the caller prints the plan's `plan:v1:`
+/// artifact beforehand, so a red soak log replays exactly.
+pub fn shm_fault_round(plan: &FaultPlan) -> u64 {
+    // Short fault-free streams must fit the capacity: the consumer only
+    // forks after the producer is reaped, so nothing drains concurrently.
+    const CALM_STREAM: u64 = 6;
+    let q = ShmQueue::<u64>::create_anon(8).expect("anonymous shm segment");
+    let seg = q.segment().clone();
+
+    let qp = q.clone();
+    let plan_c = *plan;
+    let producer = fork_child(move || {
+        let mut h = qp.register();
+        qp.segment()
+            .scratch(7)
+            .store(h.proc_idx() as u64 + 1, Ordering::SeqCst);
+        h.apply_plan(&plan_c);
+        let stream = if plan_c.kill_after.is_some() {
+            u64::MAX // run until the armed kill fires
+        } else {
+            CALM_STREAM
+        };
+        for v in 1..=stream {
+            while qp.enqueue(&mut h, v).is_err() {
+                yield_now();
+            }
+        }
+    })
+    .expect("fork producer");
+
+    let end = producer.wait().expect("waitpid");
+    if plan.kill_after.is_some() {
+        assert_eq!(
+            end,
+            ChildExit::Signaled(libc::SIGKILL),
+            "an armed producer must die mid-stream"
+        );
+    } else {
+        assert!(end.success(), "fault-free producer exits cleanly");
+    }
+    let slot = seg.scratch(7).load(Ordering::SeqCst);
+    assert!(slot > 0, "producer registered before running its plan");
+    seg.mark_dead(slot as usize - 1);
+
+    // One sweep reclaims whatever the victim left claimed: at most its
+    // single in-flight enqueue, and exactly nothing for a clean exit.
+    let reclaimed = q.recover();
+    assert!(
+        reclaimed <= 1,
+        "a single producer can orphan at most one claim, swept {reclaimed}"
+    );
+    if plan.kill_after.is_none() {
+        assert_eq!(reclaimed, 0, "clean exit left an orphaned claim");
+    }
+
+    let qc = q.clone();
+    let mut consumer = fork_child(move || {
+        let mut h = qc.register();
+        let seg = qc.segment();
+        let mut empties = 0u32;
+        while empties < 500 {
+            match qc.dequeue(&mut h) {
+                Some(v) => {
+                    empties = 0;
+                    seg.scratch(0).fetch_add(v, Ordering::SeqCst);
+                    seg.scratch(1).fetch_add(1, Ordering::SeqCst);
+                }
+                None => empties += 1,
+            }
+        }
+    })
+    .expect("fork consumer");
+    let end = consumer
+        .wait_deadline(Duration::from_secs(60))
+        .expect("waitpid")
+        .expect("consumer wedged draining after the fault round");
+    assert_eq!(end, ChildExit::Exited(0));
+
+    let count = seg.scratch(1).load(Ordering::SeqCst);
+    let sum = seg.scratch(0).load(Ordering::SeqCst);
+    assert_eq!(
+        sum,
+        count * (count + 1) / 2,
+        "published prefix must be contiguous (plan {plan})"
+    );
+    if plan.kill_after.is_none() {
+        assert_eq!(count, CALM_STREAM, "refusals/delays must not drop values");
+    }
+    assert!(q.is_empty(), "faulted state must be reclaimed, not wedged");
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +292,24 @@ mod tests {
         // 5 gate hits per uncontended enqueue (entry + W1..W4): dying
         // after 12 writes lands inside the 3rd enqueue, with 2 published.
         assert_eq!(shm_crash_round(12), 2);
+    }
+
+    #[test]
+    fn fault_round_runs_calm_and_lethal_plans() {
+        let _g = FORK_LOCK.lock().unwrap();
+        // Calm plan: refusals and delays but no kill — nothing dropped.
+        let calm = FaultPlan {
+            refuse_first: 2,
+            delay_period: 3,
+            delay_micros: 5,
+            ..FaultPlan::default()
+        };
+        assert_eq!(shm_fault_round(&calm), 6);
+        // Lethal plan: same gate arithmetic as the crash-round test.
+        let lethal = FaultPlan {
+            kill_after: Some(12),
+            ..FaultPlan::default()
+        };
+        assert_eq!(shm_fault_round(&lethal), 2);
     }
 }

@@ -48,8 +48,11 @@
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
 
-use crate::blocking::{BlockingQueue, SendError, TryRecvError, TrySendError};
+use crate::blocking::{
+    BlockingQueue, RecvTimeoutError, SendError, SendTimeoutError, TryRecvError, TrySendError,
+};
 use crate::boxed::{BoxedHandle, PointerCapable};
 use crate::event::{EventCount, WaiterId};
 
@@ -144,6 +147,76 @@ impl<T: Send, Q: PointerCapable> AsyncQueue<T, Q> {
             queue: self,
             handle: h,
             wait: WaitState::new(),
+        }
+    }
+
+    /// [`send`](Self::send) with an absolute deadline: resolves to
+    /// [`SendTimeoutError::Timeout`] (value handed back) if the queue is
+    /// still full at `deadline`. The timer seam (`timerwheel`) only arms
+    /// when the future actually goes pending, so a send that completes
+    /// on its first poll never reads the clock; a `close()` racing the
+    /// deadline is pinned to `Closed`, as in the blocking façade.
+    pub fn send_deadline<'a>(
+        &'a self,
+        h: &'a mut BoxedHandle<Q>,
+        value: T,
+        deadline: Instant,
+    ) -> SendDeadlineFuture<'a, T, Q> {
+        SendDeadlineFuture {
+            queue: self,
+            handle: h,
+            item: Some(value),
+            wait: WaitState::new(),
+            timed: TimedState::new(TimeLimit::Deadline(deadline)),
+        }
+    }
+
+    /// [`send_deadline`](Self::send_deadline) with a relative timeout,
+    /// resolved to a deadline lazily at the first pending poll.
+    pub fn send_timeout<'a>(
+        &'a self,
+        h: &'a mut BoxedHandle<Q>,
+        value: T,
+        timeout: Duration,
+    ) -> SendDeadlineFuture<'a, T, Q> {
+        SendDeadlineFuture {
+            queue: self,
+            handle: h,
+            item: Some(value),
+            wait: WaitState::new(),
+            timed: TimedState::new(TimeLimit::Timeout(timeout)),
+        }
+    }
+
+    /// [`recv`](Self::recv) with an absolute deadline: resolves to
+    /// [`RecvTimeoutError::Timeout`] if the queue is still empty at
+    /// `deadline`; `Closed` keeps drain semantics and wins the
+    /// close-vs-timeout race (see [`send_deadline`](Self::send_deadline)).
+    pub fn recv_deadline<'a>(
+        &'a self,
+        h: &'a mut BoxedHandle<Q>,
+        deadline: Instant,
+    ) -> RecvDeadlineFuture<'a, T, Q> {
+        RecvDeadlineFuture {
+            queue: self,
+            handle: h,
+            wait: WaitState::new(),
+            timed: TimedState::new(TimeLimit::Deadline(deadline)),
+        }
+    }
+
+    /// [`recv_deadline`](Self::recv_deadline) with a relative timeout
+    /// (lazy deadline resolution).
+    pub fn recv_timeout<'a>(
+        &'a self,
+        h: &'a mut BoxedHandle<Q>,
+        timeout: Duration,
+    ) -> RecvDeadlineFuture<'a, T, Q> {
+        RecvDeadlineFuture {
+            queue: self,
+            handle: h,
+            wait: WaitState::new(),
+            timed: TimedState::new(TimeLimit::Timeout(timeout)),
         }
     }
 
@@ -258,6 +331,204 @@ impl WaitState {
         if let Some(id) = self.reg.take() {
             ec.deregister(id);
         }
+    }
+}
+
+/// How long a timed future may stay pending. `Timeout` resolves to a
+/// deadline lazily at the first pending poll, so a future that resolves
+/// on its first poll never reads the clock.
+#[derive(Debug, Clone, Copy)]
+enum TimeLimit {
+    Deadline(Instant),
+    Timeout(Duration),
+}
+
+/// Timer half of a deadline future: the resolved deadline plus the armed
+/// `timerwheel` entry (if any). The timer is (re)armed with the current
+/// poll's waker each time the future goes pending — tasks can migrate
+/// between polls — and disarmed on completion and on drop.
+struct TimedState {
+    limit: TimeLimit,
+    deadline: Option<Instant>,
+    timer: Option<timerwheel::TimerKey>,
+}
+
+impl TimedState {
+    fn new(limit: TimeLimit) -> Self {
+        TimedState {
+            limit,
+            deadline: None,
+            timer: None,
+        }
+    }
+
+    /// Resolve (lazily) and return the deadline. First call reads the
+    /// clock for a relative limit; later calls are a field read.
+    fn deadline(&mut self) -> Instant {
+        *self.deadline.get_or_insert_with(|| match self.limit {
+            TimeLimit::Deadline(d) => d,
+            TimeLimit::Timeout(t) => Instant::now() + t,
+        })
+    }
+
+    /// Did the deadline pass? Only meaningful after a pending poll
+    /// resolved it via [`deadline`](Self::deadline).
+    fn expired(&mut self) -> bool {
+        Instant::now() >= self.deadline()
+    }
+
+    /// (Re)arm the timer to fire `waker` at the deadline.
+    fn arm(&mut self, waker: &Waker) {
+        if let Some(k) = self.timer.take() {
+            timerwheel::cancel(k);
+        }
+        let deadline = self.deadline();
+        self.timer = Some(timerwheel::schedule_at(deadline, waker.clone()));
+    }
+
+    /// Disarm the timer (completion or cancellation).
+    fn disarm(&mut self) {
+        if let Some(k) = self.timer.take() {
+            timerwheel::cancel(k);
+        }
+    }
+}
+
+/// Future returned by [`AsyncQueue::send_deadline`] /
+/// [`AsyncQueue::send_timeout`].
+pub struct SendDeadlineFuture<'a, T: Send, Q: PointerCapable> {
+    queue: &'a AsyncQueue<T, Q>,
+    handle: &'a mut BoxedHandle<Q>,
+    item: Option<T>,
+    wait: WaitState,
+    timed: TimedState,
+}
+
+impl<T: Send, Q: PointerCapable> Unpin for SendDeadlineFuture<'_, T, Q> {}
+
+impl<T: Send, Q: PointerCapable> Future for SendDeadlineFuture<'_, T, Q> {
+    type Output = Result<(), SendTimeoutError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let SendDeadlineFuture {
+            queue,
+            handle,
+            item,
+            wait,
+            timed,
+        } = self.get_mut();
+        let ec = queue.sync.not_full_event();
+        let polled = wait.poll_with(ec, cx.waker(), || {
+            let v = item
+                .take()
+                .expect("timed send future polled after completion");
+            match queue.sync.try_send(handle, v) {
+                Ok(()) => Some(Ok(())),
+                Err(TrySendError::Closed(v)) => Some(Err(SendTimeoutError::Closed(v))),
+                Err(TrySendError::Full(v)) => {
+                    *item = Some(v);
+                    None
+                }
+            }
+        });
+        match polled {
+            Poll::Ready(r) => {
+                timed.disarm();
+                Poll::Ready(r)
+            }
+            Poll::Pending if timed.expired() => {
+                // The attempt inside poll_with just ran and failed, so
+                // the value is ours to hand back. Pin close-vs-timeout
+                // by re-reading the flag.
+                wait.cancel(ec);
+                timed.disarm();
+                let v = item.take().expect("item present on timeout");
+                Poll::Ready(Err(if queue.sync.is_closed() {
+                    SendTimeoutError::Closed(v)
+                } else {
+                    SendTimeoutError::Timeout(v)
+                }))
+            }
+            Poll::Pending => {
+                timed.arm(cx.waker());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T: Send, Q: PointerCapable> Drop for SendDeadlineFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        self.wait.cancel(self.queue.sync.not_full_event());
+        self.timed.disarm();
+        // `self.item` (if the send never completed) drops with the future.
+    }
+}
+
+/// Future returned by [`AsyncQueue::recv_deadline`] /
+/// [`AsyncQueue::recv_timeout`].
+pub struct RecvDeadlineFuture<'a, T: Send, Q: PointerCapable> {
+    queue: &'a AsyncQueue<T, Q>,
+    handle: &'a mut BoxedHandle<Q>,
+    wait: WaitState,
+    timed: TimedState,
+}
+
+impl<T: Send, Q: PointerCapable> Unpin for RecvDeadlineFuture<'_, T, Q> {}
+
+impl<T: Send, Q: PointerCapable> Future for RecvDeadlineFuture<'_, T, Q> {
+    type Output = Result<T, RecvTimeoutError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let RecvDeadlineFuture {
+            queue,
+            handle,
+            wait,
+            timed,
+        } = self.get_mut();
+        let ec = queue.sync.not_empty_event();
+        let polled = wait.poll_with(ec, cx.waker(), || match queue.sync.try_recv(handle) {
+            Ok(v) => Some(Ok(v)),
+            // Closed: final drain check after observing the flag.
+            Err(TryRecvError::Closed) => Some(
+                queue
+                    .sync
+                    .try_recv(handle)
+                    .map_err(|_| RecvTimeoutError::Closed),
+            ),
+            Err(TryRecvError::Empty) => None,
+        });
+        match polled {
+            Poll::Ready(r) => {
+                timed.disarm();
+                Poll::Ready(r)
+            }
+            Poll::Pending if timed.expired() => {
+                wait.cancel(ec);
+                timed.disarm();
+                // Close-vs-timeout pin: one more flag check (with drain)
+                // before blaming the clock.
+                Poll::Ready(if queue.sync.is_closed() {
+                    queue
+                        .sync
+                        .try_recv(handle)
+                        .map_err(|_| RecvTimeoutError::Closed)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                })
+            }
+            Poll::Pending => {
+                timed.arm(cx.waker());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T: Send, Q: PointerCapable> Drop for RecvDeadlineFuture<'_, T, Q> {
+    fn drop(&mut self) {
+        self.wait.cancel(self.queue.sync.not_empty_event());
+        self.timed.disarm();
     }
 }
 
@@ -564,6 +835,89 @@ mod tests {
         ];
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn timed_futures_roundtrip_without_arming_a_timer() {
+        let q = make(4, 1);
+        let mut h = q.register();
+        block_on(async {
+            q.send_timeout(&mut h, 7, std::time::Duration::from_secs(30))
+                .await
+                .unwrap();
+            assert_eq!(
+                q.recv_deadline(&mut h, Instant::now() + std::time::Duration::from_secs(30))
+                    .await,
+                Ok(7)
+            );
+        });
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timed_send_future_times_out_with_value_back() {
+        let q = make(1, 1);
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        let start = Instant::now();
+        let err =
+            block_on(q.send_timeout(&mut h, 2, std::time::Duration::from_millis(30))).unwrap_err();
+        assert_eq!(err, SendTimeoutError::Timeout(2));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        assert_eq!(q.blocking().not_full_event().registered_wakers(), 0);
+    }
+
+    #[test]
+    fn timed_recv_future_times_out_on_empty_queue() {
+        let q = make(4, 1);
+        let mut h = q.register();
+        assert_eq!(
+            block_on(q.recv_timeout(&mut h, std::time::Duration::from_millis(30))),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert_eq!(
+            block_on(q.recv_deadline(&mut h, Instant::now())),
+            Err(RecvTimeoutError::Timeout),
+            "already-expired deadline resolves on the first poll"
+        );
+        assert_eq!(q.blocking().not_empty_event().registered_wakers(), 0);
+    }
+
+    #[test]
+    fn timed_recv_future_wins_the_race_when_an_element_arrives() {
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let mut h = q2.register();
+            block_on(q2.send(&mut h, 42)).unwrap();
+        });
+        let mut h = q.register();
+        assert_eq!(
+            block_on(q.recv_deadline(&mut h, Instant::now() + std::time::Duration::from_secs(30))),
+            Ok(42)
+        );
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn closed_queue_timed_futures_report_closed_not_timeout() {
+        let q = make(4, 1);
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        q.close();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        block_on(async {
+            assert_eq!(
+                q.send_deadline(&mut h, 9, past).await,
+                Err(SendTimeoutError::Closed(9))
+            );
+            assert_eq!(q.recv_deadline(&mut h, past).await, Ok(1), "drain first");
+            assert_eq!(
+                q.recv_deadline(&mut h, past).await,
+                Err(RecvTimeoutError::Closed)
+            );
+        });
     }
 
     #[test]

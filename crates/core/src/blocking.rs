@@ -38,7 +38,9 @@
 //! its element — it is never lost: it remains in the queue for later
 //! receivers (or the destructor's drain). Conservation is unaffected.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
 
 use crate::simx::SimAtomicBool;
 
@@ -79,6 +81,85 @@ pub enum TryRecvError {
     Closed,
 }
 
+/// Error returned by a deadline/timeout `send`: the value comes back in
+/// both cases, and the two failure causes stay distinguishable — a
+/// `Timeout` may be retried, a `Closed` never succeeds again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The deadline passed with the queue still full. A `close()` racing
+    /// the deadline is pinned the other way: when the queue was closed
+    /// first, the error is [`Closed`](Self::Closed), never `Timeout`.
+    Timeout(T),
+    /// The queue is closed (no send will ever succeed again).
+    Closed(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// The unsent value(s), whatever the reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Closed(v) => v,
+        }
+    }
+
+    /// `true` for the retryable [`Timeout`](Self::Timeout) case.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SendTimeoutError::Timeout(_))
+    }
+}
+
+impl<T> std::fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "send timed out (queue still full)"),
+            SendTimeoutError::Closed(_) => write!(f, "send on closed queue"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendTimeoutError<T> {}
+
+/// Error returned by a deadline/timeout `recv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the queue still empty and open. As with
+    /// sends, `close()` racing the deadline is pinned: when the queue
+    /// was closed and drained first, the error is
+    /// [`Closed`](Self::Closed), never `Timeout`.
+    Timeout,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "recv timed out (queue still empty)"),
+            RecvTimeoutError::Closed => write!(f, "recv on closed and drained queue"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// How long a timed operation may wait. `Deadline` is absolute;
+/// `Timeout` resolves to a deadline lazily at the first park, so an
+/// operation that never waits never reads the clock.
+#[derive(Debug, Clone, Copy)]
+enum Wait {
+    Deadline(Instant),
+    Timeout(Duration),
+}
+
+impl Wait {
+    fn until<R>(self, ec: &EventCount, attempt: impl FnMut() -> Option<R>) -> Option<R> {
+        match self {
+            Wait::Deadline(d) => ec.wait_until_deadline(d, attempt),
+            Wait::Timeout(t) => ec.wait_until_timeout(t, attempt),
+        }
+    }
+}
+
 /// Blocking bounded queue over any pointer-capable token queue.
 ///
 /// ```
@@ -97,6 +178,7 @@ pub struct BlockingQueue<T: Send, Q: PointerCapable> {
     not_full: EventCount,
     not_empty: EventCount,
     closed: SimAtomicBool,
+    poisoned: SimAtomicBool,
 }
 
 impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
@@ -107,6 +189,7 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
             not_full: EventCount::new(),
             not_empty: EventCount::new(),
             closed: SimAtomicBool::new(false),
+            poisoned: SimAtomicBool::new(false),
         }
     }
 
@@ -149,12 +232,37 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
         self.closed.load(Ordering::SeqCst)
     }
 
+    /// Did a panic unwind out of a queue operation mid-flight? A
+    /// poisoned queue is permanently closed (fault containment: the
+    /// inner data structure may hold a half-applied transition), but
+    /// already-accepted elements still drain. The panic itself is
+    /// re-thrown to the thread that hit it; *other* threads observe
+    /// `Closed` errors plus this flag.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Run an inner-queue operation, converting a panic that unwinds out
+    /// of it into a poisoned + closed queue before re-throwing. This is
+    /// the facade-level catch: both the blocking and async surfaces
+    /// funnel every data-path call through here.
+    fn contain<R>(&self, f: impl FnOnce() -> R) -> R {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.poisoned.store(true, Ordering::SeqCst);
+                self.close();
+                resume_unwind(payload);
+            }
+        }
+    }
+
     /// Non-blocking enqueue (delegates to the lock-free path).
     pub fn try_send(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), TrySendError<T>> {
         if self.is_closed() {
             return Err(TrySendError::Closed(value));
         }
-        match self.inner.enqueue(h, value) {
+        match self.contain(|| self.inner.enqueue(h, value)) {
             Ok(()) => {
                 self.not_empty.wake_all();
                 Ok(())
@@ -181,7 +289,7 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
 
     /// Non-blocking dequeue.
     pub fn try_recv(&self, h: &mut BoxedHandle<Q>) -> Result<T, TryRecvError> {
-        match self.inner.dequeue(h) {
+        match self.contain(|| self.inner.dequeue(h)) {
             Some(v) => {
                 self.not_full.wake_all();
                 Ok(v)
@@ -217,7 +325,7 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
             return items;
         }
         let total = items.len();
-        let rejected = self.inner.enqueue_many(h, items);
+        let rejected = self.contain(|| self.inner.enqueue_many(h, items));
         if rejected.len() < total {
             self.not_empty.wake_all();
         }
@@ -247,7 +355,7 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
                 sent = tokens.len(); // the suffix's ownership moved out
                 return Some(Err(SendError(unsent)));
             }
-            let n = self.inner.enqueue_tokens(h, &tokens[sent..]);
+            let n = self.contain(|| self.inner.enqueue_tokens(h, &tokens[sent..]));
             if n > 0 {
                 self.not_empty.wake_all();
             }
@@ -258,7 +366,7 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
 
     /// Non-blocking batch dequeue into `out`; returns the count taken.
     pub fn try_recv_many(&self, h: &mut BoxedHandle<Q>, max: usize, out: &mut Vec<T>) -> usize {
-        let n = self.inner.dequeue_many(h, max, out);
+        let n = self.contain(|| self.inner.dequeue_many(h, max, out));
         if n > 0 {
             self.not_full.wake_all();
         }
@@ -286,6 +394,247 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
             None
         });
         out
+    }
+
+    /// [`send`](Self::send) with an absolute deadline: waits for space at
+    /// most until `deadline`, then hands the value back as
+    /// [`SendTimeoutError::Timeout`]. The fast path never reads the
+    /// clock — the deadline only matters once a park actually happens —
+    /// and a `close()` racing the deadline is pinned: if the queue was
+    /// closed first, the error is `Closed`, never `Timeout`.
+    pub fn send_deadline(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        value: T,
+        deadline: Instant,
+    ) -> Result<(), SendTimeoutError<T>> {
+        self.send_limited(h, value, Wait::Deadline(deadline))
+    }
+
+    /// [`send_deadline`](Self::send_deadline) with a relative timeout.
+    /// The timeout resolves to a deadline lazily at the first park, so an
+    /// uncontended send never reads the clock (E16 measures this).
+    pub fn send_timeout(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        value: T,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<T>> {
+        self.send_limited(h, value, Wait::Timeout(timeout))
+    }
+
+    fn send_limited(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        value: T,
+        wait: Wait,
+    ) -> Result<(), SendTimeoutError<T>> {
+        let mut item = Some(value);
+        let res = wait.until(&self.not_full, || {
+            match self.try_send(h, item.take().expect("item present")) {
+                Ok(()) => Some(Ok(())),
+                Err(TrySendError::Closed(v)) => Some(Err(SendTimeoutError::Closed(v))),
+                Err(TrySendError::Full(v)) => {
+                    item = Some(v);
+                    None
+                }
+            }
+        });
+        match res {
+            Some(r) => r,
+            None => {
+                // Deadline fired; the eventcount already ran one final
+                // attempt, so `item` is still ours. Pin close-vs-timeout:
+                // a queue closed before the deadline reports Closed even
+                // if the last attempt raced the flag.
+                let v = item.take().expect("item present on timeout");
+                if self.is_closed() {
+                    Err(SendTimeoutError::Closed(v))
+                } else {
+                    Err(SendTimeoutError::Timeout(v))
+                }
+            }
+        }
+    }
+
+    /// [`recv`](Self::recv) with an absolute deadline. `Closed` still has
+    /// drain semantics (every accepted element is delivered before the
+    /// closed state is reported), and close-vs-timeout is pinned the same
+    /// way as for sends: closed-and-drained before the deadline reports
+    /// [`RecvTimeoutError::Closed`], never `Timeout`.
+    pub fn recv_deadline(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        deadline: Instant,
+    ) -> Result<T, RecvTimeoutError> {
+        self.recv_limited(h, Wait::Deadline(deadline))
+    }
+
+    /// [`recv_deadline`](Self::recv_deadline) with a relative timeout
+    /// (clock read only if the queue is actually empty long enough to
+    /// park).
+    pub fn recv_timeout(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        timeout: Duration,
+    ) -> Result<T, RecvTimeoutError> {
+        self.recv_limited(h, Wait::Timeout(timeout))
+    }
+
+    fn recv_limited(&self, h: &mut BoxedHandle<Q>, wait: Wait) -> Result<T, RecvTimeoutError> {
+        let res = wait.until(&self.not_empty, || match self.try_recv(h) {
+            Ok(v) => Some(Ok(v)),
+            Err(TryRecvError::Closed) => {
+                // Final drain check after observing the flag, as in recv.
+                Some(self.try_recv(h).map_err(|_| RecvTimeoutError::Closed))
+            }
+            Err(TryRecvError::Empty) => None,
+        });
+        match res {
+            Some(r) => r,
+            // Timed out with the queue open as of the last attempt; the
+            // close-vs-timeout pin re-checks the flag (with one more
+            // drain pass) before blaming the clock.
+            None => {
+                if self.is_closed() {
+                    self.try_recv(h).map_err(|_| RecvTimeoutError::Closed)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                }
+            }
+        }
+    }
+
+    /// [`send_all`](Self::send_all) with an absolute deadline: on timeout
+    /// the unsent suffix comes back as `Timeout(suffix)`; the accepted
+    /// prefix stays in the queue (conservation, as with close).
+    pub fn send_all_deadline(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        items: Vec<T>,
+        deadline: Instant,
+    ) -> Result<(), SendTimeoutError<Vec<T>>> {
+        self.send_all_limited(h, items, Wait::Deadline(deadline))
+    }
+
+    /// [`send_all_deadline`](Self::send_all_deadline) with a relative
+    /// timeout (lazy deadline resolution, like
+    /// [`send_timeout`](Self::send_timeout)).
+    pub fn send_all_timeout(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        items: Vec<T>,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<Vec<T>>> {
+        self.send_all_limited(h, items, Wait::Timeout(timeout))
+    }
+
+    fn send_all_limited(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        items: Vec<T>,
+        wait: Wait,
+    ) -> Result<(), SendTimeoutError<Vec<T>>> {
+        // Box once, retry on the token run — same pattern as send_all.
+        let tokens: Vec<u64> = items
+            .into_iter()
+            .map(BoxedQueue::<T, Q>::box_token)
+            .collect();
+        let mut sent = 0usize;
+        let res = wait.until(&self.not_full, || {
+            if self.is_closed() {
+                let unsent = tokens[sent..]
+                    .iter()
+                    .map(|&t| BoxedQueue::<T, Q>::unbox_token(t))
+                    .collect();
+                sent = tokens.len(); // the suffix's ownership moved out
+                return Some(Err(SendTimeoutError::Closed(unsent)));
+            }
+            let n = self.contain(|| self.inner.enqueue_tokens(h, &tokens[sent..]));
+            if n > 0 {
+                self.not_empty.wake_all();
+            }
+            sent += n;
+            (sent == tokens.len()).then_some(Ok(()))
+        });
+        match res {
+            Some(r) => r,
+            None => {
+                let unsent: Vec<T> = tokens[sent..]
+                    .iter()
+                    .map(|&t| BoxedQueue::<T, Q>::unbox_token(t))
+                    .collect();
+                if self.is_closed() {
+                    Err(SendTimeoutError::Closed(unsent))
+                } else {
+                    Err(SendTimeoutError::Timeout(unsent))
+                }
+            }
+        }
+    }
+
+    /// [`recv_many`](Self::recv_many) with an absolute deadline: `Ok` is
+    /// always non-empty; `Timeout` means the deadline passed with nothing
+    /// to take, `Closed` means closed and fully drained.
+    pub fn recv_many_deadline(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        max: usize,
+        deadline: Instant,
+    ) -> Result<Vec<T>, RecvTimeoutError> {
+        self.recv_many_limited(h, max, Wait::Deadline(deadline))
+    }
+
+    /// [`recv_many_deadline`](Self::recv_many_deadline) with a relative
+    /// timeout.
+    pub fn recv_many_timeout(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<T>, RecvTimeoutError> {
+        self.recv_many_limited(h, max, Wait::Timeout(timeout))
+    }
+
+    fn recv_many_limited(
+        &self,
+        h: &mut BoxedHandle<Q>,
+        max: usize,
+        wait: Wait,
+    ) -> Result<Vec<T>, RecvTimeoutError> {
+        assert!(max > 0, "recv_many needs a positive batch bound");
+        let mut out = Vec::new();
+        let res = wait.until(&self.not_empty, || {
+            if self.try_recv_many(h, max, &mut out) > 0 {
+                return Some(Ok(()));
+            }
+            if self.is_closed() {
+                // Final drain check after observing the flag.
+                if self.try_recv_many(h, max, &mut out) > 0 {
+                    return Some(Ok(()));
+                }
+                return Some(Err(RecvTimeoutError::Closed));
+            }
+            None
+        });
+        match res {
+            Some(Ok(())) => Ok(out),
+            Some(Err(e)) => Err(e),
+            None => {
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+                if self.is_closed() {
+                    if self.try_recv_many(h, max, &mut out) > 0 {
+                        Ok(out)
+                    } else {
+                        Err(RecvTimeoutError::Closed)
+                    }
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                }
+            }
+        }
     }
 
     /// Capacity of the underlying queue.
@@ -529,6 +878,243 @@ mod tests {
         drained.extend(unsent.iter().copied());
         drained.sort_unstable();
         assert_eq!(drained, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn timed_send_on_full_queue_times_out_with_value_back() {
+        let q = make(1, 1);
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        let start = std::time::Instant::now();
+        let err = q
+            .send_timeout(&mut h, 2, Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, SendTimeoutError::Timeout(2), "value handed back");
+        assert!(err.is_timeout());
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(30),
+            "returned {waited:?} before the timeout"
+        );
+        // Bounded latency: deadline + one generous scheduling quantum.
+        assert!(
+            waited < Duration::from_secs(5),
+            "woke far too late: {waited:?}"
+        );
+        assert_eq!(q.not_full_event().waiter_count(), 0, "no leaked waiter");
+    }
+
+    #[test]
+    fn timed_recv_on_empty_queue_times_out() {
+        let q = make(4, 1);
+        let mut h = q.register();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            q.recv_timeout(&mut h, Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(
+            q.recv_deadline(&mut h, std::time::Instant::now()),
+            Err(RecvTimeoutError::Timeout),
+            "already-expired deadline returns immediately"
+        );
+        assert_eq!(q.not_empty_event().waiter_count(), 0);
+    }
+
+    #[test]
+    fn timed_ops_succeed_without_reaching_the_deadline() {
+        let q = Arc::new(make(1, 2));
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        let q2 = Arc::clone(&q);
+        let sender = std::thread::spawn(move || {
+            let mut h2 = q2.register();
+            q2.send_deadline(
+                &mut h2,
+                2,
+                std::time::Instant::now() + Duration::from_secs(30),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.recv_timeout(&mut h, Duration::from_secs(30)), Ok(1));
+        sender.join().unwrap().unwrap();
+        assert_eq!(q.recv(&mut h), Some(2));
+    }
+
+    #[test]
+    fn closed_queue_reports_closed_not_timeout() {
+        // The close-vs-timeout pin, deterministic half: the queue is
+        // closed (and drained) strictly before the timed call, so even a
+        // zero/past deadline must blame the close, not the clock.
+        let q = make(2, 1);
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        q.close();
+        let past = std::time::Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            q.send_deadline(&mut h, 9, past),
+            Err(SendTimeoutError::Closed(9)),
+            "closed beats timeout for senders"
+        );
+        // Drain semantics survive the timed path: the accepted element
+        // is delivered before Closed is reported.
+        assert_eq!(q.recv_deadline(&mut h, past), Ok(1));
+        assert_eq!(
+            q.recv_deadline(&mut h, past),
+            Err(RecvTimeoutError::Closed),
+            "closed-and-drained beats timeout for receivers"
+        );
+        assert_eq!(
+            q.recv_many_timeout(&mut h, 4, Duration::ZERO),
+            Err(RecvTimeoutError::Closed)
+        );
+        assert_eq!(
+            q.send_all_timeout(&mut h, vec![7, 8], Duration::ZERO),
+            Err(SendTimeoutError::Closed(vec![7, 8]))
+        );
+    }
+
+    #[test]
+    fn close_racing_a_parked_timed_receiver_reports_closed() {
+        // The racing half: a receiver parked under a long deadline is
+        // woken by close() and must report Closed promptly — not sleep
+        // out its deadline, and never report Timeout.
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let receiver = std::thread::spawn(move || {
+            let mut h = q2.register();
+            q2.recv_deadline(&mut h, std::time::Instant::now() + Duration::from_secs(60))
+        });
+        while q.not_empty_event().waiter_count() == 0 {
+            std::thread::yield_now();
+        }
+        let start = std::time::Instant::now();
+        q.close();
+        assert_eq!(receiver.join().unwrap(), Err(RecvTimeoutError::Closed));
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "woken by close, not the deadline"
+        );
+    }
+
+    #[test]
+    fn timed_batch_send_returns_unsent_suffix_on_timeout() {
+        let q = make(2, 1);
+        let mut h = q.register();
+        let err = q
+            .send_all_timeout(&mut h, vec![1, 2, 3, 4, 5], Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SendTimeoutError::Timeout(vec![3, 4, 5]),
+            "accepted prefix stays queued, suffix comes back"
+        );
+        // Conservation: prefix + suffix = everything.
+        assert_eq!(
+            q.recv_many_timeout(&mut h, 8, Duration::ZERO),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn timed_batch_recv_takes_what_arrives() {
+        let q = Arc::new(make(4, 2));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let mut h = q2.register();
+            q2.send(&mut h, 42).unwrap();
+        });
+        let mut h = q.register();
+        assert_eq!(
+            q.recv_many_deadline(
+                &mut h,
+                4,
+                std::time::Instant::now() + Duration::from_secs(30)
+            ),
+            Ok(vec![42])
+        );
+        producer.join().unwrap();
+        assert_eq!(
+            q.recv_many_timeout(&mut h, 4, Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    /// A pointer-capable queue with an injectable panic, for exercising
+    /// the poisoning path. Sequential ring under a mutex — correctness,
+    /// not scalability, is the point here.
+    struct PanicSwitchQueue {
+        inner: std::sync::Mutex<crate::queue::SeqRingQueue>,
+        panic_next: std::sync::atomic::AtomicBool,
+    }
+
+    impl PanicSwitchQueue {
+        fn new(c: usize) -> Self {
+            PanicSwitchQueue {
+                inner: std::sync::Mutex::new(crate::queue::SeqRingQueue::with_capacity(c)),
+                panic_next: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl crate::queue::ConcurrentQueue for PanicSwitchQueue {
+        type Handle = ();
+        fn register(&self) {}
+        fn enqueue(&self, _h: &mut (), v: u64) -> Result<(), crate::queue::Full> {
+            if self.panic_next.swap(false, Ordering::SeqCst) {
+                panic!("injected fault: enqueue died mid-operation");
+            }
+            self.inner.lock().unwrap().enqueue(v)
+        }
+        fn dequeue(&self, _h: &mut ()) -> Option<u64> {
+            if self.panic_next.swap(false, Ordering::SeqCst) {
+                panic!("injected fault: dequeue died mid-operation");
+            }
+            self.inner.lock().unwrap().dequeue()
+        }
+        fn capacity(&self) -> usize {
+            self.inner.lock().unwrap().capacity()
+        }
+        fn max_token(&self) -> u64 {
+            (1 << 62) - 1
+        }
+        fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+    }
+
+    impl crate::boxed::PointerCapable for PanicSwitchQueue {
+        fn drop_handle(&self) {}
+    }
+
+    #[test]
+    fn panic_mid_operation_poisons_and_closes_the_queue() {
+        let q: BlockingQueue<u64, PanicSwitchQueue> = BlockingQueue::new(PanicSwitchQueue::new(4));
+        let mut h = q.register();
+        q.send(&mut h, 1).unwrap();
+        assert!(!q.is_poisoned());
+        q.inner_queue().panic_next.store(true, Ordering::SeqCst);
+        // The panic propagates to the faulting caller...
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = q.try_send(&mut h, 2);
+        }));
+        assert!(unwound.is_err(), "the injected panic is re-thrown");
+        // ...and every other caller sees a poisoned, closed queue with
+        // typed errors instead of a hang or a secondary panic.
+        assert!(q.is_poisoned());
+        assert!(q.is_closed());
+        assert_eq!(q.try_send(&mut h, 3), Err(TrySendError::Closed(3)));
+        assert_eq!(q.send(&mut h, 4), Err(SendError(4)));
+        assert_eq!(
+            q.send_timeout(&mut h, 5, Duration::ZERO),
+            Err(SendTimeoutError::Closed(5))
+        );
+        // Accepted elements still drain (the fault hit before any state
+        // transition of the inner ring).
+        assert_eq!(q.recv(&mut h), Some(1));
+        assert_eq!(q.recv(&mut h), None);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 use std::sync::atomic::Ordering;
 use std::task::Waker;
+use std::time::{Duration, Instant};
 
 use crate::simx::{SimAtomicU64, SimAtomicUsize, SimCondvar, SimMutex};
 
@@ -161,6 +162,102 @@ impl EventCount {
         }
     }
 
+    /// Timed park primitive: announce, re-check the generation against
+    /// the caller's snapshot `gen` under the gate lock, and sleep until a
+    /// wake or `deadline` — a condvar `wait_timeout` under the existing
+    /// gate lock, no timed polling. Returns `true` when a wake may have
+    /// been published (generation moved, a notify landed, or a spurious
+    /// wakeup — re-check your condition), `false` when the deadline
+    /// fired. A deadline at or before now returns `false` without
+    /// sleeping.
+    ///
+    /// The clock is read only here, when a park actually happens — never
+    /// on an operation's success path. Callers must **re-attempt their
+    /// operation after any return**, including `false`: the announce in
+    /// this call comes after the caller's last attempt, so a transition
+    /// landing in that window produces no wake, and only the re-attempt
+    /// observes it. The canonical loop that closes the window by
+    /// attempting *between* announce and park is
+    /// [`wait_until_deadline`](Self::wait_until_deadline).
+    pub fn park_deadline(&self, gen: u64, deadline: Instant) -> bool {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let woke = {
+            let mut guard = self.gate.lock();
+            if self.generation.load(Ordering::SeqCst) != gen {
+                true
+            } else {
+                self.cond.wait_deadline(&mut guard, deadline)
+            }
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        woke
+    }
+
+    /// Timed [`wait_until`](Self::wait_until): run `attempt` until it
+    /// returns `Some(r)` or `deadline` passes. Returns `None` on
+    /// timeout — after one final attempt, so a transition racing the
+    /// timeout is still taken. Same announce → snapshot → re-attempt →
+    /// park-if-unchanged protocol; the park is a condvar `wait_timeout`
+    /// under the gate lock.
+    pub fn wait_until_deadline<R>(
+        &self,
+        deadline: Instant,
+        attempt: impl FnMut() -> Option<R>,
+    ) -> Option<R> {
+        self.wait_until_limited(Limit::At(deadline), attempt)
+    }
+
+    /// Relative-timeout variant of
+    /// [`wait_until_deadline`](Self::wait_until_deadline). The deadline
+    /// is computed lazily at the **first park** (`Instant::now() +
+    /// timeout`), so an operation that succeeds without waiting never
+    /// reads the clock — the E16 "timed costs nothing unless a waiter
+    /// parks" property.
+    pub fn wait_until_timeout<R>(
+        &self,
+        timeout: Duration,
+        attempt: impl FnMut() -> Option<R>,
+    ) -> Option<R> {
+        self.wait_until_limited(Limit::After(timeout), attempt)
+    }
+
+    fn wait_until_limited<R>(
+        &self,
+        limit: Limit,
+        mut attempt: impl FnMut() -> Option<R>,
+    ) -> Option<R> {
+        if let Some(r) = attempt() {
+            return Some(r);
+        }
+        let mut deadline: Option<Instant> = None;
+        loop {
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            let gen = self.generation.load(Ordering::SeqCst);
+            // Re-attempt after announcing: closes the race with a
+            // notifier that read `waiters` before our increment.
+            if let Some(r) = attempt() {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return Some(r);
+            }
+            // First park only: this is the single place the clock is
+            // read, so uncontended timed ops never touch a timer.
+            let dl = *deadline.get_or_insert_with(|| limit.resolve());
+            let woke = {
+                let mut guard = self.gate.lock();
+                if self.generation.load(Ordering::SeqCst) == gen {
+                    self.cond.wait_deadline(&mut guard, dl)
+                } else {
+                    true
+                }
+            };
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            if !woke {
+                // Deadline fired: one final attempt, then report timeout.
+                return attempt();
+            }
+        }
+    }
+
     /// Task-parking announcement: register `waker` against generation
     /// `gen` (a value previously read via [`generation`](Self::generation)).
     ///
@@ -211,6 +308,23 @@ impl EventCount {
 impl Default for EventCount {
     fn default() -> Self {
         EventCount::new()
+    }
+}
+
+/// How long a timed wait is allowed to run: an absolute deadline, or a
+/// relative timeout resolved to one at the first park (so the clock is
+/// never read before a waiter actually parks).
+enum Limit {
+    At(Instant),
+    After(Duration),
+}
+
+impl Limit {
+    fn resolve(&self) -> Instant {
+        match self {
+            Limit::At(t) => *t,
+            Limit::After(d) => Instant::now() + *d,
+        }
     }
 }
 
@@ -327,5 +441,102 @@ mod tests {
         let ec = EventCount::new();
         assert_eq!(ec.wait_until(|| Some(7)), 7);
         assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn park_deadline_past_deadline_returns_false_without_sleeping() {
+        let ec = EventCount::new();
+        let start = std::time::Instant::now();
+        let woke = ec.park_deadline(ec.generation(), start);
+        assert!(!woke, "past deadline reports timeout");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "no park happened"
+        );
+        assert_eq!(ec.waiter_count(), 0, "announcement rolled back");
+    }
+
+    #[test]
+    fn park_deadline_stale_generation_reports_woken() {
+        let ec = EventCount::new();
+        let gen = ec.generation();
+        // Generation can only move with an announced waiter present.
+        let (_f, w) = flag_waker();
+        let id = ec.register(gen, &w).unwrap();
+        ec.wake_all();
+        let _ = id;
+        let woke = ec.park_deadline(gen, Instant::now() + Duration::from_secs(5));
+        assert!(woke, "stale snapshot means a wake was already published");
+        assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn park_deadline_is_woken_by_wake_all() {
+        let ec = Arc::new(EventCount::new());
+        let t = {
+            let ec = Arc::clone(&ec);
+            std::thread::spawn(move || {
+                ec.park_deadline(ec.generation(), Instant::now() + Duration::from_secs(30))
+            })
+        };
+        // Wait for the waiter to announce, then wake it.
+        while ec.waiter_count() == 0 {
+            std::thread::yield_now();
+        }
+        ec.wake_all();
+        assert!(t.join().unwrap(), "woken well before the 30 s deadline");
+        assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn wait_until_timeout_expires_and_reattempts_once() {
+        let ec = EventCount::new();
+        let mut calls = 0u32;
+        let start = Instant::now();
+        let r = ec.wait_until_timeout(Duration::from_millis(30), || {
+            calls += 1;
+            None::<()>
+        });
+        assert!(r.is_none(), "condition never became true");
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert!(calls >= 3, "initial, post-announce, and final attempts");
+        assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn wait_until_deadline_tolerates_spurious_wakes() {
+        // A wake that satisfies nothing (the condition stays false) must
+        // neither return a bogus success nor wedge the loop: the waiter
+        // re-parks and eventually times out.
+        let ec = Arc::new(EventCount::new());
+        let t = {
+            let ec = Arc::clone(&ec);
+            std::thread::spawn(move || {
+                ec.wait_until_deadline(Instant::now() + Duration::from_millis(80), || None::<()>)
+            })
+        };
+        while ec.waiter_count() == 0 {
+            std::thread::yield_now();
+        }
+        ec.wake_all(); // spurious: nothing changed
+        assert!(t.join().unwrap().is_none(), "timed out despite the wake");
+        assert_eq!(ec.waiter_count(), 0);
+    }
+
+    #[test]
+    fn wait_until_deadline_takes_a_late_transition_over_timeout() {
+        // The final post-timeout attempt: a transition racing the
+        // deadline is still taken, never dropped on the floor.
+        let ec = EventCount::new();
+        let mut first = true;
+        let r = ec.wait_until_deadline(Instant::now(), || {
+            if first {
+                first = false;
+                None
+            } else {
+                Some(42)
+            }
+        });
+        assert_eq!(r, Some(42));
     }
 }

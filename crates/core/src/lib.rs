@@ -67,14 +67,20 @@ pub mod naive;
 pub mod optimal;
 pub mod queue;
 pub mod relocatable;
+pub mod retry;
 pub mod segment;
 pub mod sharded;
 pub mod simx;
 pub mod spsc;
 pub mod token;
 
-pub use async_queue::{AsyncQueue, RecvFuture, RecvManyFuture, SendAllFuture, SendFuture};
-pub use blocking::{BlockingQueue, SendError, TryRecvError, TrySendError};
+pub use async_queue::{
+    AsyncQueue, RecvDeadlineFuture, RecvFuture, RecvManyFuture, SendAllFuture, SendDeadlineFuture,
+    SendFuture,
+};
+pub use blocking::{
+    BlockingQueue, RecvTimeoutError, SendError, SendTimeoutError, TryRecvError, TrySendError,
+};
 pub use boxed::{BoxedHandle, BoxedQueue, PointerCapable};
 pub use bytering::{byte_ring, ByteConsumer, ByteProducer};
 pub use dcss_queue::{DcssHandle, DcssQueue};

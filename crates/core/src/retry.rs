@@ -1,0 +1,129 @@
+//! Bounded-backoff retry: the fault-containment replacement for bare
+//! spin loops.
+//!
+//! The steal/claim paths (shard rotation here, endpoint claims and
+//! dead-owner takeovers in `bq-shm`) all have the same shape: an
+//! optimistic attempt that can lose a race and should be retried — but a
+//! *bare* `loop { try }` turns a wedged counterpart into a 100%-CPU hang.
+//! [`Backoff`] provides the standard spin → yield escalation (the
+//! `crossbeam-utils` idiom) and [`with_backoff`] bounds the number of
+//! attempts, so every retry loop in the tree has an explicit failure
+//! outcome instead of an implicit infinite one.
+
+use std::hint;
+use std::thread;
+
+/// Exponential spin/yield backoff for optimistic-concurrency retry loops.
+///
+/// Each [`snooze`](Backoff::snooze) doubles the spin count up to
+/// `2^SPIN_LIMIT`, after which it yields the thread instead — contending
+/// peers get cache-line relief first, the scheduler second. The struct is
+/// deliberately tiny (one counter) and lives on the caller's stack.
+#[derive(Debug, Clone, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Steps spent busy-spinning before escalating to `yield_now`.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// Fresh backoff (first snooze spins just once).
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Wait a little longer than last time: `2^step` spin hints while
+    /// `step < SPIN_LIMIT`, a thread yield afterwards.
+    pub fn snooze(&mut self) {
+        if self.step < Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Has the backoff escalated past pure spinning? Callers use this to
+    /// switch strategies (e.g. park instead of steal) once contention is
+    /// evidently persistent.
+    pub fn is_yielding(&self) -> bool {
+        self.step >= Self::SPIN_LIMIT
+    }
+
+    /// Restart the escalation (after a successful attempt).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+/// Retry `attempt` with escalating backoff for at most `max_attempts`
+/// tries; `None` means the bound was exhausted with every attempt
+/// refused. The first attempt runs immediately (no backoff before it),
+/// so `with_backoff(1, f)` is exactly one bare try.
+pub fn with_backoff<R>(max_attempts: usize, mut attempt: impl FnMut() -> Option<R>) -> Option<R> {
+    let mut backoff = Backoff::new();
+    for i in 0..max_attempts {
+        if i > 0 {
+            backoff.snooze();
+        }
+        if let Some(r) = attempt() {
+            return Some(r);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_runs_without_backoff() {
+        let mut calls = 0;
+        assert_eq!(
+            with_backoff(1, || {
+                calls += 1;
+                Some(7)
+            }),
+            Some(7)
+        );
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bounded_attempts_then_gives_up() {
+        let mut calls = 0;
+        let r: Option<()> = with_backoff(5, || {
+            calls += 1;
+            None
+        });
+        assert_eq!(r, None, "exhausted bound is an explicit failure");
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn succeeds_midway_and_stops_retrying() {
+        let mut calls = 0;
+        let r = with_backoff(100, || {
+            calls += 1;
+            (calls == 3).then_some(calls)
+        });
+        assert_eq!(r, Some(3));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn backoff_escalates_to_yielding() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..10 {
+            b.snooze();
+        }
+        assert!(b.is_yielding(), "persistent contention is visible");
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+}

@@ -81,6 +81,34 @@ use bq_memtrack::{FootprintBreakdown, FootprintEntry, MemoryFootprint, OverheadC
 pub struct ShardedQueue<Q: ConcurrentQueue> {
     shards: Box<[Q]>,
     next_tid: SimAtomicUsize,
+    /// Fault-containment state, one entry per shard (DESIGN.md §13).
+    health: Box<[ShardHealth]>,
+    /// Number of currently quarantined shards; the quarantine claim
+    /// protocol keeps this strictly below `S` (the last healthy shard
+    /// can never be quarantined, so enqueues always have a target).
+    quarantined_count: SimAtomicUsize,
+    /// Consecutive-refusal threshold for *automatic* quarantine; 0 (the
+    /// default) disables it — see [`set_quarantine_threshold`]
+    /// (ShardedQueue::set_quarantine_threshold) for why it is opt-in.
+    quarantine_threshold: SimAtomicUsize,
+}
+
+/// Per-shard health: a consecutive-refusal counter (enqueue-side only —
+/// an empty shard is normal, a persistently full one may be wedged) and
+/// the quarantine flag (0 = healthy, 1 = quarantined; a `usize` so the
+/// claim can be a CAS).
+struct ShardHealth {
+    refusals: SimAtomicUsize,
+    quarantined: SimAtomicUsize,
+}
+
+impl ShardHealth {
+    fn new() -> Self {
+        ShardHealth {
+            refusals: SimAtomicUsize::new(0),
+            quarantined: SimAtomicUsize::new(0),
+        }
+    }
 }
 
 /// Per-thread handle: the home-shard index plus one sub-handle per shard
@@ -96,9 +124,13 @@ impl<Q: ConcurrentQueue> ShardedQueue<Q> {
     /// every thread that will register here (rotation touches all shards).
     pub fn from_shards(shards: Vec<Q>) -> Self {
         assert!(!shards.is_empty(), "at least one shard required");
+        let health = shards.iter().map(|_| ShardHealth::new()).collect();
         ShardedQueue {
             shards: shards.into_boxed_slice(),
             next_tid: SimAtomicUsize::new(0),
+            health,
+            quarantined_count: SimAtomicUsize::new(0),
+            quarantine_threshold: SimAtomicUsize::new(0),
         }
     }
 
@@ -132,21 +164,125 @@ impl<Q: ConcurrentQueue> ShardedQueue<Q> {
 
     /// The steal-rotation scan shared by all four operation paths: visit
     /// the shards home-first, then rotating through the rest, handing
-    /// `visit` each shard paired with its per-shard handle, until it
+    /// `visit` each shard (with its index and per-shard handle) until it
     /// breaks (operation satisfied) or every shard was tried.
     fn rotate<B>(
         &self,
         h: &mut ShardedHandle<Q>,
-        mut visit: impl FnMut(&Q, &mut Q::Handle) -> ControlFlow<B>,
+        mut visit: impl FnMut(usize, &Q, &mut Q::Handle) -> ControlFlow<B>,
     ) -> Option<B> {
         let s = self.shards.len();
         for off in 0..s {
             let i = (h.home + off) % s;
-            if let ControlFlow::Break(b) = visit(&self.shards[i], &mut h.handles[i]) {
+            if let ControlFlow::Break(b) = visit(i, &self.shards[i], &mut h.handles[i]) {
                 return Some(b);
             }
         }
         None
+    }
+
+    // ---- fault containment: per-shard health + quarantine (§13) ---------
+
+    /// Is shard `i` quarantined? Quarantined shards are skipped by the
+    /// enqueue rotation (home-shard affinity remaps to the next healthy
+    /// shard) but still visited by dequeues, so nothing inside them is
+    /// stranded.
+    pub fn is_quarantined(&self, i: usize) -> bool {
+        self.health[i].quarantined.load(Ordering::SeqCst) != 0
+    }
+
+    /// Number of currently quarantined shards (always `< S`).
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined_count.load(Ordering::SeqCst)
+    }
+
+    /// Consecutive enqueue refusals by shard `i` since its last accept
+    /// (health instrumentation; reset on success and on un-quarantine).
+    pub fn shard_refusals(&self, i: usize) -> usize {
+        self.health[i].refusals.load(Ordering::SeqCst)
+    }
+
+    /// Quarantine shard `i`: enqueues stop targeting it (dequeues keep
+    /// draining it). Refused — returns `false` — when `i` is already
+    /// quarantined or when it is the **last healthy shard**: the logical
+    /// queue never degrades to zero enqueue targets. The claim is
+    /// race-free: a slot below `S - 1` is reserved by CAS on the global
+    /// count before the per-shard flag is taken.
+    pub fn quarantine(&self, i: usize) -> bool {
+        let s = self.shards.len();
+        // Reserve one of the S-1 quarantine slots.
+        let mut c = self.quarantined_count.load(Ordering::SeqCst);
+        loop {
+            if c + 1 >= s {
+                return false; // would quarantine the last healthy shard
+            }
+            match self.quarantined_count.compare_exchange(
+                c,
+                c + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(cur) => c = cur,
+            }
+        }
+        // Claim the shard's flag; on a lost race (someone else already
+        // quarantined `i`), hand the slot back.
+        if self.health[i]
+            .quarantined
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            self.quarantined_count.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Lift a quarantine (e.g. after an operator verified the shard is
+    /// live again). Resets the refusal counter so a stale count does not
+    /// immediately re-trip an automatic threshold. Returns `false` if
+    /// the shard was not quarantined.
+    pub fn un_quarantine(&self, i: usize) -> bool {
+        if self.health[i]
+            .quarantined
+            .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.health[i].refusals.store(0, Ordering::SeqCst);
+            self.quarantined_count.fetch_sub(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Arm automatic quarantine: a shard that refuses `threshold`
+    /// consecutive enqueues is quarantined (subject to the last-healthy
+    /// rule). **Opt-in and off by default (0)**: a bounded queue cannot
+    /// distinguish "legitimately full under load" from "wedged" without
+    /// timing information, so auto-quarantine is only sound for
+    /// deployments where a persistently full shard is known to indicate
+    /// a fault (e.g. a crashed consumer bound to that shard).
+    pub fn set_quarantine_threshold(&self, threshold: usize) {
+        self.quarantine_threshold.store(threshold, Ordering::SeqCst);
+    }
+
+    /// Health bookkeeping after shard `i` refused an enqueue.
+    fn note_refusal(&self, i: usize) {
+        let n = self.health[i].refusals.fetch_add(1, Ordering::SeqCst) + 1;
+        let threshold = self.quarantine_threshold.load(Ordering::SeqCst);
+        if threshold > 0 && n >= threshold && !self.is_quarantined(i) {
+            self.quarantine(i);
+        }
+    }
+
+    /// Health bookkeeping after shard `i` accepted an enqueue.
+    fn note_accept(&self, i: usize) {
+        // Cheap fast path: only clear a dirtied counter.
+        if self.health[i].refusals.load(Ordering::SeqCst) != 0 {
+            self.health[i].refusals.store(0, Ordering::SeqCst);
+        }
     }
 }
 
@@ -179,15 +315,30 @@ impl<Q: ConcurrentQueue> ConcurrentQueue for ShardedQueue<Q> {
     }
 
     fn enqueue(&self, h: &mut ShardedHandle<Q>, v: u64) -> Result<(), Full> {
-        self.rotate(h, |q, sh| match q.enqueue(sh, v) {
-            Ok(()) => ControlFlow::Break(()),
-            Err(_) => ControlFlow::Continue(()),
+        self.rotate(h, |i, q, sh| {
+            // Degraded shards are skipped: home-shard affinity remaps to
+            // the next healthy shard in rotation order.
+            if self.is_quarantined(i) {
+                return ControlFlow::Continue(());
+            }
+            match q.enqueue(sh, v) {
+                Ok(()) => {
+                    self.note_accept(i);
+                    ControlFlow::Break(())
+                }
+                Err(_) => {
+                    self.note_refusal(i);
+                    ControlFlow::Continue(())
+                }
+            }
         })
         .ok_or(Full(v))
     }
 
     fn dequeue(&self, h: &mut ShardedHandle<Q>) -> Option<u64> {
-        self.rotate(h, |q, sh| match q.dequeue(sh) {
+        // Dequeues visit quarantined shards too: quarantine only stops
+        // *new* elements, it never strands accepted ones.
+        self.rotate(h, |_, q, sh| match q.dequeue(sh) {
             Some(v) => ControlFlow::Break(v),
             None => ControlFlow::Continue(()),
         })
@@ -197,11 +348,19 @@ impl<Q: ConcurrentQueue> ConcurrentQueue for ShardedQueue<Q> {
         // A batch sticks to each shard for as long as it accepts: the
         // rotation advances on refusal, exactly like the single path.
         let mut done = 0;
-        self.rotate(h, |q, sh| {
-            done += q.enqueue_many(sh, &vs[done..]);
+        self.rotate(h, |i, q, sh| {
+            if self.is_quarantined(i) {
+                return ControlFlow::Continue(());
+            }
+            let accepted = q.enqueue_many(sh, &vs[done..]);
+            done += accepted;
+            if accepted > 0 {
+                self.note_accept(i);
+            }
             if done == vs.len() {
                 ControlFlow::Break(())
             } else {
+                self.note_refusal(i);
                 ControlFlow::Continue(())
             }
         });
@@ -210,7 +369,7 @@ impl<Q: ConcurrentQueue> ConcurrentQueue for ShardedQueue<Q> {
 
     fn dequeue_many(&self, h: &mut ShardedHandle<Q>, max: usize, out: &mut Vec<u64>) -> usize {
         let mut done = 0;
-        self.rotate(h, |q, sh| {
+        self.rotate(h, |_, q, sh| {
             done += q.dequeue_many(sh, max - done, out);
             if done == max {
                 ControlFlow::Break(())
@@ -273,6 +432,13 @@ impl<Q: ConcurrentQueue + MemoryFootprint> MemoryFootprint for ShardedQueue<Q> {
         out.add(
             "shard directory (boxed-slice fat pointer + tid counter)",
             std::mem::size_of::<Box<[Q]>>() + std::mem::size_of::<AtomicUsize>(),
+            OverheadClass::Other,
+        )
+        .add(
+            format!("fault containment: {s} shard health entries + quarantine words"),
+            std::mem::size_of::<Box<[ShardHealth]>>()
+                + s * std::mem::size_of::<ShardHealth>()
+                + 2 * std::mem::size_of::<SimAtomicUsize>(),
             OverheadClass::Other,
         )
     }
@@ -380,13 +546,83 @@ mod tests {
         let (c, s, t) = (1024, 4, 8);
         let q = sharded(c, s, t);
         let single = OptimalQueue::with_capacity_and_threads(c / s, t);
+        // Directory: boxed-slice fat pointer + tid counter (24 bytes),
+        // plus the fault-containment state — a health fat pointer, S
+        // two-word health entries, and the two global quarantine words.
+        let health = 16 + s * std::mem::size_of::<super::ShardHealth>() + 16;
         assert_eq!(
             q.overhead_bytes(),
-            s * single.overhead_bytes() + 24,
-            "Θ(S·T): S sub-queue overheads plus the 24-byte shard directory"
+            s * single.overhead_bytes() + 24 + health,
+            "Θ(S·T): S sub-queue overheads plus the constant-per-shard directory"
         );
         assert_eq!(q.element_bytes(), c * 8, "element storage stays C slots");
         let _ = q.max_token();
+    }
+
+    #[test]
+    fn quarantined_shard_skipped_by_enqueue_but_drained_by_dequeue() {
+        let q = sharded(4, 2, 1);
+        let mut h = q.register(); // home shard 0
+        q.enqueue(&mut h, 1).unwrap();
+        q.enqueue(&mut h, 2).unwrap(); // shard 0 now full (cap 2)
+        assert!(q.quarantine(0), "shard 0 quarantined");
+        assert!(q.is_quarantined(0));
+        assert_eq!(q.quarantined_count(), 1);
+        // Home shard is quarantined: affinity remaps to shard 1.
+        q.enqueue(&mut h, 3).unwrap();
+        assert_eq!(q.shard(0).len(), 2, "no new elements into shard 0");
+        assert_eq!(q.shard(1).len(), 1);
+        // Dequeue still drains the quarantined shard — nothing stranded.
+        let mut got = vec![
+            q.dequeue(&mut h).unwrap(),
+            q.dequeue(&mut h).unwrap(),
+            q.dequeue(&mut h).unwrap(),
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "conservation under quarantine");
+        // Lift: shard 0 is an enqueue target again.
+        assert!(q.un_quarantine(0));
+        assert_eq!(q.quarantined_count(), 0);
+        q.enqueue(&mut h, 4).unwrap();
+        assert_eq!(q.shard(0).len(), 1);
+    }
+
+    #[test]
+    fn last_healthy_shard_cannot_be_quarantined() {
+        let q = sharded(4, 2, 1);
+        assert!(q.quarantine(1));
+        assert!(!q.quarantine(0), "last healthy shard must stay enqueuable");
+        assert!(!q.quarantine(1), "already quarantined");
+        let mut h = q.register();
+        q.enqueue(&mut h, 7).unwrap(); // still has a target
+        assert_eq!(q.shard(0).len(), 1);
+        // Single-shard queues can never quarantine at all.
+        let solo = sharded(2, 1, 1);
+        assert!(!solo.quarantine(0));
+    }
+
+    #[test]
+    fn auto_quarantine_trips_after_consecutive_refusals() {
+        let q = sharded(4, 2, 1);
+        let mut h = q.register();
+        for v in 1..=4 {
+            q.enqueue(&mut h, v).unwrap(); // both shards full
+        }
+        q.set_quarantine_threshold(2);
+        // Two failing sweeps: every shard refuses twice; shard 0 trips
+        // the threshold, shard 1 survives as the last healthy shard.
+        assert_eq!(q.enqueue(&mut h, 9), Err(Full(9)));
+        assert_eq!(q.enqueue(&mut h, 9), Err(Full(9)));
+        assert!(q.is_quarantined(0), "threshold reached");
+        assert!(!q.is_quarantined(1), "last healthy shard protected");
+        assert!(q.shard_refusals(1) >= 2, "refusals recorded regardless");
+        // Draining + accepting resets the counter on the healthy shard.
+        while q.dequeue(&mut h).is_some() {}
+        q.enqueue(&mut h, 10).unwrap(); // lands in shard 1 (0 quarantined)
+        assert_eq!(q.shard(1).len(), 1);
+        assert_eq!(q.shard_refusals(1), 0, "accept resets the counter");
+        assert!(q.un_quarantine(0));
+        assert_eq!(q.shard_refusals(0), 0, "un-quarantine resets too");
     }
 
     #[test]

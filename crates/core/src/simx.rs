@@ -388,6 +388,53 @@ impl SimCondvar {
             .wait(guard.inner.as_mut().expect("guard holds the lock"));
     }
 
+    /// Block until notified or until `deadline` passes, releasing the
+    /// guard's mutex while waiting. Returns `true` when (possibly
+    /// spuriously) notified, `false` when the deadline fired. A deadline
+    /// at or before now returns `false` without sleeping.
+    ///
+    /// Under exploration the wall clock does not exist: whether the
+    /// timeout fires is a *scheduling choice* (`simyield::cv_block_timed`),
+    /// so the explorer enumerates both the wake-first and the
+    /// timeout-first interleavings of a timed wait.
+    pub fn wait_deadline<T>(
+        &self,
+        guard: &mut SimMutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> bool {
+        #[cfg(feature = "sim-explore")]
+        {
+            if guard.hooked {
+                // Same unlock→wait window reasoning as `wait`; the
+                // deadline itself is delegated to the scheduler.
+                simyield::cv_announce(self.loc());
+                drop(guard.inner.take());
+                simyield::mutex_released(guard.mx.loc());
+                let woke = simyield::cv_block_timed(self.loc());
+                // Re-acquire cooperatively.
+                loop {
+                    let a = Access::new(Kind::LockAcq, guard.mx.loc(), 0, 0);
+                    simyield::before(&a);
+                    if let Some(g) = guard.mx.inner.try_lock() {
+                        simyield::after(&a, 1);
+                        guard.inner = Some(g);
+                        return woke;
+                    }
+                    simyield::after(&a, 0);
+                    simyield::block_mutex(guard.mx.loc());
+                }
+            }
+        }
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        if timeout.is_zero() {
+            return false;
+        }
+        let res = self
+            .inner
+            .wait_for(guard.inner.as_mut().expect("guard holds the lock"), timeout);
+        !res.timed_out()
+    }
+
     /// Wake all waiters.
     pub fn notify_all(&self) {
         #[cfg(feature = "sim-explore")]

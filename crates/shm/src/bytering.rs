@@ -66,9 +66,14 @@ fn pid_is_dead(pid: u32) -> bool {
     r == -1 && std::io::Error::last_os_error().raw_os_error() == Some(libc::ESRCH)
 }
 
-/// Claim a role word: 0 → pid, or steal from a dead holder.
+/// Claim a role word: 0 → pid, or steal from a dead holder. The retry
+/// loop only continues on lost CAS races, each of which means another
+/// claimant made progress — but it still backs off (spin → yield) so a
+/// pile-up of claimants after a death converges instead of thrashing the
+/// claim line.
 fn claim_role(word: &SimAtomicU64) -> Result<(), RoleHeld> {
     let me = std::process::id() as u64;
+    let mut backoff = bq_core::retry::Backoff::new();
     loop {
         let cur = word.load(Ordering::SeqCst);
         if cur == 0 {
@@ -78,6 +83,7 @@ fn claim_role(word: &SimAtomicU64) -> Result<(), RoleHeld> {
             {
                 return Ok(());
             }
+            backoff.snooze();
             continue; // raced; re-read
         }
         if cur != me && pid_is_dead(cur as u32) {
@@ -87,6 +93,7 @@ fn claim_role(word: &SimAtomicU64) -> Result<(), RoleHeld> {
             {
                 return Ok(());
             }
+            backoff.snooze();
             continue;
         }
         // Held by ourselves (double claim) or by a live process.
@@ -211,6 +218,29 @@ impl ShmByteRing {
     pub fn consumer(&self) -> Result<ShmByteConsumer, RoleHeld> {
         claim_role(self.ring.cons_claim())?;
         Ok(ShmByteConsumer { ring: self.clone() })
+    }
+
+    /// Proactively release every endpoint whose holder the pid oracle
+    /// confirms dead, so successors claim without first colliding with
+    /// the stale holder (the eager counterpart of the lazy steal in the
+    /// claim path — same verdict, same CAS, just not deferred to the
+    /// next claimant). Each freed endpoint is recorded in the segment's
+    /// poison counter. Returns how many endpoints were freed.
+    pub fn recover(&self) -> usize {
+        let mut freed = 0;
+        for word in [self.ring.prod_claim(), self.ring.cons_claim()] {
+            let cur = word.load(Ordering::SeqCst);
+            if cur != 0
+                && pid_is_dead(cur as u32)
+                && word
+                    .compare_exchange(cur, 0, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                self.seg.note_poison();
+                freed += 1;
+            }
+        }
+        freed
     }
 }
 
@@ -347,5 +377,24 @@ mod tests {
         // defaults well below this, and kill(, 0) then reports ESRCH.
         ring.ring.prod_claim().store(0x3FFF_FF17, Ordering::SeqCst);
         let _tx = ring.producer().expect("dead holder must be stolen from");
+    }
+
+    #[test]
+    fn recover_frees_both_dead_endpoints_in_one_sweep() {
+        let ring = ShmByteRing::create_anon(256, 32).unwrap();
+        // Both roles held by pids that cannot exist (ESRCH ⇒ dead).
+        ring.ring.prod_claim().store(0x3FFF_FF19, Ordering::SeqCst);
+        ring.ring.cons_claim().store(0x3FFF_FF1A, Ordering::SeqCst);
+        assert_eq!(ring.recover(), 2, "one sweep frees both endpoints");
+        assert_eq!(ring.recover(), 0, "sweep is idempotent");
+        assert_eq!(ring.segment().poison_count(), 2, "faults recorded");
+        // Successors claim cleanly — no steal collision left.
+        assert_eq!(ring.ring.prod_claim().load(Ordering::SeqCst), 0);
+        let mut tx = ring.producer().unwrap();
+        let mut rx = ring.consumer().unwrap();
+        assert!(tx.push(b"clean"));
+        let mut out = Vec::new();
+        assert!(rx.pop(&mut out));
+        assert_eq!(out, b"clean");
     }
 }

@@ -114,6 +114,16 @@ impl Child {
     }
 
     /// Send `SIGKILL` to the child (it still needs waiting afterwards).
+    ///
+    /// Until the wait, the child lingers as a **zombie**, which
+    /// `kill(pid, 0)` still reports as existing — so the liveness
+    /// oracle's ESRCH probe will NOT confirm the death, and claim steals
+    /// or `recover` sweeps keyed on it will refuse to fire. Reap via
+    /// [`wait`](Self::wait)/[`wait_deadline`](Self::wait_deadline) (or
+    /// set the authoritative flag with
+    /// [`ShmSegment::mark_dead`](crate::ShmSegment::mark_dead) after
+    /// reaping) before expecting survivors to take over the victim's
+    /// holdings.
     pub fn kill(&self) {
         // SAFETY: signaling our own child.
         unsafe {

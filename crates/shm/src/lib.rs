@@ -11,7 +11,9 @@
 //! * [`ShmSegment`] — an `mmap` mapping fronted by a versioned
 //!   magic/length/layout-tag header, eight cache-padded scratch counters
 //!   for harness coordination, and a [process liveness
-//!   table](segment::ProcSlot) with one-sided death detection;
+//!   table](segment::ProcSlot) with one-sided death detection plus a
+//!   heartbeat/lease suspicion layer and a segment-wide poison counter
+//!   (the health monitor of DESIGN.md §13);
 //! * [`ShmQueue<T>`](ShmQueue) — the N-producer/M-consumer bounded queue
 //!   under a crash-consistent publication protocol: a process dying
 //!   between **any** two shared writes leaves a state the survivors
@@ -23,6 +25,10 @@
 //!   (dead holders detected via pid liveness and stolen);
 //! * [`fork_child`]/[`Child`] — a fork harness with deadline waits, so a
 //!   wedged queue fails tests instead of hanging them;
+//! * [`FaultPlan`] — the unified fault-injection plan (kill countdowns,
+//!   injected delays, forced refusals, dropped wakes) consumed by the
+//!   crash tests, the soak binary and the explorer, rendered as a
+//!   replayable `plan:v1:` artifact;
 //! * [`OpLog`] — a cross-process operation log with globally sequenced
 //!   stamps, feeding the Wing–Gong pool checker in `bq-sim`.
 //!
@@ -33,12 +39,14 @@
 #![deny(missing_docs)]
 
 pub mod bytering;
+pub mod fault;
 pub mod harness;
 pub mod oplog;
 pub mod queue;
 pub mod segment;
 
 pub use bytering::{RoleHeld, ShmByteConsumer, ShmByteProducer, ShmByteRing, BYTE_RING_LAYOUT_TAG};
+pub use fault::{BadPlan, FaultPlan};
 pub use harness::{fork_child, Child, ChildExit};
 pub use oplog::{LoggedEvent, OpKind, OpLog, RetKind};
 pub use queue::{layout_tag, ShmHandle, ShmQueue};

@@ -102,14 +102,12 @@ pub fn layout_tag<T>() -> u64 {
 }
 
 /// Per-process (per-registrant) handle: the owner identity baked into
-/// claim words, plus the crash-injection countdown used by the soak and
-/// crash tests.
+/// claim words, plus the fault-injection state used by the soak and
+/// crash tests (see [`FaultPlan`](crate::FaultPlan)).
 #[derive(Debug)]
 pub struct ShmHandle {
     proc_idx: usize,
-    /// `Some(n)`: die by `SIGKILL` after performing exactly `n` shared
-    /// accesses in the next enqueue or dequeue (0 = before any access).
-    crash_after_writes: Option<u64>,
+    faults: crate::fault::FaultState,
 }
 
 impl ShmHandle {
@@ -120,28 +118,25 @@ impl ShmHandle {
 
     /// Arm crash injection: the next enqueue or dequeue performs exactly
     /// `n` shared accesses and then `SIGKILL`s the calling process.
-    /// Test-harness machinery (used by the crash-injection suite and the
-    /// soak rounds).
+    /// Compat wrapper over [`apply_plan`](Self::apply_plan) with a
+    /// kill-only plan (used by the crash-injection suite).
     pub fn arm_crash_after_writes(&mut self, n: u64) {
-        self.crash_after_writes = Some(n);
+        self.faults.arm_kill(n);
     }
 
-    /// The crash gate, called once on operation entry and once after every
-    /// protocol step (W1–W4 for enqueue, V1–V4 for dequeue) the operation
-    /// performs.
+    /// Arm a full [`FaultPlan`](crate::FaultPlan) on this handle: kill
+    /// countdown, injected delays, and forced refusals all start fresh.
+    /// (`drop_wakes` is driver-side and ignored here.)
+    pub fn apply_plan(&mut self, plan: &crate::FaultPlan) {
+        self.faults.apply(plan);
+    }
+
+    /// The crash/delay gate, called once on operation entry and once
+    /// after every protocol step (W1–W4 for enqueue, V1–V4 for dequeue)
+    /// the operation performs.
     #[inline]
     fn crash_gate(&mut self) {
-        if let Some(left) = self.crash_after_writes.as_mut() {
-            if *left == 0 {
-                // SAFETY: killing ourselves with SIGKILL has no
-                // preconditions; the process ends here.
-                unsafe {
-                    libc::kill(libc::getpid(), libc::SIGKILL);
-                }
-                unreachable!("survived SIGKILL to self");
-            }
-            *left -= 1;
-        }
+        self.faults.gate();
     }
 }
 
@@ -222,7 +217,7 @@ impl<T: Pod> ShmQueue<T> {
     pub fn register(&self) -> ShmHandle {
         ShmHandle {
             proc_idx: self.seg.register_self(),
-            crash_after_writes: None,
+            faults: crate::fault::FaultState::default(),
         }
     }
 
@@ -251,8 +246,8 @@ impl<T: Pod> ShmQueue<T> {
     /// both orphan kinds (see the table in the module docs): an orphaned
     /// `CLAIMED` never linearized (the position yields no element), an
     /// orphaned `CONSUMING` linearized at its claim (the element is gone).
-    fn reclaim(&self, slot: usize, observed: u64, round: u64) {
-        if self
+    fn reclaim(&self, slot: usize, observed: u64, round: u64) -> bool {
+        let won = self
             .ring
             .seq(slot)
             .compare_exchange(
@@ -261,15 +256,56 @@ impl<T: Pod> ShmQueue<T> {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             )
-            .is_ok()
-        {
+            .is_ok();
+        if won {
+            self.seg.note_poison();
             let _ = self.ring.head().compare_exchange(
                 round,
                 round + 1,
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             );
+            // Also help `tail` past the round: an owner that died right
+            // after its claim CAS (W1) never ran its tail help (W2), and
+            // once this slot says `round + C` nothing else would ever
+            // advance `tail` — producers would spin on a position no slot
+            // serves. Benign when `tail` already moved (the CAS fails).
+            let _ = self.ring.tail().compare_exchange(
+                round,
+                round + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
         }
+        won
+    }
+
+    /// Proactively sweep the whole ring, reclaiming every slot whose
+    /// owner the liveness oracle confirms dead — the eager counterpart of
+    /// the lazy collision-time reclamation the enqueue/dequeue paths do
+    /// (DESIGN.md §13.3). One sweep after a death restores the queue to a
+    /// fully clean state: survivors never again collide with the
+    /// victim's orphaned claims. Returns the number of slots reclaimed.
+    ///
+    /// Safe to run concurrently with live traffic and with other sweeps:
+    /// every transition is the same dead-owner-guarded CAS the lazy path
+    /// uses, so a racing sweep or consumer simply loses the CAS.
+    pub fn recover(&self) -> usize {
+        let mut reclaimed = 0;
+        for slot in 0..self.capacity() {
+            let w = self.ring.seq(slot).load(Ordering::SeqCst);
+            let (r, st, owner) = unpack(w);
+            if (st == CLAIMED || st == CONSUMING)
+                && self.dead(owner)
+                // The same verdict-then-CAS as the lazy path; `reclaim`
+                // only CASes on the observed word, so a slot a racing
+                // survivor already handled is left alone (and uncounted).
+                && self.reclaim(slot, w, r)
+            {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 
     /// Enqueue `v`; `Err(v)` when full (relaxed, Vyukov-style: a slot
@@ -279,6 +315,9 @@ impl<T: Pod> ShmQueue<T> {
     /// **W3** value write, **W4** publish CAS (the linearization point).
     /// The crash gate in `h` fires after each.
     pub fn enqueue(&self, h: &mut ShmHandle, v: T) -> Result<(), T> {
+        if h.faults.take_refusal() {
+            return Err(v); // injected refusal: full, nothing touched
+        }
         h.crash_gate(); // kill point 0: before any shared write
         loop {
             let t = self.ring.tail().load(Ordering::SeqCst);
@@ -380,6 +419,9 @@ impl<T: Pod> ShmQueue<T> {
     /// point), **V2** head help CAS, **V3** value read, **V4** release
     /// CAS. The crash gate in `h` fires after each.
     pub fn dequeue(&self, h: &mut ShmHandle) -> Option<T> {
+        if h.faults.take_refusal() {
+            return None; // injected refusal: empty, nothing touched
+        }
         let c = self.capacity() as u64;
         h.crash_gate(); // kill point 0: before any shared access
         loop {
@@ -666,6 +708,73 @@ mod tests {
         assert_eq!(q.dequeue(&mut h), Some(2));
         assert_eq!(q.dequeue(&mut h), Some(3));
         assert_eq!(q.dequeue(&mut h), None);
+    }
+
+    #[test]
+    fn recover_sweep_reclaims_every_orphan_at_once() {
+        let q = ShmQueue::<u64>::create_anon(4).unwrap();
+        let mut h = q.register();
+        let ghost = q.segment().register_proc(u32::MAX - 4); // ESRCH ⇒ dead
+        q.enqueue(&mut h, 1).unwrap();
+        q.enqueue(&mut h, 2).unwrap();
+        // The ghost dies holding two orphans at once: a dequeue of the
+        // head element stuck at CONSUMING (died after V1, linearized — 1
+        // is gone) and an enqueue claim stuck at CLAIMED with its tail
+        // help unperformed (died right after W1 — never linearized).
+        let w0 = q.ring.seq(0).load(Ordering::SeqCst);
+        q.ring
+            .seq(0)
+            .compare_exchange(
+                w0,
+                pack(0, CONSUMING, ghost),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap();
+        let w2 = q.ring.seq(2).load(Ordering::SeqCst);
+        q.ring
+            .seq(2)
+            .compare_exchange(
+                w2,
+                pack(2, CLAIMED, ghost),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap();
+
+        // ONE sweep clears both; a second finds nothing left.
+        assert_eq!(q.recover(), 2, "both orphans reclaimed in one sweep");
+        assert_eq!(q.recover(), 0, "sweep is idempotent");
+        assert_eq!(q.segment().poison_count(), 2, "faults were recorded");
+
+        // The survivor sees exactly the still-published element and the
+        // queue is fully operational through the reclaimed slots — no
+        // collision-time reclamation left to do.
+        assert_eq!(q.dequeue(&mut h), Some(2));
+        assert_eq!(q.dequeue(&mut h), None);
+        for round in 0..12u64 {
+            q.enqueue(&mut h, 200 + round).unwrap();
+            assert_eq!(q.dequeue(&mut h), Some(200 + round));
+        }
+        assert_eq!(q.segment().poison_count(), 2, "clean traffic adds none");
+    }
+
+    #[test]
+    fn injected_refusals_touch_nothing() {
+        let q = ShmQueue::<u64>::create_anon(4).unwrap();
+        let mut h = q.register();
+        q.enqueue(&mut h, 5).unwrap();
+        h.apply_plan(&crate::FaultPlan {
+            refuse_first: 2,
+            ..crate::FaultPlan::default()
+        });
+        assert_eq!(q.enqueue(&mut h, 6), Err(6), "refusal reports full");
+        assert_eq!(q.dequeue(&mut h), None, "refusal reports empty");
+        assert_eq!(q.len(), 1, "refusals leave shared state untouched");
+        // Budget spent: operations go through again.
+        q.enqueue(&mut h, 7).unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(5));
+        assert_eq!(q.dequeue(&mut h), Some(7));
     }
 
     #[test]

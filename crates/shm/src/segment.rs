@@ -25,13 +25,16 @@ use std::fs::OpenOptions;
 use std::os::unix::io::AsRawFd;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use bq_core::relocatable::{align_up, PadAtomicU64};
 
 /// Magic word identifying a membq shared segment ("MBQSHSEG").
 pub const SHM_MAGIC: u64 = 0x4d42_5153_4853_4547;
-/// Header format version; bumped on any layout change.
-pub const SHM_VERSION: u64 = 1;
+/// Header format version; bumped on any layout change. Version 2 widened
+/// [`ProcSlot`] with the heartbeat/lease words of the health monitor
+/// (DESIGN.md §13) and added the poison counter to the header.
+pub const SHM_VERSION: u64 = 2;
 /// Process-table size. 8 bits of owner index are packed into queue
 /// sequence words, but 64 keeps the header compact.
 pub const MAX_PROCS: usize = 64;
@@ -51,12 +54,25 @@ pub const SCRATCH_WORDS: usize = 8;
 /// reports alive): both sources may be *late* about a death but never
 /// report a live process dead, which is what the queue's reclaim safety
 /// argument needs (DESIGN.md §10.3).
+///
+/// `heartbeat`/`lease_ns` form the **suspicion** layer on top
+/// (DESIGN.md §13): a process that promised to [`beat`](ShmSegment::beat)
+/// within its lease and has not is *suspected* — worth probing and worth
+/// a [`recover`](crate::ShmQueue::recover) sweep — but never treated as
+/// dead on that evidence alone. Only the two one-sided sources above
+/// authorize a reclaim; the lease merely decides *when to ask them*.
 #[repr(C)]
 pub struct ProcSlot {
     /// Registered pid (0 = slot free).
     pub pid: AtomicU64,
     /// 1 once the process is known reaped.
     pub dead: AtomicU64,
+    /// Last `CLOCK_MONOTONIC` heartbeat, in nanoseconds (set at
+    /// registration, refreshed by [`ShmSegment::beat`]).
+    pub heartbeat: AtomicU64,
+    /// Promised heartbeat interval in nanoseconds (0 = no lease: the
+    /// process opted out of suspicion, e.g. short-lived registrants).
+    pub lease_ns: AtomicU64,
 }
 
 /// Segment header: identification words, scratch counters, process table.
@@ -74,6 +90,11 @@ pub struct SegHdr {
     /// 0 while the creator initializes the payload, 1 once ready.
     /// `open_file` refuses segments still at 0.
     pub init: AtomicU64,
+    /// Count of fault-containment events observed in this segment: each
+    /// dead-owner reclaim (lazy or via a `recover` sweep) and each stolen
+    /// byte-ring endpoint bumps it. Monotone; survivors read it to learn
+    /// the segment has seen deaths (DESIGN.md §13).
+    pub poisoned: AtomicU64,
     /// Coordination counters for harnesses/workloads, one cache-line pair
     /// each so cross-process counting does not false-share.
     pub scratch: [PadAtomicU64; SCRATCH_WORDS],
@@ -293,6 +314,8 @@ impl ShmSegment {
                 .is_ok()
             {
                 slot.dead.store(0, Ordering::Release);
+                slot.lease_ns.store(0, Ordering::Release);
+                slot.heartbeat.store(monotonic_ns(), Ordering::Release);
                 return i;
             }
         }
@@ -338,6 +361,88 @@ impl ShmSegment {
         // SAFETY: errno location is always valid on this thread.
         r == -1 && unsafe { *libc::__errno_location() } == libc::ESRCH
     }
+
+    // -- the heartbeat / lease suspicion layer ---------------------------
+
+    /// Refresh slot `idx`'s heartbeat to "now" (`CLOCK_MONOTONIC`). Cheap
+    /// enough to call from a worker's main loop; a process that took a
+    /// lease and stops beating becomes a *suspect*, never more.
+    pub fn beat(&self, idx: usize) {
+        self.hdr().procs[idx]
+            .heartbeat
+            .store(monotonic_ns(), Ordering::Release);
+    }
+
+    /// Take (or change) slot `idx`'s heartbeat lease: the process promises
+    /// to [`beat`](Self::beat) at least every `lease`. Also beats, so the
+    /// lease never starts expired. A zero lease opts back out.
+    pub fn set_lease(&self, idx: usize, lease: Duration) {
+        let slot = &self.hdr().procs[idx];
+        slot.heartbeat.store(monotonic_ns(), Ordering::Release);
+        slot.lease_ns.store(
+            lease.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Release,
+        );
+    }
+
+    /// Has slot `idx` broken its heartbeat lease? **Suspicion only**: a
+    /// stalled-but-live process (SIGSTOP, long GC, scheduler starvation)
+    /// expires its lease too, so an expired lease authorizes nothing by
+    /// itself — it tells monitors to run [`proc_is_dead`](Self::proc_is_dead)
+    /// and, if that confirms, a `recover` sweep. Always false without a
+    /// lease or for a free slot.
+    pub fn lease_expired(&self, idx: usize) -> bool {
+        let slot = &self.hdr().procs[idx];
+        if slot.pid.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let lease = slot.lease_ns.load(Ordering::Acquire);
+        if lease == 0 {
+            return false;
+        }
+        monotonic_ns().saturating_sub(slot.heartbeat.load(Ordering::Acquire)) > lease
+    }
+
+    /// Slots whose lease has expired *and* whose death the authoritative
+    /// oracle confirms — the worklist a health monitor feeds to
+    /// `recover`. The lease filter keeps the sweep from probing every
+    /// registered pid on every tick; the oracle keeps it sound.
+    pub fn confirmed_suspects(&self) -> Vec<usize> {
+        (0..MAX_PROCS)
+            .filter(|&i| self.lease_expired(i) && self.proc_is_dead(i))
+            .collect()
+    }
+
+    // -- the poison counter ----------------------------------------------
+
+    /// Record one fault-containment event (dead-owner reclaim, stolen
+    /// endpoint) in the segment header.
+    pub fn note_poison(&self) {
+        self.hdr().poisoned.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Number of fault-containment events recorded in this segment since
+    /// creation. Zero means no survivor ever had to clean up after a
+    /// death here.
+    pub fn poison_count(&self) -> u64 {
+        self.hdr().poisoned.load(Ordering::Acquire)
+    }
+}
+
+/// `CLOCK_MONOTONIC` in nanoseconds — the heartbeat clock. Monotonic (so
+/// never jumps backwards on wall-clock changes) and, on Linux, consistent
+/// across all processes of the machine, which is what a cross-process
+/// lease comparison needs.
+fn monotonic_ns() -> u64 {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: valid timespec pointer; CLOCK_MONOTONIC always exists.
+    unsafe {
+        libc::clock_gettime(libc::CLOCK_MONOTONIC, &mut ts);
+    }
+    (ts.tv_sec as u64) * 1_000_000_000 + ts.tv_nsec as u64
 }
 
 impl Drop for ShmSegment {
@@ -361,10 +466,13 @@ const _: () = {
     assert!(offset_of!(SegHdr, total_len) == 16);
     assert!(offset_of!(SegHdr, layout_tag) == 24);
     assert!(offset_of!(SegHdr, init) == 32);
+    assert!(offset_of!(SegHdr, poisoned) == 40);
     assert!(offset_of!(SegHdr, scratch) == 128);
     assert!(offset_of!(SegHdr, procs) == 128 + SCRATCH_WORDS * 128);
-    assert!(size_of::<ProcSlot>() == 16);
-    assert!(size_of::<SegHdr>() == 128 + SCRATCH_WORDS * 128 + MAX_PROCS * 16);
+    assert!(size_of::<ProcSlot>() == 32);
+    assert!(offset_of!(ProcSlot, heartbeat) == 16);
+    assert!(offset_of!(ProcSlot, lease_ns) == 24);
+    assert!(size_of::<SegHdr>() == 128 + SCRATCH_WORDS * 128 + MAX_PROCS * 32);
 };
 
 #[cfg(test)]
@@ -399,6 +507,42 @@ mod tests {
         assert!(!seg.proc_is_dead(flagged));
         seg.mark_dead(flagged);
         assert!(seg.proc_is_dead(flagged));
+    }
+
+    #[test]
+    fn lease_expiry_is_suspicion_not_death() {
+        let seg = ShmSegment::create_anon(64, 1).unwrap();
+        let me = seg.register_self();
+        // No lease taken: never suspect, regardless of heartbeat age.
+        assert!(!seg.lease_expired(me));
+        // A microscopic lease expires almost immediately...
+        seg.set_lease(me, Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(seg.lease_expired(me), "broken lease raises suspicion");
+        // ...but a live process is never *dead* on that evidence.
+        assert!(!seg.proc_is_dead(me));
+        assert!(
+            seg.confirmed_suspects().is_empty(),
+            "suspicion without oracle confirmation reclaims nothing"
+        );
+        // Beating renews the lease window.
+        seg.set_lease(me, Duration::from_secs(3600));
+        assert!(!seg.lease_expired(me));
+
+        // A ghost (ESRCH pid) with a broken lease is a confirmed suspect.
+        let ghost = seg.register_proc(u32::MAX - 7);
+        seg.set_lease(ghost, Duration::from_nanos(1));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(seg.confirmed_suspects(), vec![ghost]);
+    }
+
+    #[test]
+    fn poison_counter_counts_monotonically() {
+        let seg = ShmSegment::create_anon(64, 1).unwrap();
+        assert_eq!(seg.poison_count(), 0, "fresh segment has seen no faults");
+        seg.note_poison();
+        seg.note_poison();
+        assert_eq!(seg.poison_count(), 2);
     }
 
     #[test]

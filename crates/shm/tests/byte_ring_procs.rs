@@ -3,6 +3,7 @@
 //! [`ShmByteRing`], and a claim-stealing test shows the producer role of
 //! a killed process is reclaimable by its successor (DESIGN.md §12.3).
 
+use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -116,4 +117,81 @@ fn producer_claim_of_killed_process_is_stolen() {
     assert!(tx2.push(b"successor"));
     let g = rx.try_read().unwrap();
     assert_eq!(&*g, b"successor");
+}
+
+/// Is `pid` currently a zombie (dead but unreaped)? Field 3 of
+/// `/proc/<pid>/stat` is the state letter; it sits right after the
+/// parenthesized comm, which may itself contain spaces — hence the
+/// rsplit on ')'.
+fn is_zombie(pid: u32) -> bool {
+    match std::fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Ok(stat) => stat
+            .rsplit_once(')')
+            .map(|(_, rest)| rest.trim_start().starts_with('Z'))
+            .unwrap_or(false),
+        Err(_) => false,
+    }
+}
+
+/// The zombie-holder pitfall (DESIGN.md §13.2): `kill(pid, 0)` succeeds
+/// for a dead-but-unreaped child, so neither the steal path nor a
+/// `recover` sweep may fire until the harness has reaped it via
+/// `waitpid`. This pins both halves — refusal while the zombie lingers,
+/// successful steal immediately after the reap.
+#[test]
+fn zombie_holder_blocks_steal_until_reaped() {
+    let _serial = FORK_LOCK.lock().unwrap();
+    let ring = ShmByteRing::create_anon(256, 32).unwrap();
+
+    let child_ring = ring.clone();
+    let child = fork_child(move || {
+        let _tx = child_ring.producer().expect("child claims producer");
+        child_ring.segment().scratch(0).store(1, SeqCst);
+        loop {
+            yield_now();
+        }
+    })
+    .unwrap();
+    let pid = child.pid();
+
+    // Wait for the claim to land, then kill WITHOUT reaping.
+    while ring.segment().scratch(0).load(SeqCst) == 0 {
+        yield_now();
+    }
+    child.kill();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !is_zombie(pid) {
+        assert!(std::time::Instant::now() < deadline, "child never died");
+        yield_now();
+    }
+
+    // Dead — but unreaped, so the existence probe still says alive: the
+    // claim must be refused and the sweep must free nothing. Treating
+    // the zombie as dead here would be wrong the other way for a *live*
+    // holder, which is the asymmetry the one-sided oracle is built on.
+    let refused = match ring.producer() {
+        Err(e) => e,
+        Ok(_) => panic!("zombie holder must block the steal"),
+    };
+    assert_eq!(
+        refused,
+        bq_shm::RoleHeld { pid },
+        "kill(pid, 0) reports the unreaped child alive"
+    );
+    assert_eq!(ring.recover(), 0, "sweep respects the zombie too");
+
+    // Reap via waitpid — the harness step that must precede steal
+    // checks — and the very same claim now succeeds by stealing.
+    assert_eq!(
+        child.wait().unwrap(),
+        bq_shm::ChildExit::Signaled(libc::SIGKILL)
+    );
+    let mut tx = ring
+        .producer()
+        .expect("steal succeeds once the zombie is reaped");
+    assert!(tx.push(b"after reap"));
+    let mut rx = ring.consumer().unwrap();
+    let mut out = Vec::new();
+    assert!(rx.pop(&mut out));
+    assert_eq!(out, b"after reap");
 }

@@ -18,7 +18,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use bq_shm::{fork_child, ChildExit, ShmQueue};
+use bq_shm::{fork_child, ChildExit, ShmByteRing, ShmQueue};
 
 static FORK_LOCK: Mutex<()> = Mutex::new(());
 
@@ -189,6 +189,104 @@ fn sigkill_at_every_dequeue_access_never_wedges() {
             vec![1, 2, 3, 4, 5, 6, 7, 8, 101, 102],
             "survivor's elements conserved"
         );
+    }
+}
+
+/// The eager-recovery acceptance test (DESIGN.md §13.3): a producer that
+/// also holds a byte-ring endpoint is `SIGKILL`ed at every point in the
+/// enqueue write sequence (W0–W4), and ONE `recover()` sweep per
+/// structure must restore everything — the orphaned CLAIMED slot
+/// reclaimed, the held byte-ring producer endpoint freed — such that the
+/// surviving consumer never collides with the victim's leftovers again
+/// (measured by the poison counters staying flat through a full wrap of
+/// post-sweep traffic).
+#[test]
+fn one_recover_sweep_cleans_queue_and_endpoint_at_every_kill_point() {
+    let _g = FORK_LOCK.lock().unwrap();
+    for kill_point in 0..=4u64 {
+        let q = ShmQueue::<u64>::create_anon(4).unwrap();
+        let seg = q.segment().clone();
+        let ring = ShmByteRing::create_anon(256, 32).unwrap();
+
+        let qc = q.clone();
+        let child_ring = ring.clone();
+        let child = fork_child(move || {
+            // Hold a byte-ring endpoint across the death: its Drop (the
+            // claim release) must never run.
+            let mut tx = child_ring.producer().expect("child claims producer");
+            assert!(tx.push(b"held"));
+            let mut h = qc.register();
+            qc.segment()
+                .scratch(7)
+                .store(h.proc_idx() as u64 + 1, Ordering::SeqCst);
+            h.arm_crash_after_writes(kill_point);
+            let _ = qc.enqueue(&mut h, INJECTED);
+            std::mem::forget(tx); // unreachable: the gate always fires
+        })
+        .unwrap();
+
+        assert_eq!(
+            child.wait().unwrap(),
+            ChildExit::Signaled(libc::SIGKILL),
+            "kill point {kill_point}: the gate must fire inside the enqueue"
+        );
+        let slot = seg.scratch(7).load(Ordering::SeqCst);
+        assert!(slot > 0, "child registered before arming");
+        seg.mark_dead(slot as usize - 1);
+
+        // ONE sweep each. The queue sweep finds the orphaned CLAIMED slot
+        // exactly when the child died inside the claim window (after W1,
+        // W2 or W3); at W0 nothing was claimed and at W4 the element was
+        // fully published. The ring sweep always frees the one endpoint
+        // the child died holding (the pid is gone post-reap, so the
+        // oracle confirms).
+        let expect_reclaims = usize::from((1..=3).contains(&kill_point));
+        assert_eq!(
+            q.recover(),
+            expect_reclaims,
+            "kill point {kill_point}: queue sweep reclaims the orphan iff \
+             the death landed inside the claim window"
+        );
+        assert_eq!(
+            ring.recover(),
+            1,
+            "kill point {kill_point}: the held producer endpoint is freed"
+        );
+        assert_eq!(q.recover(), 0, "queue sweep is idempotent");
+        assert_eq!(ring.recover(), 0, "ring sweep is idempotent");
+
+        // Post-sweep traffic never meets the victim again: wrap the ring
+        // twice with the poison counters frozen — any further dead-owner
+        // collision would bump them.
+        let q_poison = seg.poison_count();
+        let ring_poison = ring.segment().poison_count();
+        let mut h = q.register();
+        let mut got = Vec::new();
+        for v in 1..=8u64 {
+            enqueue_or_wedge(&q, &mut h, v);
+            got.push(dequeue_or_wedge(&q, &mut h));
+        }
+        while !q.is_empty() {
+            got.push(dequeue_or_wedge(&q, &mut h));
+        }
+        let injected = got.iter().filter(|&&v| v == INJECTED).count();
+        assert_eq!(
+            injected,
+            usize::from(kill_point == 4),
+            "kill point {kill_point}: linearization at W4 unchanged by sweeps"
+        );
+        let mut tx = ring.producer().expect("endpoint claimable post-sweep");
+        let mut rx = ring.consumer().unwrap();
+        let mut out = Vec::new();
+        assert!(rx.pop(&mut out), "pre-death message survives");
+        assert_eq!(out, b"held");
+        assert!(tx.push(b"successor"));
+        assert_eq!(
+            seg.poison_count(),
+            q_poison,
+            "kill point {kill_point}: no lazy reclaim left for the survivor"
+        );
+        assert_eq!(ring.segment().poison_count(), ring_poison);
     }
 }
 

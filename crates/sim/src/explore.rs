@@ -839,6 +839,46 @@ mod engine {
             // Grant stays set; the cooperative re-lock's before() uses it.
         }
 
+        fn cv_block_timed(&self, loc: usize) -> bool {
+            if std::thread::panicking() {
+                return true;
+            }
+            let exec = Arc::clone(&self.exec);
+            let mut g = exec.lock();
+            if g.abort {
+                drop(g);
+                abort_panic();
+            }
+            let (lid, ep) = g.cv_ann[self.tid].take().unwrap_or_else(|| {
+                let lid = g.intern(loc);
+                let ep = *g.cv_epoch.get(&lid).unwrap_or(&0);
+                (lid, ep)
+            });
+            if *g.cv_epoch.get(&lid).unwrap_or(&0) != ep {
+                // A notify landed in the unlock→wait window: as in
+                // cv_block, the announce recorded us, so this counts as
+                // a wake — never a timeout.
+                return true;
+            }
+            // Unlike cv_block the thread STAYS Ready: its deadline makes
+            // it runnable at any moment, so suspending it would
+            // manufacture deadlocks the wall clock would break in a real
+            // run. This is just a scheduling point; when the scheduler
+            // next grants us, the epoch decides the outcome — advanced
+            // means some notify woke us first, unchanged means the
+            // scheduler chose to fire the timeout. Both orders of a
+            // timeout-vs-wake race are thus enumerated as ordinary
+            // scheduling choices.
+            g.pending[self.tid] = None;
+            g.choose_and_grant();
+            exec.cv.notify_all();
+            let g = self.wait_for_grant(&exec, g);
+            let woke = *g.cv_epoch.get(&lid).unwrap_or(&0) != ep;
+            drop(g);
+            // Grant stays set; the cooperative re-lock's before() uses it.
+            woke
+        }
+
         fn cv_notify(&self, loc: usize) {
             if std::thread::panicking() {
                 return;

@@ -14,13 +14,14 @@
 
 use std::collections::HashSet;
 use std::future::Future;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
 
 use bq_core::{
-    AsyncQueue, BlockingQueue, ConcurrentQueue, EventCount, OptimalQueue, RelocBuf, RelocRing,
-    SegmentQueue, ShardedQueue, SimAtomicU64,
+    AsyncQueue, BlockingQueue, ConcurrentQueue, EventCount, OptimalQueue, RecvTimeoutError,
+    RelocBuf, RelocRing, SegmentQueue, ShardedQueue, SimAtomicU64,
 };
 use bq_sim::explore::{explore, replay, ExploreConfig, Report, RunOutcomeKind, RunSpec};
 use bq_sim::{check_history, check_history_pool, History, HistoryEvent, Op, Ret};
@@ -663,6 +664,186 @@ fn blocking_close_always_wakes_a_parked_receiver() {
     };
     let report = explore(&cfg(3), mk);
     assert_passed(&report, "close() vs parked receiver");
+}
+
+// ---------------------------------------------------------------------------
+// Timed waits: the timeout-vs-wake race (DESIGN.md §13.1)
+// ---------------------------------------------------------------------------
+
+/// A timed receiver racing one sender. Under exploration the wall clock
+/// does not exist — whether the deadline fires is a scheduling choice
+/// (`cv_block_timed`) — so the sweep must enumerate BOTH outcomes:
+/// executions where the wake wins (the receiver gets the value) and
+/// executions where the timeout wins (the value stays behind for the
+/// drain). Every completed history must conserve elements either way,
+/// and a timed-out receiver must leave the eventcount quiescent (a
+/// leaked announce would under-wake the next waiter).
+#[test]
+fn timed_recv_vs_send_enumerates_both_outcomes() {
+    let timeouts = Arc::new(AtomicUsize::new(0));
+    let wakes = Arc::new(AtomicUsize::new(0));
+    let mk = {
+        let timeouts = Arc::clone(&timeouts);
+        let wakes = Arc::clone(&wakes);
+        move || {
+            // Sized for 3 handles: receiver, sender, and the check's
+            // drain handle.
+            let q: Arc<BlockingQueue<u64, OptimalQueue>> = Arc::new(BlockingQueue::new(
+                OptimalQueue::with_capacity_and_threads(2, 3),
+            ));
+            let mut hr = q.register();
+            let mut hp = q.register();
+            let receiver = {
+                let q = Arc::clone(&q);
+                let timeouts = Arc::clone(&timeouts);
+                let wakes = Arc::clone(&wakes);
+                move |ctx: &mut bq_sim::explore::Ctx| {
+                    let id = ctx.invoke(Op::Dequeue);
+                    match q.recv_timeout(&mut hr, Duration::from_millis(5)) {
+                        Ok(v) => {
+                            wakes.fetch_add(1, Ordering::SeqCst);
+                            ctx.ret(id, Ret::DeqVal(v));
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            timeouts.fetch_add(1, Ordering::SeqCst);
+                            ctx.ret(id, Ret::DeqEmpty);
+                        }
+                        Err(RecvTimeoutError::Closed) => unreachable!("never closed"),
+                    }
+                }
+            };
+            let sender = {
+                let q = Arc::clone(&q);
+                move |ctx: &mut bq_sim::explore::Ctx| {
+                    let id = ctx.invoke(Op::Enqueue(77));
+                    q.send(&mut hp, 77).unwrap();
+                    ctx.ret(id, Ret::EnqOk);
+                }
+            };
+            let qc = Arc::clone(&q);
+            RunSpec {
+                bodies: vec![Box::new(receiver), Box::new(sender)],
+                check: Box::new(move |h| {
+                    if qc.not_empty_event().waiter_count() != 0 {
+                        return Err("timed receiver leaked its waiter announce".into());
+                    }
+                    let mut dh = qc.register();
+                    let mut drained = Vec::new();
+                    while let Ok(v) = qc.try_recv(&mut dh) {
+                        drained.push(v);
+                    }
+                    conservation(h, &drained)
+                }),
+            }
+        }
+    };
+    let report = explore(&cfg(2), &mk);
+    assert_passed(&report, "timed recv vs send");
+    assert!(
+        timeouts.load(Ordering::SeqCst) > 0,
+        "no execution fired the timeout — cv_block_timed never chose the deadline"
+    );
+    assert!(
+        wakes.load(Ordering::SeqCst) > 0,
+        "no execution delivered the wake — the sender never won the race"
+    );
+    eprintln!(
+        "timed recv: {} executions ({} timeout-first, {} wake-first), {} pruned",
+        report.executions,
+        timeouts.load(Ordering::SeqCst),
+        wakes.load(Ordering::SeqCst),
+        report.pruned
+    );
+
+    // The replay contract extends through the timed path: the same
+    // schedule artifact re-runs a timed wait to the identical history
+    // (same winner of the race), byte for byte.
+    let base = replay(&ExploreConfig::default(), &bq_sim::Schedule::new(), mk());
+    assert_eq!(base.outcome, RunOutcomeKind::Completed);
+    let parsed: bq_sim::Schedule = base.schedule.to_string().parse().unwrap();
+    let r1 = replay(&ExploreConfig::default(), &parsed, mk());
+    let r2 = replay(&ExploreConfig::default(), &parsed, mk());
+    assert_eq!(r1.history, base.history, "timed replay reproduces history");
+    assert_eq!(r1.history, r2.history, "timed replay is deterministic");
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine vs enqueue (DESIGN.md §13.2)
+// ---------------------------------------------------------------------------
+
+/// A shard being quarantined mid-traffic: one worker enqueues while
+/// another quarantines shard 0 and then tries to quarantine shard 1 as
+/// well (which must be refused — last-healthy rule — in *every*
+/// interleaving, since the slot CAS has already consumed the only free
+/// slot). No interleaving may lose an element: enqueues that landed in
+/// shard 0 before the flag must still drain (dequeues visit quarantined
+/// shards), and enqueues after it are rerouted to shard 1.
+#[test]
+fn quarantine_racing_enqueues_conserves_elements() {
+    let mk = || {
+        let q = Arc::new(ShardedQueue::<OptimalQueue>::optimal(4, 2, 3));
+        let mut hp = q.register();
+        let mut hc = q.register();
+        let producer = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                for v in [51u64, 52] {
+                    let id = ctx.invoke(Op::Enqueue(v));
+                    match q.enqueue(&mut hp, v) {
+                        Ok(()) => ctx.ret(id, Ret::EnqOk),
+                        Err(_) => ctx.ret(id, Ret::EnqFull),
+                    }
+                }
+            }
+        };
+        let quarantiner = {
+            let q = Arc::clone(&q);
+            move |_ctx: &mut bq_sim::explore::Ctx| {
+                assert!(q.quarantine(0), "one free slot exists: claim succeeds");
+                assert!(
+                    !q.quarantine(1),
+                    "the last healthy shard must never be quarantined"
+                );
+            }
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Dequeue);
+                match q.dequeue(&mut hc) {
+                    Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                    None => ctx.ret(id, Ret::DeqEmpty),
+                }
+            }
+        };
+        let qc = Arc::clone(&q);
+        RunSpec {
+            bodies: vec![
+                Box::new(producer),
+                Box::new(quarantiner),
+                Box::new(consumer),
+            ],
+            check: Box::new(move |h| {
+                if qc.quarantined_count() >= qc.shard_count() {
+                    return Err("every shard quarantined: zero enqueue targets".into());
+                }
+                let mut dh = qc.register();
+                let mut drained = Vec::new();
+                // Dequeues visit quarantined shards too — anything that
+                // landed in shard 0 before the flag must come out here.
+                while let Some(v) = qc.dequeue(&mut dh) {
+                    drained.push(v);
+                }
+                conservation(h, &drained)
+            }),
+        }
+    };
+    let report = explore(&cfg(2), mk);
+    assert_passed(&report, "quarantine vs enqueue");
+    eprintln!(
+        "quarantine race: {} executions, {} pruned",
+        report.executions, report.pruned
+    );
 }
 
 // ---------------------------------------------------------------------------

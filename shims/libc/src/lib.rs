@@ -32,6 +32,21 @@ pub type ssize_t = isize;
 pub type off_t = i64;
 /// POSIX `pid_t`.
 pub type pid_t = i32;
+/// POSIX `time_t` (64-bit on the supported targets).
+pub type time_t = i64;
+/// POSIX `clockid_t` (Linux: a plain int).
+pub type clockid_t = c_int;
+
+/// `struct timespec` — seconds + nanoseconds, as `clock_gettime` and
+/// `nanosleep` consume it.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `0..1_000_000_000`.
+    pub tv_nsec: c_long,
+}
 
 /// `PROT_READ`: pages may be read.
 pub const PROT_READ: c_int = 0x1;
@@ -52,6 +67,9 @@ pub const SIGKILL: c_int = 9;
 pub const ESRCH: c_int = 3;
 /// `waitpid` flag: return immediately if no child has exited.
 pub const WNOHANG: c_int = 1;
+/// `CLOCK_MONOTONIC`: the non-settable since-boot clock the heartbeat
+/// lease comparisons use (consistent across processes on one machine).
+pub const CLOCK_MONOTONIC: clockid_t = 1;
 
 extern "C" {
     /// Map memory. See `mmap(2)`.
@@ -80,6 +98,11 @@ extern "C" {
     pub fn _exit(status: c_int) -> !;
     /// Yield the CPU. See `sched_yield(2)`.
     pub fn sched_yield() -> c_int;
+    /// Read a clock. See `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    /// High-resolution sleep (allocation-free, fork-child safe). See
+    /// `nanosleep(2)`.
+    pub fn nanosleep(req: *const timespec, rem: *mut timespec) -> c_int;
     /// Address of the thread-local `errno`.
     #[link_name = "__errno_location"]
     pub fn __errno_location() -> *mut c_int;
@@ -137,6 +160,28 @@ mod tests {
         unsafe {
             assert_eq!(kill(getpid(), 0), 0);
         }
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let read = || unsafe {
+            let mut ts = timespec {
+                tv_sec: 0,
+                tv_nsec: 0,
+            };
+            assert_eq!(clock_gettime(CLOCK_MONOTONIC, &mut ts), 0);
+            ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+        };
+        let a = read();
+        let req = timespec {
+            tv_sec: 0,
+            tv_nsec: 1_000_000, // 1 ms
+        };
+        unsafe {
+            nanosleep(&req, core::ptr::null_mut());
+        }
+        let b = read();
+        assert!(b > a, "CLOCK_MONOTONIC moved across a nanosleep");
     }
 
     #[test]

@@ -99,6 +99,19 @@ pub trait Hook {
     /// a notification arrived since [`cv_announce`](Hook::cv_announce)).
     fn cv_block(&self, loc: usize);
 
+    /// Timed variant of [`cv_block`](Hook::cv_block): the wait may end
+    /// either because condvar `loc` was notified (return `true`) or
+    /// because the deadline fired (return `false`). Under exploration
+    /// there is no wall clock — whether the timeout fires is a
+    /// *scheduling choice*, so the explorer can enumerate both the
+    /// wake-first and the timeout-first interleavings. The default
+    /// implementation degrades to an untimed block (timeouts never
+    /// fire), which keeps old hooks source-compatible.
+    fn cv_block_timed(&self, loc: usize) -> bool {
+        self.cv_block(loc);
+        true
+    }
+
     /// `notify_all` on condvar `loc`. Does not suspend.
     fn cv_notify(&self, loc: usize);
 }
@@ -178,6 +191,18 @@ pub fn cv_announce(loc: usize) {
 pub fn cv_block(loc: usize) {
     if let Some(h) = current() {
         h.cv_block(loc);
+    }
+}
+
+/// Cooperatively wait for a condvar notification *or* a timeout chosen
+/// by the scheduler; `true` means notified, `false` means the deadline
+/// fired. Without a hook this returns `true` immediately (the caller
+/// falls back to its real timed wait).
+#[inline]
+pub fn cv_block_timed(loc: usize) -> bool {
+    match current() {
+        Some(h) => h.cv_block_timed(loc),
+        None => true,
     }
 }
 

@@ -1,0 +1,261 @@
+//! The timer seam for deadline-wrapped futures: one lazily-spawned
+//! background thread, a binary heap of deadlines, and registered
+//! [`Waker`]s fired when their deadline passes.
+//!
+//! The async façade in `bq-core` needs exactly one capability the
+//! executor-agnostic design cannot get from the queue itself: "wake this
+//! task at instant `t` unless cancelled first". Runtimes bundle that
+//! with their reactor (tokio's timer wheel, async-std's timer); since
+//! the offline build has no runtime, this shim provides the minimal
+//! version — a global driver thread that sleeps (condvar
+//! `wait_timeout`, so new earlier deadlines interrupt the sleep) until
+//! the earliest registered deadline and then fires the due wakers.
+//! Swapping it for a real timer wheel is a one-line change in the crate
+//! manifests; the API is deliberately tiny:
+//!
+//! * [`schedule_at(deadline, waker)`](schedule_at) → [`TimerKey`]
+//! * [`cancel(key)`](cancel) — idempotent, O(log n) amortized
+//!
+//! ## Properties
+//!
+//! * **No timer, no thread**: the driver spawns on the first
+//!   `schedule_at` of the process and parks forever on an empty heap —
+//!   a program that never arms a timer never pays for one.
+//! * **Cancellation is O(1) bookkeeping**: cancelling removes the waker
+//!   from the live map; the heap entry is lazily discarded when it
+//!   surfaces (standard tombstone pattern, as in tokio's wheel). A
+//!   cancelled entry never fires its (already removed) waker.
+//! * **Firing happens outside the lock**: wakers can run arbitrary
+//!   executor code (and may re-enter `schedule_at`), so the driver
+//!   collects due wakers under the lock and calls `wake()` after
+//!   releasing it.
+//! * Keys are never reused (a `u64` counter), so a late `cancel` of an
+//!   already-fired timer is a no-op rather than a misfire of a
+//!   neighbour.
+
+#![deny(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::Waker;
+use std::time::Instant;
+
+/// Handle to a scheduled wake-up; pass to [`cancel`] to disarm it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerKey(u64);
+
+struct State {
+    /// Min-heap of (deadline, key); tombstoned entries (cancelled or
+    /// fired) are detected by absence from `live` when they surface.
+    heap: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// Wakers still armed, by key.
+    live: HashMap<u64, Waker>,
+    next_key: u64,
+    driver_running: bool,
+}
+
+struct Wheel {
+    state: Mutex<State>,
+    /// Signalled when a new earliest deadline may have been inserted.
+    cond: Condvar,
+}
+
+fn wheel() -> &'static Wheel {
+    static WHEEL: OnceLock<Wheel> = OnceLock::new();
+    WHEEL.get_or_init(|| Wheel {
+        state: Mutex::new(State {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_key: 1,
+            driver_running: false,
+        }),
+        cond: Condvar::new(),
+    })
+}
+
+/// Arm a wake-up: `waker.wake()` is called shortly after `deadline`
+/// unless [`cancel`] disarms the returned key first. A deadline already
+/// in the past fires as soon as the driver thread runs.
+pub fn schedule_at(deadline: Instant, waker: Waker) -> TimerKey {
+    let w = wheel();
+    let mut st = w.state.lock().expect("timer wheel poisoned");
+    let key = st.next_key;
+    st.next_key += 1;
+    st.heap.push(Reverse((deadline, key)));
+    st.live.insert(key, waker);
+    if !st.driver_running {
+        st.driver_running = true;
+        std::thread::Builder::new()
+            .name("timerwheel-driver".into())
+            .spawn(driver)
+            .expect("spawn timer driver");
+    }
+    drop(st);
+    // The new deadline may be earlier than what the driver sleeps on.
+    w.cond.notify_one();
+    TimerKey(key)
+}
+
+/// Disarm a scheduled wake-up. Idempotent; a no-op when the timer
+/// already fired. Returns `true` when the waker was still armed.
+pub fn cancel(key: TimerKey) -> bool {
+    let w = wheel();
+    let mut st = w.state.lock().expect("timer wheel poisoned");
+    st.live.remove(&key.0).is_some()
+    // The heap entry stays as a tombstone; the driver discards it.
+}
+
+/// Number of armed (not yet fired, not cancelled) timers — test
+/// instrumentation for leak checks.
+pub fn armed_count() -> usize {
+    wheel()
+        .state
+        .lock()
+        .expect("timer wheel poisoned")
+        .live
+        .len()
+}
+
+fn driver() {
+    let w = wheel();
+    let mut st = w.state.lock().expect("timer wheel poisoned");
+    loop {
+        // Discard tombstones and collect everything already due.
+        let mut due: Vec<Waker> = Vec::new();
+        let now = Instant::now();
+        let sleep_until = loop {
+            match st.heap.peek() {
+                None => break None,
+                Some(&Reverse((deadline, key))) => {
+                    if !st.live.contains_key(&key) {
+                        st.heap.pop(); // cancelled: lazy removal
+                    } else if deadline <= now {
+                        st.heap.pop();
+                        due.extend(st.live.remove(&key));
+                    } else {
+                        break Some(deadline);
+                    }
+                }
+            }
+        };
+        if !due.is_empty() {
+            // Fire outside the lock: a waker may call schedule_at.
+            drop(st);
+            for waker in due {
+                waker.wake();
+            }
+            st = w.state.lock().expect("timer wheel poisoned");
+            continue;
+        }
+        st = match sleep_until {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                w.cond
+                    .wait_timeout(st, timeout)
+                    .expect("timer wheel poisoned")
+                    .0
+            }
+            // Empty heap: park until the next schedule_at.
+            None => w.cond.wait(st).expect("timer wheel poisoned"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::task::{RawWaker, RawWakerVTable, Waker};
+    use std::time::Duration;
+
+    fn counting_waker(hits: Arc<AtomicUsize>) -> Waker {
+        fn clone(data: *const ()) -> RawWaker {
+            unsafe { Arc::increment_strong_count(data as *const AtomicUsize) };
+            RawWaker::new(data, &VTABLE)
+        }
+        fn wake(data: *const ()) {
+            let hits = unsafe { Arc::from_raw(data as *const AtomicUsize) };
+            hits.fetch_add(1, Ordering::SeqCst);
+        }
+        fn wake_by_ref(data: *const ()) {
+            unsafe { (*(data as *const AtomicUsize)).fetch_add(1, Ordering::SeqCst) };
+        }
+        fn drop_fn(data: *const ()) {
+            drop(unsafe { Arc::from_raw(data as *const AtomicUsize) });
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_fn);
+        let raw = RawWaker::new(Arc::into_raw(hits) as *const (), &VTABLE);
+        unsafe { Waker::from_raw(raw) }
+    }
+
+    #[test]
+    fn fires_after_deadline_and_not_before() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        schedule_at(
+            Instant::now() + Duration::from_millis(40),
+            counting_waker(Arc::clone(&hits)),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "not before the deadline");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while hits.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "timer never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "fires exactly once");
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires_and_leaks_nothing() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let key = schedule_at(
+            Instant::now() + Duration::from_millis(30),
+            counting_waker(Arc::clone(&hits)),
+        );
+        assert!(cancel(key), "was armed");
+        assert!(!cancel(key), "idempotent — and no misfire of a neighbour");
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "cancelled => silent");
+    }
+
+    #[test]
+    fn earlier_deadline_interrupts_a_long_sleep() {
+        let slow = Arc::new(AtomicUsize::new(0));
+        let fast = Arc::new(AtomicUsize::new(0));
+        // Put the driver to sleep on a far deadline first...
+        let slow_key = schedule_at(
+            Instant::now() + Duration::from_secs(300),
+            counting_waker(Arc::clone(&slow)),
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        // ...then demand an earlier wake.
+        let start = Instant::now();
+        schedule_at(
+            start + Duration::from_millis(30),
+            counting_waker(Arc::clone(&fast)),
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fast.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "early timer starved");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(slow.load(Ordering::SeqCst), 0);
+        cancel(slow_key);
+    }
+
+    #[test]
+    fn past_deadline_fires_promptly() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        schedule_at(
+            Instant::now() - Duration::from_millis(1),
+            counting_waker(Arc::clone(&hits)),
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while hits.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "past-deadline timer never fired");
+            std::thread::yield_now();
+        }
+    }
+}

@@ -13,7 +13,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
-use membq::core::{AsyncQueue, EventCount, OptimalQueue, ShardedQueue};
+use std::time::{Duration, Instant};
+
+use membq::core::{
+    AsyncQueue, BlockingQueue, EventCount, OptimalQueue, RecvTimeoutError, SendTimeoutError,
+    ShardedQueue,
+};
 use membq::sim::{check_history_pool, History, HistoryEvent, Op, OpId, Ret};
 use parking_lot::Mutex;
 
@@ -197,6 +202,152 @@ fn cancelled_batch_futures_conserve_elements() {
     assert!(poll_bounded(q.recv_many(&mut h, 3), 2).is_none());
     ec_quiescent(q.blocking().not_empty_event(), "after recv_many cancel");
     assert!(q.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Timed waits: deadlines across cancellation (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// The timer wheel is process-global, so the tests that assert on
+/// `timerwheel::armed_count` are serialized against each other.
+static TIMER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Zero and past deadlines return `Timeout` immediately — without
+/// parking, in both façades. The elapsed bound is generous (one
+/// scheduling quantum), but a real park would be unbounded here: nothing
+/// ever sends, so only the deadline path can return at all.
+#[test]
+fn past_deadline_timed_ops_return_immediately() {
+    let _serial = TIMER_LOCK.lock();
+    let bq: BlockingQueue<u64, OptimalQueue> =
+        BlockingQueue::new(OptimalQueue::with_capacity_and_threads(2, 1));
+    let mut h = bq.register();
+    let start = Instant::now();
+    assert_eq!(
+        bq.recv_deadline(&mut h, Instant::now()),
+        Err(RecvTimeoutError::Timeout),
+        "empty queue, due deadline"
+    );
+    assert_eq!(
+        bq.recv_timeout(&mut h, Duration::ZERO),
+        Err(RecvTimeoutError::Timeout),
+        "zero timeout"
+    );
+    bq.try_send(&mut h, 1).unwrap();
+    bq.try_send(&mut h, 2).unwrap();
+    assert_eq!(
+        bq.send_deadline(&mut h, 3, Instant::now() - Duration::from_secs(1)),
+        Err(SendTimeoutError::Timeout(3)),
+        "full queue, past deadline hands the value back"
+    );
+    ec_quiescent(bq.not_empty_event(), "blocking past-deadline recv");
+    ec_quiescent(bq.not_full_event(), "blocking past-deadline send");
+
+    let aq: AsyncQueue<u64, OptimalQueue> =
+        AsyncQueue::new(OptimalQueue::with_capacity_and_threads(2, 1));
+    let mut ah = aq.register();
+    assert_eq!(
+        pollster::block_on(aq.recv_deadline(&mut ah, Instant::now())),
+        Err(RecvTimeoutError::Timeout)
+    );
+    aq.try_send(&mut ah, 1).unwrap();
+    aq.try_send(&mut ah, 2).unwrap();
+    assert_eq!(
+        pollster::block_on(aq.send_timeout(&mut ah, 3, Duration::ZERO)),
+        Err(SendTimeoutError::Timeout(3))
+    );
+    ec_quiescent(aq.blocking().not_empty_event(), "async past-deadline recv");
+    ec_quiescent(aq.blocking().not_full_event(), "async past-deadline send");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "a due deadline parked: {:?}",
+        start.elapsed()
+    );
+}
+
+/// Cancelling a pending timed future must disarm its wheel timer and
+/// release its waker registration — a leaked timer would wake a stranger
+/// an hour later; a leaked registration would miscount waiters forever.
+#[test]
+fn cancelled_timed_futures_disarm_their_timers() {
+    let _serial = TIMER_LOCK.lock();
+    let q: AsyncQueue<u64, OptimalQueue> =
+        AsyncQueue::new(OptimalQueue::with_capacity_and_threads(2, 1));
+    let mut h = q.register();
+    let far = Duration::from_secs(3600);
+    let baseline = timerwheel::armed_count();
+
+    // Pending timed recv: one registration, one armed timer.
+    {
+        let (_flag, waker) = flag_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = q.recv_timeout(&mut h, far);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending(), "empty");
+        assert_eq!(q.blocking().not_empty_event().registered_wakers(), 1);
+        assert_eq!(timerwheel::armed_count(), baseline + 1, "timer armed");
+    } // dropped: cancelled mid-wait
+    assert_eq!(timerwheel::armed_count(), baseline, "recv timer disarmed");
+    ec_quiescent(q.blocking().not_empty_event(), "after timed recv cancel");
+
+    // Same for a pending timed send on a full queue.
+    q.try_send(&mut h, 1).unwrap();
+    q.try_send(&mut h, 2).unwrap();
+    {
+        let (_flag, waker) = flag_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = q.send_timeout(&mut h, 9, far);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending(), "full");
+        assert_eq!(timerwheel::armed_count(), baseline + 1);
+    }
+    assert_eq!(timerwheel::armed_count(), baseline, "send timer disarmed");
+    ec_quiescent(q.blocking().not_full_event(), "after timed send cancel");
+    assert_eq!(q.len(), 2, "cancelled timed send deposited nothing");
+}
+
+/// Spurious wakes neither satisfy nor break a timed wait: a receiver
+/// bombarded with content-free `wake_all`s keeps waiting, takes a late
+/// value over its (not yet due) deadline, and — when no value ever
+/// arrives — still times out rather than hanging.
+#[test]
+fn timed_recv_survives_spurious_wakes() {
+    // Thread bound 4: two successive receiver threads plus the main
+    // handle (registrations are permanent slots, not leases).
+    let q: Arc<BlockingQueue<u64, OptimalQueue>> = Arc::new(BlockingQueue::new(
+        OptimalQueue::with_capacity_and_threads(2, 4),
+    ));
+    // Phase 1: spurious wakes, then a real value — the value wins.
+    let q2 = Arc::clone(&q);
+    let rx = std::thread::spawn(move || {
+        let mut h = q2.register();
+        q2.recv_timeout(&mut h, Duration::from_secs(30))
+    });
+    let mut h = q.register();
+    for _ in 0..50 {
+        q.not_empty_event().wake_all(); // generation bump, no publish
+        std::thread::yield_now();
+    }
+    q.try_send(&mut h, 41).unwrap();
+    assert_eq!(rx.join().unwrap(), Ok(41), "value beats a far deadline");
+
+    // Phase 2: only spurious wakes — the deadline must still fire.
+    let q2 = Arc::clone(&q);
+    let rx = std::thread::spawn(move || {
+        let mut h = q2.register();
+        let start = Instant::now();
+        let r = q2.recv_timeout(&mut h, Duration::from_millis(40));
+        (r, start.elapsed())
+    });
+    for _ in 0..50 {
+        q.not_empty_event().wake_all();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (r, waited) = rx.join().unwrap();
+    assert_eq!(r, Err(RecvTimeoutError::Timeout));
+    assert!(
+        waited >= Duration::from_millis(40),
+        "timed out early at {waited:?}: a spurious wake was mistaken for a deadline"
+    );
+    ec_quiescent(q.not_empty_event(), "after spurious-wake rounds");
 }
 
 // ---------------------------------------------------------------------------
