@@ -1,0 +1,187 @@
+//! **Trajectory sanity check** — scans `BENCH_trajectory.jsonl` for
+//! headline numbers that violate their experiments' stated bars, so a
+//! regression (or an over-claim) is flagged the moment the line lands
+//! instead of months later when someone plots the file.
+//!
+//! The bars, from the experiments' own claims:
+//!
+//! * `E15-payload-4k`: `grant_speedup_vs_move ≥ 1.0` — the grant path is
+//!   the move path minus two payload copies, so it must not lose;
+//! * `E16-timed-pairs`: `uncontended_overhead_pct ≤ 5` — a timed op that
+//!   never parks never reads the clock (DESIGN.md §13);
+//! * `E17-obs-overhead`: `overhead_pct ≤ 5` — the always-on counters are
+//!   relaxed increments on pre-owned cache lines (DESIGN.md §14).
+//!
+//! **Smoke rows are non-binding**: `MEMBQ_SMOKE=1` workloads are sized to
+//! check plumbing, not performance, and percent-level comparisons drown
+//! in their noise (the archived trajectory demonstrates this — smoke
+//! E15 rows report speedups of ~0.45x that full-size runs do not
+//! reproduce). A smoke-row violation is therefore a *warning* (exit 0);
+//! only a full-size violation fails the check (exit 1).
+//!
+//! **Superseded rows are non-binding too**: the trajectory is an
+//! append-only log and re-measurement supersedes — the E17 side files
+//! deliberately converge on per-lane peaks across runs, so early rows of
+//! a session can violate a bar the settled comparison meets. Only the
+//! *last* row of each experiment is binding; earlier violations warn.
+//!
+//! Run: `cargo run -p bq-bench --bin trajectory_check [path]`
+
+use bq_bench::meta::{json_bool, json_f64, json_str};
+
+/// One flagged line.
+#[derive(Debug, PartialEq)]
+struct Flag {
+    line_no: usize,
+    experiment: String,
+    detail: String,
+    /// Smoke rows warn; full-size rows fail.
+    binding: bool,
+}
+
+/// Check one trajectory line against its experiment's bar.
+fn check_line(line_no: usize, line: &str) -> Option<Flag> {
+    let experiment = json_str(line, "experiment")?;
+    let smoke = json_bool(line, "smoke").unwrap_or(false);
+    let violation = match experiment {
+        "E15-payload-4k" => {
+            let v = json_f64(line, "grant_speedup_vs_move")?;
+            (v < 1.0).then(|| format!("grant_speedup_vs_move {v:.3} < 1.0"))
+        }
+        "E16-timed-pairs" => {
+            let v = json_f64(line, "uncontended_overhead_pct")?;
+            (v > 5.0).then(|| format!("uncontended_overhead_pct {v:.1} > 5"))
+        }
+        "E17-obs-overhead" => {
+            let v = json_f64(line, "overhead_pct")?;
+            (v > 5.0).then(|| format!("overhead_pct {v:.1} > 5"))
+        }
+        _ => None,
+    }?;
+    Some(Flag {
+        line_no,
+        experiment: experiment.to_string(),
+        detail: violation,
+        binding: !smoke,
+    })
+}
+
+/// Scan a whole trajectory file: per-line bar checks, then demote
+/// binding violations that a later row of the same experiment
+/// supersedes. Returns (lines checked, flags).
+fn evaluate(text: &str) -> (usize, Vec<Flag>) {
+    let mut checked = 0usize;
+    let mut flags = Vec::new();
+    // Last row per experiment: later rows supersede earlier ones (the
+    // log is append-only; re-measurement is the fix for a bad number).
+    let mut last_row: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        checked += 1;
+        if let Some(exp) = json_str(line, "experiment") {
+            last_row.insert(exp.to_string(), i + 1);
+        }
+        if let Some(f) = check_line(i + 1, line) {
+            flags.push(f);
+        }
+    }
+    for f in &mut flags {
+        if f.binding && last_row.get(&f.experiment) != Some(&f.line_no) {
+            f.binding = false;
+            f.detail.push_str(" [superseded by a later row]");
+        }
+    }
+    (checked, flags)
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trajectory.jsonl".to_string());
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!("trajectory_check: no {path} — nothing to check");
+        return;
+    };
+    let (checked, flags) = evaluate(&text);
+    let binding = flags.iter().filter(|f| f.binding).count();
+    for f in &flags {
+        println!(
+            "{}: {path}:{} {}: {}",
+            if f.binding {
+                "FAIL"
+            } else {
+                "warn (non-binding)"
+            },
+            f.line_no,
+            f.experiment,
+            f.detail
+        );
+    }
+    println!(
+        "trajectory_check: {checked} lines, {} flagged ({} binding)",
+        flags.len(),
+        binding
+    );
+    if binding > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_outliers_warn_and_full_size_outliers_fail() {
+        // The shapes actually present in the archived trajectory: smoke
+        // E15 grant speedups far below 1x, smoke E16 overheads past the
+        // 5% bar. Both must flag as non-binding.
+        let smoke_e15 = "{\"git_sha\":\"a\",\"smoke\":true,\"host_cores\":1,\
+             \"experiment\":\"E15-payload-4k\",\"grant_speedup_vs_move\":0.4541911270226061}";
+        let f = check_line(6, smoke_e15).expect("flagged");
+        assert!(!f.binding, "smoke rows warn only");
+        assert!(f.detail.contains("0.454"));
+
+        let smoke_e16 = "{\"git_sha\":\"a\",\"smoke\":true,\"host_cores\":1,\
+             \"experiment\":\"E16-timed-pairs\",\"uncontended_overhead_pct\":6.579}";
+        assert!(!check_line(5, smoke_e16).unwrap().binding);
+
+        let full_e17 = "{\"git_sha\":\"a\",\"smoke\":false,\"host_cores\":8,\
+             \"experiment\":\"E17-obs-overhead\",\"overhead_pct\":9.1}";
+        assert!(check_line(1, full_e17).unwrap().binding, "full-size fails");
+    }
+
+    #[test]
+    fn in_bar_lines_and_unknown_experiments_pass() {
+        let good_e15 = "{\"smoke\":false,\"experiment\":\"E15-payload-4k\",\
+             \"grant_speedup_vs_move\":2.61}";
+        assert_eq!(check_line(3, good_e15), None);
+        let good_e17 = "{\"smoke\":true,\"experiment\":\"E17-obs-overhead\",\
+             \"overhead_pct\":-0.3}";
+        assert_eq!(check_line(4, good_e17), None);
+        let other = "{\"smoke\":false,\"experiment\":\"E10a-pairs\",\"mops\":1.0}";
+        assert_eq!(check_line(9, other), None);
+        assert_eq!(check_line(1, "not json"), None);
+    }
+
+    #[test]
+    fn later_rows_supersede_earlier_violations() {
+        // The E17 converging protocol in action: an early full-size row
+        // violates the bar, the settled re-measurement meets it. Only
+        // the last row per experiment binds; a violating last row still
+        // fails.
+        let log = "{\"smoke\":false,\"experiment\":\"E17-obs-overhead\",\"overhead_pct\":23.8}\n\
+             {\"smoke\":false,\"experiment\":\"E16-timed-pairs\",\"uncontended_overhead_pct\":16.7}\n\
+             {\"smoke\":false,\"experiment\":\"E17-obs-overhead\",\"overhead_pct\":-3.0}\n";
+        let (checked, flags) = evaluate(log);
+        assert_eq!(checked, 3);
+        assert_eq!(flags.len(), 2);
+        let e17 = flags.iter().find(|f| f.experiment.contains("E17")).unwrap();
+        assert!(!e17.binding, "superseded by the in-bar re-measurement");
+        assert!(e17.detail.contains("superseded"), "{:?}", e17.detail);
+        let e16 = flags.iter().find(|f| f.experiment.contains("E16")).unwrap();
+        assert!(e16.binding, "a violating last row still fails");
+    }
+}

@@ -115,9 +115,62 @@ pub fn append_trajectory(meta: &RunMeta, experiment: &str, summary: &[(&str, f64
     writeln!(f, "{line}").expect("append BENCH_trajectory.jsonl");
 }
 
+// -- minimal JSON field extraction ---------------------------------------
+//
+// The vendored serde shim serializes only, so the few places that read
+// bench artifacts back (the E17 two-pass comparison, `trajectory_check`)
+// extract flat `"key": value` fields textually. Good enough for the
+// machine-written one-level documents these tools consume; not a JSON
+// parser.
+
+/// First numeric value for `key` in a flat JSON text.
+pub fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let rest = json_raw(text, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// First string value for `key` in a flat JSON text (no escape handling:
+/// the writers only emit plain identifiers here).
+pub fn json_str<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let rest = json_raw(text, key)?.strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// First boolean value for `key` in a flat JSON text.
+pub fn json_bool(text: &str, key: &str) -> Option<bool> {
+    let rest = json_raw(text, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn json_raw<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    Some(text[at..].trim_start())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_field_extraction_reads_what_the_writers_emit() {
+        let line =
+            "{\"git_sha\":\"abc\",\"smoke\":true,\"experiment\":\"E17\",\"overhead_pct\":-1.25e0}";
+        assert_eq!(json_str(line, "experiment"), Some("E17"));
+        assert_eq!(json_bool(line, "smoke"), Some(true));
+        assert_eq!(json_f64(line, "overhead_pct"), Some(-1.25));
+        assert_eq!(json_f64(line, "missing"), None);
+        assert_eq!(json_str(line, "smoke"), None, "non-string value");
+    }
 
     #[test]
     fn meta_has_all_provenance_fields() {

@@ -51,6 +51,12 @@ pub trait DynQueue: Send + Sync {
     /// Batch dequeue on behalf of thread `tid`: up to `max` elements
     /// appended to `out`; returns the count.
     fn dequeue_many(&self, tid: usize, max: usize, out: &mut Vec<u64>) -> usize;
+    /// Observability snapshot (DESIGN.md §14): the queue's counter blocks
+    /// flattened to `name → value`. Empty without the `obs` feature (and
+    /// for implementations with no counters of their own).
+    fn metrics(&self) -> bq_core::MetricsSnapshot {
+        bq_core::MetricsSnapshot::new()
+    }
 }
 
 struct Registered<Q: ConcurrentQueue + MemoryFootprint> {
@@ -125,6 +131,15 @@ impl<Q: ConcurrentQueue + MemoryFootprint> DynQueue for Registered<Q> {
     fn dequeue_many(&self, tid: usize, max: usize, out: &mut Vec<u64>) -> usize {
         let mut h = self.handles[tid].lock();
         self.q.dequeue_many(&mut h, max, out)
+    }
+
+    fn metrics(&self) -> bq_core::MetricsSnapshot {
+        // Fold every slot's handle-local deltas in first: the dyn
+        // interface owns the handles, so callers cannot flush them.
+        for h in self.handles.iter() {
+            self.q.flush_metrics(&mut h.lock());
+        }
+        self.q.metrics()
     }
 }
 
@@ -220,6 +235,14 @@ impl DynQueue for ByteTokenQueue {
             n += 1;
         }
         n
+    }
+
+    fn metrics(&self) -> bq_core::MetricsSnapshot {
+        let mut snap = bq_core::MetricsSnapshot::new();
+        if cfg!(feature = "obs") {
+            snap.push("bytes_used_hwm", self.prod.lock().bytes_used_hwm());
+        }
+        snap
     }
 }
 
@@ -543,6 +566,26 @@ mod tests {
             assert!(q.enqueue(0, 5));
             assert_eq!(q.dequeue(1), Some(5));
         }
+    }
+
+    #[test]
+    fn metrics_flow_through_the_dyn_interface() {
+        // The instrumented facades report through `DynQueue::metrics`;
+        // with `obs` off every snapshot is empty (the zero-cost contract).
+        let q = QueueKind::Optimal.build(8, 2);
+        assert!(q.enqueue(0, 1));
+        assert_eq!(q.dequeue(1), Some(1));
+        let snap = q.metrics();
+        if cfg!(feature = "obs") {
+            assert_eq!(snap.get("enq_success"), Some(1), "{snap}");
+            assert_eq!(snap.get("deq_success"), Some(1), "{snap}");
+        } else {
+            assert!(snap.is_empty());
+        }
+        // And kinds with no counters of their own stay harmlessly empty.
+        let ms = QueueKind::Ms.build(8, 1);
+        ms.enqueue(0, 9);
+        assert!(ms.metrics().is_empty());
     }
 
     #[test]

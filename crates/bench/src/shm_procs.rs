@@ -183,6 +183,15 @@ pub fn shm_crash_round(writes_before_kill: u64) -> u64 {
 /// conservation failure — the caller prints the plan's `plan:v1:`
 /// artifact beforehand, so a red soak log replays exactly.
 pub fn shm_fault_round(plan: &FaultPlan) -> u64 {
+    shm_fault_round_with_stats(plan).0
+}
+
+/// [`shm_fault_round`] plus the segment's post-round cross-process
+/// metrics snapshot (poison count, per-process attempt/claim/reclaim
+/// tallies — DESIGN.md §14). The snapshot is taken *after* the recover
+/// sweep and the drain, so it is the round's post-mortem: the dead
+/// producer's counters are still in it.
+pub fn shm_fault_round_with_stats(plan: &FaultPlan) -> (u64, bq_core::MetricsSnapshot) {
     // Short fault-free streams must fit the capacity: the consumer only
     // forks after the producer is reaped, so nothing drains concurrently.
     const CALM_STREAM: u64 = 6;
@@ -269,7 +278,7 @@ pub fn shm_fault_round(plan: &FaultPlan) -> u64 {
         assert_eq!(count, CALM_STREAM, "refusals/delays must not drop values");
     }
     assert!(q.is_empty(), "faulted state must be reclaimed, not wedged");
-    count
+    (count, q.stats_snapshot())
 }
 
 #[cfg(test)]
@@ -305,11 +314,18 @@ mod tests {
             ..FaultPlan::default()
         };
         assert_eq!(shm_fault_round(&calm), 6);
-        // Lethal plan: same gate arithmetic as the crash-round test.
+        // Lethal plan: same gate arithmetic as the crash-round test. The
+        // post-round snapshot reports the reclaimed orphan and keeps the
+        // dead producer's per-process tallies (3 attempts, 3 won claims).
         let lethal = FaultPlan {
             kill_after: Some(12),
             ..FaultPlan::default()
         };
-        assert_eq!(shm_fault_round(&lethal), 2);
+        let (count, snap) = shm_fault_round_with_stats(&lethal);
+        assert_eq!(count, 2);
+        assert_eq!(snap.get("poisoned"), Some(1));
+        assert_eq!(snap.get("proc0.attempts"), Some(3));
+        assert_eq!(snap.get("proc0.claims"), Some(3));
+        assert_eq!(snap.get("proc0.dead"), Some(1));
     }
 }

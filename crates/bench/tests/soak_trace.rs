@@ -1,0 +1,49 @@
+//! The soak binary's failure-artifact contract (DESIGN.md §14): a forced
+//! round failure must exit non-zero and leave a one-line `trace:v1:`
+//! artifact that parses back and re-renders **byte-identically** — the
+//! same round-trip contract `FaultPlan`'s `plan:v1:` artifact honors.
+
+use bq_core::obs::{parse_trace, render_trace, trace_kind};
+
+#[test]
+fn forced_soak_failure_dumps_a_round_tripping_trace_artifact() {
+    let dir = std::env::temp_dir().join(format!("membq-soak-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Round 0 is forced to fail before any workload runs, so the test is
+    // fast and the trace is deterministic in shape: one ROUND_START, one
+    // FAIL, both for round 0.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_soak"))
+        .arg("1")
+        .env("MEMBQ_SOAK_FORCE_FAIL", "0")
+        .current_dir(&dir)
+        .output()
+        .expect("run soak");
+    assert!(
+        !out.status.success(),
+        "forced failure must exit non-zero (stdout: {})",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("trace:v1:"),
+        "failure output carries the artifact: {stderr}"
+    );
+
+    let artifact_file = dir.join("BENCH_soak_trace.txt");
+    let written = std::fs::read_to_string(&artifact_file).expect("artifact file written");
+    let line = written.trim_end();
+
+    // Byte-identical round trip through the codec.
+    let events = parse_trace(line).expect("artifact parses");
+    assert_eq!(render_trace(&events), line, "render∘parse is identity");
+
+    // And the events tell the failure's story.
+    assert_eq!(events[0].kind, trace_kind::ROUND_START);
+    assert_eq!(events[0].arg, 0);
+    let last = events.last().unwrap();
+    assert_eq!(last.kind, trace_kind::FAIL);
+    assert_eq!(last.arg, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

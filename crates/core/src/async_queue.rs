@@ -269,6 +269,15 @@ impl<T: Send, Q: PointerCapable> AsyncQueue<T, Q> {
     pub fn is_empty(&self) -> bool {
         self.sync.is_empty()
     }
+
+    /// Observability snapshot (DESIGN.md §14). The async façade drives
+    /// the *same* two eventcounts as the blocking one, so this is
+    /// exactly [`BlockingQueue::metrics`]: task registrations appear as
+    /// `not_full.task_parks` / `not_empty.task_parks`. Empty with `obs`
+    /// off.
+    pub fn metrics(&self) -> crate::obs::MetricsSnapshot {
+        self.sync.metrics()
+    }
 }
 
 /// Per-future wait state: at most one live waker registration.

@@ -651,6 +651,29 @@ impl<T: Send, Q: PointerCapable> BlockingQueue<T, Q> {
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
     }
+
+    /// Observability snapshot (DESIGN.md §14): the inner queue's own
+    /// counters, then the two eventcounts' waiter statistics under
+    /// `not_full.` / `not_empty.` prefixes. The async façade shares the
+    /// same eventcounts, so task parks show up here too. Empty with
+    /// `obs` off.
+    /// Data-path counts from operations on a still-live handle appear
+    /// only after that handle drops, a
+    /// [`flush_metrics`](BlockingQueue::flush_metrics) call, or the
+    /// periodic fold (`LOCAL_FLUSH_PERIOD` operations).
+    pub fn metrics(&self) -> crate::obs::MetricsSnapshot {
+        let mut snap = self.inner.inner().metrics();
+        self.not_full.snapshot_into("not_full.", &mut snap);
+        self.not_empty.snapshot_into("not_empty.", &mut snap);
+        snap
+    }
+
+    /// Fold `h`'s handle-local data-path counters into the shared block
+    /// so the next [`metrics`](BlockingQueue::metrics) read is exact for
+    /// this handle's operations (DESIGN.md §14.1).
+    pub fn flush_metrics(&self, h: &mut BoxedHandle<Q>) {
+        self.inner.flush_metrics(h);
+    }
 }
 
 #[cfg(test)]
@@ -1115,6 +1138,45 @@ mod tests {
         // transition of the inner ring).
         assert_eq!(q.recv(&mut h), Some(1));
         assert_eq!(q.recv(&mut h), None);
+    }
+
+    /// DESIGN.md §14: the façade snapshot stitches the data path's
+    /// counters to the waiting stack's, with nothing fabricated when
+    /// `obs` is off.
+    #[test]
+    fn facade_metrics_cover_data_path_and_waiting_stack() {
+        let q = make(2, 1);
+        let mut h = q.register();
+        q.try_send(&mut h, 1).unwrap();
+        q.try_send(&mut h, 2).unwrap();
+        assert_eq!(q.try_send(&mut h, 3), Err(TrySendError::Full(3)));
+        assert_eq!(
+            q.recv_timeout(&mut h, Duration::from_millis(5)).ok(),
+            Some(1)
+        );
+        assert_eq!(
+            q.recv_many_timeout(&mut h, 4, Duration::from_millis(5)),
+            Ok(vec![2])
+        );
+        assert_eq!(
+            q.recv_timeout(&mut h, Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        // The handle is still live: fold its data-path deltas in first
+        // (the §14.1 visibility contract this test also documents).
+        q.flush_metrics(&mut h);
+        let snap = q.metrics();
+        if cfg!(feature = "obs") {
+            assert_eq!(snap.get("enq_success"), Some(2));
+            assert_eq!(snap.get("enq_full"), Some(1));
+            assert!(
+                snap.get("not_empty.timeout_expiries").unwrap() >= 1,
+                "the timed-out recv parked on not_empty: {snap}"
+            );
+            assert_eq!(snap.get("not_full.timeout_expiries"), Some(0));
+        } else {
+            assert!(snap.is_empty(), "obs off: no fabricated zeros");
+        }
     }
 
     #[test]

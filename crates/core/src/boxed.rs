@@ -91,6 +91,13 @@ impl<T: Send, Q: PointerCapable> BoxedQueue<T, Q> {
         &self.inner
     }
 
+    /// Fold this handle's observability deltas into the inner queue's
+    /// shared counter block, making them visible to `metrics()` reads
+    /// while the handle stays live (DESIGN.md §14.1).
+    pub fn flush_metrics(&self, h: &mut BoxedHandle<Q>) {
+        self.inner.flush_metrics(&mut h.inner);
+    }
+
     /// Enqueue an owned value; returns it back when the queue is full.
     pub fn enqueue(&self, h: &mut BoxedHandle<Q>, value: T) -> Result<(), T> {
         let ptr = Box::into_raw(Box::new(value));

@@ -25,6 +25,9 @@ struct Shared {
     // ownership: `_buf` owns the bytes, `ring` addresses them.
     _buf: RelocBuf,
     ring: RelocByteRing,
+    /// Highest `bytes_used` observed at a producer publication
+    /// (DESIGN.md §14); a ZST no-op with `obs` off.
+    used_hwm: crate::obs::Counter,
 }
 
 // SAFETY: the ring layout is self-contained in `_buf` and the SPSC
@@ -55,7 +58,11 @@ pub fn byte_ring(cap_bytes: usize, max_msg: usize) -> (ByteProducer, ByteConsume
     let buf = RelocBuf::zeroed(RelocByteRing::layout(cap_bytes));
     // SAFETY: buf satisfies layout(cap_bytes) and is exclusively owned.
     let ring = unsafe { RelocByteRing::init_at(buf.base(), cap_bytes, max_msg) };
-    let shared = Arc::new(Shared { _buf: buf, ring });
+    let shared = Arc::new(Shared {
+        _buf: buf,
+        ring,
+        used_hwm: crate::obs::Counter::new(),
+    });
     (
         ByteProducer {
             shared: Arc::clone(&shared),
@@ -81,19 +88,41 @@ impl ByteProducer {
     pub fn try_grant(&mut self, len: usize) -> Option<ByteWriteGrant<'_>> {
         // SAFETY: `&mut self` on the unique producer endpoint is the
         // single-producer discipline the ring op requires.
-        unsafe { self.shared.ring.producer_grant(len) }
+        let g = unsafe { self.shared.ring.producer_grant(len) };
+        if cfg!(feature = "obs") && g.is_some() {
+            // The reservation is not in `bytes_used` until the commit,
+            // so count the full reserved record here (an upper bound
+            // when the grant commits fewer than `len` bytes).
+            let reserved = crate::relocatable::byte_record_size(len);
+            self.shared
+                .used_hwm
+                .record_max((self.shared.ring.bytes_used() + reserved) as u64);
+        }
+        g
     }
 
     /// Copy-convenience enqueue of one message. `false` when the ring
     /// lacks room.
     pub fn push(&mut self, msg: &[u8]) -> bool {
         // SAFETY: as in `try_grant`.
-        unsafe { self.shared.ring.producer_push(msg) }
+        let ok = unsafe { self.shared.ring.producer_push(msg) };
+        if cfg!(feature = "obs") && ok {
+            self.shared
+                .used_hwm
+                .record_max(self.shared.ring.bytes_used() as u64);
+        }
+        ok
     }
 
     /// Bytes currently in flight (records + wrap padding).
     pub fn bytes_used(&self) -> usize {
         self.shared.ring.bytes_used()
+    }
+
+    /// Highest `bytes_used` ever observed at a publication — the ring's
+    /// occupancy high-watermark (DESIGN.md §14). Always 0 with `obs` off.
+    pub fn bytes_used_hwm(&self) -> u64 {
+        self.shared.used_hwm.get()
     }
 }
 
@@ -187,6 +216,12 @@ mod tests {
             assert_eq!(&*g, b"hello");
         }
         assert_eq!(rx.bytes_used(), 0);
+        // The occupancy high-watermark survives the drain (obs only).
+        if cfg!(feature = "obs") {
+            assert!(tx.bytes_used_hwm() > 0, "publication raised the HWM");
+        } else {
+            assert_eq!(tx.bytes_used_hwm(), 0, "obs off: no recording");
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ use std::sync::atomic::Ordering;
 use std::task::Waker;
 use std::time::{Duration, Instant};
 
+use crate::obs::{MetricsSnapshot, WaitCounters};
 use crate::simx::{SimAtomicU64, SimAtomicUsize, SimCondvar, SimMutex};
 
 /// Identifies one registered waker within an [`EventCount`]'s waiter
@@ -86,6 +87,51 @@ pub struct EventCount {
     /// Number of waiters between announcement and un-park — parked (or
     /// about-to-park) threads plus registered wakers.
     waiters: SimAtomicUsize,
+    /// Waiter statistics (DESIGN.md §14); a ZST with `obs` off. Purely
+    /// observational: nothing in the protocol above reads it.
+    obs: WaitCounters,
+}
+
+/// Lazily-armed park-latency timer: the clock is read only when a park
+/// actually happens, and only with `obs` on outside `sim-explore` — so
+/// the success path stays clock-free (the E16 property) and explored
+/// schedules stay deterministic (samples are 0 there).
+struct ParkTimer {
+    #[cfg(all(feature = "obs", not(feature = "sim-explore")))]
+    start: Option<Instant>,
+}
+
+impl ParkTimer {
+    fn new() -> ParkTimer {
+        ParkTimer {
+            #[cfg(all(feature = "obs", not(feature = "sim-explore")))]
+            start: None,
+        }
+    }
+
+    /// Called at the first actual park.
+    #[inline]
+    fn arm(&mut self) {
+        #[cfg(all(feature = "obs", not(feature = "sim-explore")))]
+        if self.start.is_none() {
+            self.start = Some(Instant::now());
+        }
+    }
+
+    /// Nanoseconds since the first park (0 when never armed, when `obs`
+    /// is off, or under `sim-explore`).
+    #[inline]
+    fn elapsed_ns(&self) -> u64 {
+        #[cfg(all(feature = "obs", not(feature = "sim-explore")))]
+        {
+            return self
+                .start
+                .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                .unwrap_or(0);
+        }
+        #[allow(unreachable_code)]
+        0
+    }
 }
 
 impl EventCount {
@@ -99,7 +145,14 @@ impl EventCount {
             cond: SimCondvar::new(),
             generation: SimAtomicU64::new(0),
             waiters: SimAtomicUsize::new(0),
+            obs: WaitCounters::new(),
         }
+    }
+
+    /// Append this eventcount's waiter statistics to `snap` under
+    /// `prefix` (DESIGN.md §14). Nothing is appended with `obs` off.
+    pub fn snapshot_into(&self, prefix: &str, snap: &mut MetricsSnapshot) {
+        self.obs.snapshot_into(prefix, snap);
     }
 
     /// Current wake generation. A waiter snapshots this before its final
@@ -116,9 +169,15 @@ impl EventCount {
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
+        self.obs.wakes.hit();
         let drained: Vec<Waker> = {
             let mut list = self.gate.lock();
             self.generation.fetch_add(1, Ordering::SeqCst);
+            // Everyone announced at this moment (parked threads + listed
+            // wakers) is woken by the broadcast below.
+            self.obs
+                .woken
+                .add(self.waiters.load(Ordering::SeqCst) as u64);
             if list.entries.is_empty() {
                 Vec::new()
             } else {
@@ -143,6 +202,8 @@ impl EventCount {
         if let Some(r) = attempt() {
             return r;
         }
+        let mut timer = ParkTimer::new();
+        let mut parked = false;
         loop {
             self.waiters.fetch_add(1, Ordering::SeqCst);
             let gen = self.generation.load(Ordering::SeqCst);
@@ -150,11 +211,22 @@ impl EventCount {
             // notifier that read `waiters` before our increment.
             if let Some(r) = attempt() {
                 self.waiters.fetch_sub(1, Ordering::SeqCst);
+                if parked {
+                    self.obs.park_ns.record(timer.elapsed_ns());
+                }
                 return r;
+            }
+            if parked {
+                // We were woken (or skipped a park on a stale generation)
+                // and the condition is still false.
+                self.obs.spurious_wakes.hit();
             }
             {
                 let mut guard = self.gate.lock();
                 if self.generation.load(Ordering::SeqCst) == gen {
+                    self.obs.thread_parks.hit();
+                    timer.arm();
+                    parked = true;
                     self.cond.wait(&mut guard);
                 }
             }
@@ -186,10 +258,14 @@ impl EventCount {
             if self.generation.load(Ordering::SeqCst) != gen {
                 true
             } else {
+                self.obs.thread_parks.hit();
                 self.cond.wait_deadline(&mut guard, deadline)
             }
         };
         self.waiters.fetch_sub(1, Ordering::SeqCst);
+        if !woke {
+            self.obs.timeout_expiries.hit();
+        }
         woke
     }
 
@@ -230,6 +306,8 @@ impl EventCount {
             return Some(r);
         }
         let mut deadline: Option<Instant> = None;
+        let mut timer = ParkTimer::new();
+        let mut parked = false;
         loop {
             self.waiters.fetch_add(1, Ordering::SeqCst);
             let gen = self.generation.load(Ordering::SeqCst);
@@ -237,7 +315,13 @@ impl EventCount {
             // notifier that read `waiters` before our increment.
             if let Some(r) = attempt() {
                 self.waiters.fetch_sub(1, Ordering::SeqCst);
+                if parked {
+                    self.obs.park_ns.record(timer.elapsed_ns());
+                }
                 return Some(r);
+            }
+            if parked {
+                self.obs.spurious_wakes.hit();
             }
             // First park only: this is the single place the clock is
             // read, so uncontended timed ops never touch a timer.
@@ -245,6 +329,9 @@ impl EventCount {
             let woke = {
                 let mut guard = self.gate.lock();
                 if self.generation.load(Ordering::SeqCst) == gen {
+                    self.obs.thread_parks.hit();
+                    timer.arm();
+                    parked = true;
                     self.cond.wait_deadline(&mut guard, dl)
                 } else {
                     true
@@ -253,6 +340,10 @@ impl EventCount {
             self.waiters.fetch_sub(1, Ordering::SeqCst);
             if !woke {
                 // Deadline fired: one final attempt, then report timeout.
+                self.obs.timeout_expiries.hit();
+                if parked {
+                    self.obs.park_ns.record(timer.elapsed_ns());
+                }
                 return attempt();
             }
         }
@@ -278,6 +369,7 @@ impl EventCount {
         list.next_id += 1;
         list.entries.push((id, waker.clone()));
         self.waiters.fetch_add(1, Ordering::SeqCst);
+        self.obs.task_parks.hit();
         Some(WaiterId(id))
     }
 
@@ -521,6 +613,34 @@ mod tests {
         ec.wake_all(); // spurious: nothing changed
         assert!(t.join().unwrap().is_none(), "timed out despite the wake");
         assert_eq!(ec.waiter_count(), 0);
+    }
+
+    /// DESIGN.md §14: the waiter statistics observe the protocol without
+    /// participating in it.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn wait_statistics_count_parks_timeouts_and_registrations() {
+        let ec = EventCount::new();
+        // A task registration is a task park.
+        let (_f, w) = flag_waker();
+        let id = ec.register(ec.generation(), &w).unwrap();
+        ec.deregister(id);
+        // A timed wait that never succeeds parks and expires.
+        let r = ec.wait_until_timeout(Duration::from_millis(5), || None::<()>);
+        assert!(r.is_none());
+        let mut snap = MetricsSnapshot::new();
+        ec.snapshot_into("ec.", &mut snap);
+        assert_eq!(snap.get("ec.task_parks"), Some(1));
+        assert_eq!(snap.get("ec.timeout_expiries"), Some(1));
+        assert!(snap.get("ec.thread_parks").unwrap() >= 1);
+        // The park latency histogram recorded exactly the parked waits.
+        let hist_total: u64 = snap
+            .entries()
+            .iter()
+            .filter(|(n, _)| n.starts_with("ec.park_ns_p2_"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(hist_total, 1, "one completed parked wait, one sample");
     }
 
     #[test]

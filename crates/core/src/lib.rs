@@ -64,6 +64,7 @@ pub mod distinct;
 pub mod event;
 pub mod llsc_queue;
 pub mod naive;
+pub mod obs;
 pub mod optimal;
 pub mod queue;
 pub mod relocatable;
@@ -88,6 +89,7 @@ pub use distinct::{DistinctHandle, DistinctQueue};
 pub use event::{EventCount, WaiterId};
 pub use llsc_queue::{LlScHandle, LlScQueue};
 pub use naive::{NaiveHandle, NaiveQueue};
+pub use obs::{MetricsSnapshot, TraceEvent, TraceRing};
 pub use optimal::{OptimalHandle, OptimalQueue};
 pub use queue::{ConcurrentQueue, EnqueueError, Full, SeqRingQueue};
 pub use relocatable::{

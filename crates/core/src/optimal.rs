@@ -45,6 +45,7 @@
 
 use std::sync::atomic::Ordering;
 
+use crate::obs::{LocalQueueCounters, MetricsSnapshot, SharedQueueCounters};
 use crate::queue::{ConcurrentQueue, Full};
 use crate::relocatable::{AnnounceBoard, RelocBuf, RelocEnqOp};
 use crate::simx::{SimAtomicU64, SimAtomicUsize};
@@ -131,6 +132,13 @@ pub struct OptimalQueue {
     /// Serialization point for verdicts (packed ref or 0 = ⊥).
     active_op: SimAtomicU64,
     next_tid: SimAtomicUsize,
+    /// Observability counter block (DESIGN.md §14). A ZST with `obs`
+    /// off; plain `std` relaxed atomics with it on, so the counters are
+    /// never explorer scheduling points and never synchronize anything.
+    /// Per-operation counts accumulate in the *handle* (plain `u64`s)
+    /// and fold in here on handle drop / flush — this shared block is
+    /// off the hot path entirely.
+    obs: SharedQueueCounters,
 }
 
 // SAFETY: the board's atomics carry all cross-thread communication (the
@@ -139,18 +147,26 @@ pub struct OptimalQueue {
 unsafe impl Send for OptimalQueue {}
 unsafe impl Sync for OptimalQueue {}
 
-/// Per-thread handle (thread id into the announcement machinery).
+/// Per-thread handle: the thread id into the announcement machinery,
+/// plus the handle-local observability accumulator (DESIGN.md §14.1 —
+/// a ZST with `obs` off).
 #[derive(Debug)]
 pub struct OptimalHandle {
     #[allow(dead_code)]
     tid: usize,
+    obs: LocalQueueCounters,
 }
 
 impl OptimalHandle {
     /// Handle on tid 0 without consuming a registration slot. Only sound
-    /// under exclusive access (used by `BoxedQueue::drop`).
+    /// under exclusive access (used by `BoxedQueue::drop`). Its counter
+    /// accumulator is detached — drain statistics during teardown are
+    /// not part of the queue's operational story.
     pub(crate) fn exclusive() -> Self {
-        OptimalHandle { tid: 0 }
+        OptimalHandle {
+            tid: 0,
+            obs: SharedQueueCounters::new().local(),
+        }
     }
 }
 
@@ -174,6 +190,7 @@ impl OptimalQueue {
             _board_buf: board_buf,
             active_op: SimAtomicU64::new(0),
             next_tid: SimAtomicUsize::new(0),
+            obs: SharedQueueCounters::new(),
         }
     }
 
@@ -358,6 +375,8 @@ impl OptimalQueue {
             let cur = self.active_op.load(Ordering::SeqCst);
             if cur != 0 {
                 if let Some(cur_view) = self.view_packed(cur) {
+                    // Helping another thread's announced descriptor.
+                    self.obs.helps.hit();
                     self.try_put(cur_view);
                 }
                 let _ = self
@@ -546,24 +565,30 @@ impl ConcurrentQueue for OptimalQueue {
             "more threads registered than the queue was sized for (T = {})",
             self.board.threads()
         );
-        OptimalHandle { tid }
+        OptimalHandle {
+            tid,
+            obs: self.obs.local(),
+        }
     }
 
-    fn enqueue(&self, _h: &mut OptimalHandle, x: u64) -> Result<(), Full> {
+    fn enqueue(&self, h: &mut OptimalHandle, x: u64) -> Result<(), Full> {
         assert!(
             is_token(x),
             "optimal queue tokens are non-zero 63-bit words"
         );
         let c = self.a.len() as u64;
+        h.obs.enq_attempt();
         loop {
             // Read the counters snapshot (paper lines 36–37).
             let e = self.enqueues.load(Ordering::SeqCst);
             let d = self.dequeues.load(Ordering::SeqCst);
             if e != self.enqueues.load(Ordering::SeqCst) {
+                h.obs.enq_retry();
                 continue;
             }
             // Is the queue full?
             if e == d + c {
+                h.obs.enq_full();
                 return Err(Full(x));
             }
             // Announce and try to apply (paper line 39).
@@ -579,6 +604,7 @@ impl ConcurrentQueue for OptimalQueue {
                         Ordering::SeqCst,
                         Ordering::SeqCst,
                     );
+                    h.obs.enq_success((e + 1).saturating_sub(d));
                     return Ok(());
                 }
                 Outcome::FailHelp => {
@@ -589,26 +615,31 @@ impl ConcurrentQueue for OptimalQueue {
                         Ordering::SeqCst,
                     );
                     self.free_desc(view);
+                    h.obs.enq_retry();
                 }
                 Outcome::FailNoHelp => {
                     self.free_desc(view);
+                    h.obs.enq_retry();
                 }
             }
         }
     }
 
-    fn dequeue(&self, _h: &mut OptimalHandle) -> Option<u64> {
+    fn dequeue(&self, h: &mut OptimalHandle) -> Option<u64> {
         let c = self.a.len() as u64;
+        h.obs.deq_attempt();
         loop {
             // Counters + element snapshot (paper lines 29–31).
             let d = self.dequeues.load(Ordering::SeqCst);
             let e = self.enqueues.load(Ordering::SeqCst);
             let x = self.read_elem((d % c) as usize);
             if d != self.dequeues.load(Ordering::SeqCst) {
+                h.obs.deq_retry();
                 continue;
             }
             // Is the queue empty?
             if e == d {
+                h.obs.deq_empty();
                 return None;
             }
             debug_assert_ne!(x, NULL, "non-empty position must hold an element");
@@ -617,8 +648,10 @@ impl ConcurrentQueue for OptimalQueue {
                 .compare_exchange(d, d + 1, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
+                h.obs.deq_success();
                 return Some(x);
             }
+            h.obs.deq_retry();
         }
     }
 
@@ -634,6 +667,16 @@ impl ConcurrentQueue for OptimalQueue {
         let e = self.enqueues.load(Ordering::SeqCst);
         let d = self.dequeues.load(Ordering::SeqCst);
         e.saturating_sub(d) as usize
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        self.obs.snapshot_into("", &mut snap);
+        snap
+    }
+
+    fn flush_metrics(&self, h: &mut OptimalHandle) {
+        h.obs.flush();
     }
 }
 

@@ -116,6 +116,25 @@ pub trait ConcurrentQueue: Send + Sync {
         }
         n
     }
+
+    // ---- observability (DESIGN.md §14) -----------------------------------
+
+    /// A point-in-time reading of this queue's observability counters
+    /// (the `obs` feature; [`MetricsSnapshot`](crate::obs::MetricsSnapshot)
+    /// is always compiled). The default is empty: queues without counter
+    /// blocks report nothing rather than fabricated zeros, and with `obs`
+    /// off the instrumented queues report nothing too.
+    fn metrics(&self) -> crate::obs::MetricsSnapshot {
+        crate::obs::MetricsSnapshot::new()
+    }
+
+    /// Fold any handle-local counter deltas into the queue's shared
+    /// block so a subsequent [`metrics`](ConcurrentQueue::metrics) read
+    /// is exact for this handle's operations (DESIGN.md §14.1 — the
+    /// hot path accumulates in the handle and folds in on drop, on this
+    /// call, or every `LOCAL_FLUSH_PERIOD` operations). The default is
+    /// a no-op: uninstrumented queues have nothing to fold.
+    fn flush_metrics(&self, _h: &mut Self::Handle) {}
 }
 
 /// The sequential bounded queue of **Figure 1**: an array of `C` slots plus

@@ -58,6 +58,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crate::simx::SimAtomicUsize;
 
 use crate::boxed::PointerCapable;
+use crate::obs::{MetricsSnapshot, ShardCounters};
 use crate::optimal::OptimalQueue;
 use crate::queue::{ConcurrentQueue, Full};
 use crate::segment::SegmentQueue;
@@ -91,6 +92,11 @@ pub struct ShardedQueue<Q: ConcurrentQueue> {
     /// default) disables it — see [`set_quarantine_threshold`]
     /// (ShardedQueue::set_quarantine_threshold) for why it is opt-in.
     quarantine_threshold: SimAtomicUsize,
+    /// Scale-layer statistics (DESIGN.md §14); a ZST with `obs` off.
+    /// Per-shard *refusals* are deliberately not duplicated here: the
+    /// quarantine health counter below is the one refusal mechanism and
+    /// [`metrics`](ConcurrentQueue::metrics) reports it directly.
+    obs: ShardCounters,
 }
 
 /// Per-shard health: a consecutive-refusal counter (enqueue-side only —
@@ -131,6 +137,7 @@ impl<Q: ConcurrentQueue> ShardedQueue<Q> {
             health,
             quarantined_count: SimAtomicUsize::new(0),
             quarantine_threshold: SimAtomicUsize::new(0),
+            obs: ShardCounters::new(),
         }
     }
 
@@ -174,7 +181,15 @@ impl<Q: ConcurrentQueue> ShardedQueue<Q> {
         let s = self.shards.len();
         for off in 0..s {
             let i = (h.home + off) % s;
+            if off > 0 {
+                // The scan left the home shard: a contention/imbalance
+                // signal regardless of where it ends up succeeding.
+                self.obs.rotations.hit();
+            }
             if let ControlFlow::Break(b) = visit(i, &self.shards[i], &mut h.handles[i]) {
+                if off > 0 {
+                    self.obs.steals.hit();
+                }
                 return Some(b);
             }
         }
@@ -236,6 +251,7 @@ impl<Q: ConcurrentQueue> ShardedQueue<Q> {
             self.quarantined_count.fetch_sub(1, Ordering::SeqCst);
             return false;
         }
+        self.obs.quarantines.hit();
         true
     }
 
@@ -390,6 +406,47 @@ impl<Q: ConcurrentQueue> ConcurrentQueue for ShardedQueue<Q> {
 
     fn len(&self) -> usize {
         self.shards.iter().map(|q| q.len()).sum()
+    }
+
+    /// Scale-layer view: steal/rotation/quarantine counters, then — per
+    /// shard — the live quarantine health state and the sub-queue's own
+    /// metrics under a `shardN.` prefix. The `shardN.refusals` entries
+    /// read the **same** `SeqCst` health counter the auto-quarantine
+    /// threshold reads (DESIGN.md §14: one mechanism, two readers — obs
+    /// never keeps a parallel refusal count that could drift from the
+    /// one the containment protocol acts on).
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        self.obs.snapshot_into("", &mut snap);
+        #[cfg(feature = "obs")]
+        {
+            snap.push(
+                "quarantined_count",
+                self.quarantined_count.load(Ordering::SeqCst) as u64,
+            );
+            for (i, health) in self.health.iter().enumerate() {
+                snap.push(
+                    format!("shard{i}.refusals"),
+                    health.refusals.load(Ordering::SeqCst) as u64,
+                );
+                snap.push(
+                    format!("shard{i}.quarantined"),
+                    health.quarantined.load(Ordering::SeqCst) as u64,
+                );
+            }
+            for (i, q) in self.shards.iter().enumerate() {
+                for (name, v) in q.metrics().entries() {
+                    snap.push(format!("shard{i}.{name}"), *v);
+                }
+            }
+        }
+        snap
+    }
+
+    fn flush_metrics(&self, h: &mut ShardedHandle<Q>) {
+        for (q, sh) in self.shards.iter().zip(h.handles.iter_mut()) {
+            q.flush_metrics(sh);
+        }
     }
 }
 
@@ -623,6 +680,61 @@ mod tests {
         assert_eq!(q.shard_refusals(1), 0, "accept resets the counter");
         assert!(q.un_quarantine(0));
         assert_eq!(q.shard_refusals(0), 0, "un-quarantine resets too");
+    }
+
+    /// S2 seam regression: the metrics snapshot and the quarantine
+    /// threshold read the *same* per-shard refusal counter, and the
+    /// last-healthy-shard invariant holds identically with `obs` on and
+    /// off (this test compiles both ways and is run in both CI lanes).
+    #[test]
+    fn quarantine_and_metrics_share_one_refusal_counter() {
+        let q = sharded(4, 2, 1);
+        let mut h = q.register();
+        for v in 1..=4 {
+            q.enqueue(&mut h, v).unwrap(); // both shards full
+        }
+        assert_eq!(q.enqueue(&mut h, 9), Err(Full(9))); // each shard refuses once
+        #[cfg(feature = "obs")]
+        {
+            let snap = q.metrics();
+            assert_eq!(
+                snap.get("shard0.refusals"),
+                Some(q.shard_refusals(0) as u64),
+                "snapshot reads the quarantine counter, not a copy"
+            );
+            assert_eq!(
+                snap.get("shard1.refusals"),
+                Some(q.shard_refusals(1) as u64)
+            );
+            assert!(snap.get("rotations").unwrap() >= 1, "full sweep rotated");
+            assert_eq!(snap.get("quarantined_count"), Some(0));
+            assert!(
+                snap.get("shard0.enq_attempts").is_some(),
+                "sub-queue metrics nest under the shard prefix"
+            );
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            assert!(q.metrics().is_empty(), "obs off: no fabricated zeros");
+            assert!(q.shard_refusals(0) >= 1, "functional counter still live");
+        }
+        // The containment invariant is identical in both configurations:
+        // the threshold trips shard 0, and the last healthy shard
+        // survives no matter how many refusals it records.
+        q.set_quarantine_threshold(1);
+        assert_eq!(q.enqueue(&mut h, 9), Err(Full(9)));
+        assert!(q.is_quarantined(0), "threshold tripped");
+        assert!(
+            !q.is_quarantined(1),
+            "last healthy shard protected, obs on or off"
+        );
+        #[cfg(feature = "obs")]
+        {
+            let snap = q.metrics();
+            assert_eq!(snap.get("quarantines"), Some(1));
+            assert_eq!(snap.get("shard0.quarantined"), Some(1));
+            assert_eq!(snap.get("quarantined_count"), Some(1));
+        }
     }
 
     #[test]

@@ -70,8 +70,9 @@ fn pid_is_dead(pid: u32) -> bool {
 /// loop only continues on lost CAS races, each of which means another
 /// claimant made progress — but it still backs off (spin → yield) so a
 /// pile-up of claimants after a death converges instead of thrashing the
-/// claim line.
-fn claim_role(word: &SimAtomicU64) -> Result<(), RoleHeld> {
+/// claim line. `Ok(true)` means the claim was a *steal* from a dead
+/// holder (the caller attributes the reclaim — DESIGN.md §14).
+fn claim_role(word: &SimAtomicU64) -> Result<bool, RoleHeld> {
     let me = std::process::id() as u64;
     let mut backoff = bq_core::retry::Backoff::new();
     loop {
@@ -81,7 +82,7 @@ fn claim_role(word: &SimAtomicU64) -> Result<(), RoleHeld> {
                 .compare_exchange(0, me, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                return Ok(());
+                return Ok(false);
             }
             backoff.snooze();
             continue; // raced; re-read
@@ -91,7 +92,7 @@ fn claim_role(word: &SimAtomicU64) -> Result<(), RoleHeld> {
                 .compare_exchange(cur, me, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                return Ok(());
+                return Ok(true);
             }
             backoff.snooze();
             continue;
@@ -209,15 +210,41 @@ impl ShmByteRing {
     /// holder's pid while the role is held by a live process; a dead
     /// holder's claim is stolen.
     pub fn producer(&self) -> Result<ShmByteProducer, RoleHeld> {
-        claim_role(self.ring.prod_claim())?;
-        Ok(ShmByteProducer { ring: self.clone() })
+        let stole = claim_role(self.ring.prod_claim())?;
+        let proc_idx = self.note_role_claim(stole);
+        Ok(ShmByteProducer {
+            ring: self.clone(),
+            proc_idx,
+        })
     }
 
     /// Claim the consumer role for the calling process (same contract as
     /// [`producer`](Self::producer)).
     pub fn consumer(&self) -> Result<ShmByteConsumer, RoleHeld> {
-        claim_role(self.ring.cons_claim())?;
-        Ok(ShmByteConsumer { ring: self.clone() })
+        let stole = claim_role(self.ring.cons_claim())?;
+        let proc_idx = self.note_role_claim(stole);
+        Ok(ShmByteConsumer {
+            ring: self.clone(),
+            proc_idx,
+        })
+    }
+
+    /// Attribute a won role claim (and, for a steal from a dead holder,
+    /// the implied reclaim) to the calling process's table slot, so the
+    /// tallies survive this process like the queue's do (DESIGN.md §14).
+    fn note_role_claim(&self, stole: bool) -> usize {
+        let idx = self.seg.find_or_register_self();
+        self.seg.note_proc_claim(idx);
+        if stole {
+            self.seg.note_proc_reclaim(idx);
+        }
+        idx
+    }
+
+    /// Cross-process metrics for this ring's segment — the byte-ring
+    /// mirror of [`ShmQueue::stats_snapshot`](crate::ShmQueue::stats_snapshot).
+    pub fn stats_snapshot(&self) -> bq_core::MetricsSnapshot {
+        self.seg.stats_snapshot()
     }
 
     /// Proactively release every endpoint whose holder the pid oracle
@@ -249,6 +276,7 @@ impl ShmByteRing {
 /// check instead.
 pub struct ShmByteProducer {
     ring: ShmByteRing,
+    proc_idx: usize,
 }
 
 // SAFETY: the endpoint is the unique producer by claim-word contract;
@@ -260,6 +288,7 @@ impl ShmByteProducer {
     /// bytes (`None` when the ring lacks room). Fill and `commit(used)`;
     /// dropping the grant aborts.
     pub fn try_grant(&mut self, len: usize) -> Option<ByteWriteGrant<'_>> {
+        self.ring.seg.note_proc_attempt(self.proc_idx);
         // SAFETY: holding the claimed endpoint is the single-producer
         // discipline the ring op requires.
         unsafe { self.ring.ring.producer_grant(len) }
@@ -267,6 +296,7 @@ impl ShmByteProducer {
 
     /// Copy-convenience enqueue. `false` when the ring lacks room.
     pub fn push(&mut self, msg: &[u8]) -> bool {
+        self.ring.seg.note_proc_attempt(self.proc_idx);
         // SAFETY: as in `try_grant`.
         unsafe { self.ring.ring.producer_push(msg) }
     }
@@ -274,6 +304,11 @@ impl ShmByteProducer {
     /// The underlying ring (counters, geometry).
     pub fn ring(&self) -> &ShmByteRing {
         &self.ring
+    }
+
+    /// This endpoint's process-table slot (counter attribution).
+    pub fn proc_idx(&self) -> usize {
+        self.proc_idx
     }
 }
 
@@ -287,6 +322,7 @@ impl Drop for ShmByteProducer {
 /// [`ShmByteProducer`]).
 pub struct ShmByteConsumer {
     ring: ShmByteRing,
+    proc_idx: usize,
 }
 
 // SAFETY: unique consumer by claim-word contract.
@@ -297,6 +333,7 @@ impl ShmByteConsumer {
     /// space is reclaimed when the grant drops — a process dying with a
     /// live grant redelivers the message to its successor.
     pub fn try_read(&mut self) -> Option<ByteReadGrant<'_>> {
+        self.ring.seg.note_proc_attempt(self.proc_idx);
         // SAFETY: holding the claimed endpoint is the single-consumer
         // discipline the ring op requires.
         unsafe { self.ring.ring.consumer_read() }
@@ -304,6 +341,7 @@ impl ShmByteConsumer {
 
     /// Copy-convenience dequeue appending to `out`. `false` when empty.
     pub fn pop(&mut self, out: &mut Vec<u8>) -> bool {
+        self.ring.seg.note_proc_attempt(self.proc_idx);
         // SAFETY: as in `try_read`.
         unsafe { self.ring.ring.consumer_pop(out) }
     }
@@ -311,6 +349,11 @@ impl ShmByteConsumer {
     /// The underlying ring (counters, geometry).
     pub fn ring(&self) -> &ShmByteRing {
         &self.ring
+    }
+
+    /// This endpoint's process-table slot (counter attribution).
+    pub fn proc_idx(&self) -> usize {
+        self.proc_idx
     }
 }
 
@@ -376,7 +419,16 @@ mod tests {
         // Plant a pid that certainly does not exist: pid_max on Linux
         // defaults well below this, and kill(, 0) then reports ESRCH.
         ring.ring.prod_claim().store(0x3FFF_FF17, Ordering::SeqCst);
-        let _tx = ring.producer().expect("dead holder must be stolen from");
+        let mut tx = ring.producer().expect("dead holder must be stolen from");
+        // The steal is attributed to the stealer's table slot, and the
+        // endpoint's data-plane ops count as its attempts.
+        let me = tx.proc_idx();
+        assert!(tx.push(b"x"));
+        assert!(tx.push(b"y"));
+        let snap = ring.stats_snapshot();
+        assert_eq!(snap.get(&format!("proc{me}.claims")), Some(1));
+        assert_eq!(snap.get(&format!("proc{me}.reclaims")), Some(1));
+        assert_eq!(snap.get(&format!("proc{me}.attempts")), Some(2));
     }
 
     #[test]

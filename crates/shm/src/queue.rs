@@ -221,6 +221,16 @@ impl<T: Pod> ShmQueue<T> {
         }
     }
 
+    /// Cross-process metrics for this queue's segment: the poison count
+    /// plus every registered process's attempt/claim/reclaim counters
+    /// (DESIGN.md §14). The counters live *in the segment*, so a
+    /// `SIGKILL`ed participant's tallies remain readable here — call
+    /// after [`recover`](Self::recover) for the post-mortem view.
+    /// Always live (not `obs`-gated: segment layout is shared state).
+    pub fn stats_snapshot(&self) -> bq_core::MetricsSnapshot {
+        self.seg.stats_snapshot()
+    }
+
     /// Capacity `C`.
     pub fn capacity(&self) -> usize {
         self.ring.capacity()
@@ -246,7 +256,11 @@ impl<T: Pod> ShmQueue<T> {
     /// both orphan kinds (see the table in the module docs): an orphaned
     /// `CLAIMED` never linearized (the position yields no element), an
     /// orphaned `CONSUMING` linearized at its claim (the element is gone).
-    fn reclaim(&self, slot: usize, observed: u64, round: u64) -> bool {
+    /// `by` is the process-table slot of the acting survivor (for the
+    /// per-process reclaim counter); `None` from an unregistered caller
+    /// (e.g. a bare `recover` sweep) leaves the reclaim unattributed —
+    /// the segment-wide poison count records it either way.
+    fn reclaim(&self, slot: usize, observed: u64, round: u64, by: Option<usize>) -> bool {
         let won = self
             .ring
             .seq(slot)
@@ -259,6 +273,9 @@ impl<T: Pod> ShmQueue<T> {
             .is_ok();
         if won {
             self.seg.note_poison();
+            if let Some(idx) = by {
+                self.seg.note_proc_reclaim(idx);
+            }
             let _ = self.ring.head().compare_exchange(
                 round,
                 round + 1,
@@ -300,7 +317,7 @@ impl<T: Pod> ShmQueue<T> {
                 // The same verdict-then-CAS as the lazy path; `reclaim`
                 // only CASes on the observed word, so a slot a racing
                 // survivor already handled is left alone (and uncounted).
-                && self.reclaim(slot, w, r)
+                && self.reclaim(slot, w, r, None)
             {
                 reclaimed += 1;
             }
@@ -318,6 +335,11 @@ impl<T: Pod> ShmQueue<T> {
         if h.faults.take_refusal() {
             return Err(v); // injected refusal: full, nothing touched
         }
+        // Per-process attempt count in the segment (DESIGN.md §14): one
+        // tick per real protocol entry, attributed to this handle's slot
+        // so it survives the process. Injected refusals stay uncounted —
+        // they touch no shared state by contract.
+        self.seg.note_proc_attempt(h.proc_idx);
         h.crash_gate(); // kill point 0: before any shared write
         loop {
             let t = self.ring.tail().load(Ordering::SeqCst);
@@ -337,6 +359,7 @@ impl<T: Pod> ShmQueue<T> {
                     .is_ok()
                 {
                     // W1 done: the claim names us; the value is still ours.
+                    self.seg.note_proc_claim(h.proc_idx);
                     h.crash_gate();
                     let _ = self.ring.tail().compare_exchange(
                         t,
@@ -393,7 +416,7 @@ impl<T: Pod> ShmQueue<T> {
                     if self.dead(owner) {
                         // Orphaned enqueue from the previous round blocks
                         // the slot; reclaim it (it never linearized).
-                        self.reclaim(slot, w, r);
+                        self.reclaim(slot, w, r, Some(h.proc_idx));
                         continue;
                     }
                     return Err(v); // in-flight enqueue: transiently full
@@ -402,7 +425,7 @@ impl<T: Pod> ShmQueue<T> {
                     if self.dead(owner) {
                         // Orphaned dequeue: it linearized at its claim;
                         // finish its release.
-                        self.reclaim(slot, w, r);
+                        self.reclaim(slot, w, r, Some(h.proc_idx));
                         continue;
                     }
                     return Err(v); // consumer mid-dequeue: transiently full
@@ -422,6 +445,8 @@ impl<T: Pod> ShmQueue<T> {
         if h.faults.take_refusal() {
             return None; // injected refusal: empty, nothing touched
         }
+        // Per-process attempt count, as in `enqueue`.
+        self.seg.note_proc_attempt(h.proc_idx);
         let c = self.capacity() as u64;
         h.crash_gate(); // kill point 0: before any shared access
         loop {
@@ -444,6 +469,7 @@ impl<T: Pod> ShmQueue<T> {
                             .is_ok()
                         {
                             // V1 done: linearized — the element is ours.
+                            self.seg.note_proc_claim(h.proc_idx);
                             h.crash_gate();
                             let _ = self.ring.head().compare_exchange(
                                 hd,
@@ -478,7 +504,7 @@ impl<T: Pod> ShmQueue<T> {
                         if self.dead(owner) {
                             // Orphaned enqueue at the head: it never
                             // linearized; skip the position.
-                            self.reclaim(slot, w, hd);
+                            self.reclaim(slot, w, hd, Some(h.proc_idx));
                             continue;
                         }
                         return None; // in-flight enqueue: transiently empty
@@ -487,7 +513,7 @@ impl<T: Pod> ShmQueue<T> {
                         // Another consumer claimed `hd` but its head help
                         // hasn't landed. If it died, release for it.
                         if self.dead(owner) {
-                            self.reclaim(slot, w, hd);
+                            self.reclaim(slot, w, hd, Some(h.proc_idx));
                         } else {
                             let _ = self.ring.head().compare_exchange(
                                 hd,
@@ -775,6 +801,66 @@ mod tests {
         q.enqueue(&mut h, 7).unwrap();
         assert_eq!(q.dequeue(&mut h), Some(5));
         assert_eq!(q.dequeue(&mut h), Some(7));
+    }
+
+    #[test]
+    fn per_process_counters_attribute_ops_and_survive_the_owner() {
+        // The acceptance shape of DESIGN.md §14's cross-process story:
+        // a participant's attempt/claim counters live in the segment, so
+        // they remain readable after the participant dies, and the
+        // survivor's lazy reclaim is attributed to the survivor.
+        let q = ShmQueue::<u64>::create_anon(2).unwrap();
+        let mut h = q.register();
+        let me = h.proc_idx();
+        let ghost = q.segment().register_proc(u32::MAX - 5); // ESRCH ⇒ dead
+
+        // The "ghost process" runs one enqueue's W1 by hand (attempt +
+        // claim recorded, as the real path would) and dies before W4.
+        q.segment().note_proc_attempt(ghost);
+        let w0 = q.ring.seq(0).load(Ordering::SeqCst);
+        q.ring
+            .seq(0)
+            .compare_exchange(
+                w0,
+                pack(0, CLAIMED, ghost),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .unwrap();
+        q.segment().note_proc_claim(ghost);
+        q.ring
+            .tail()
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .unwrap();
+
+        // Survivor traffic: the enqueue lands at position 1; the dequeue
+        // hits the orphan at the head and reclaims it (attributed here).
+        q.enqueue(&mut h, 9).unwrap();
+        assert_eq!(q.dequeue(&mut h), Some(9));
+
+        let snap = q.stats_snapshot();
+        // The dead process's tallies survived it, in the segment.
+        assert_eq!(snap.get(&format!("proc{ghost}.attempts")), Some(1));
+        assert_eq!(snap.get(&format!("proc{ghost}.claims")), Some(1));
+        assert_eq!(snap.get(&format!("proc{ghost}.dead")), Some(1));
+        // The survivor: one enqueue + one dequeue, both claims won, and
+        // the reclaim of the ghost's orphan credited to it.
+        assert_eq!(snap.get(&format!("proc{me}.attempts")), Some(2));
+        assert_eq!(snap.get(&format!("proc{me}.claims")), Some(2));
+        assert_eq!(snap.get(&format!("proc{me}.reclaims")), Some(1));
+        assert_eq!(snap.get("poisoned"), Some(1));
+
+        // Injected refusals touch no shared state — counters included.
+        h.apply_plan(&crate::FaultPlan {
+            refuse_first: 1,
+            ..crate::FaultPlan::default()
+        });
+        assert_eq!(q.dequeue(&mut h), None);
+        assert_eq!(
+            q.stats_snapshot().get(&format!("proc{me}.attempts")),
+            Some(2),
+            "a refused op records no attempt"
+        );
     }
 
     #[test]

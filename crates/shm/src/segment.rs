@@ -33,8 +33,13 @@ use bq_core::relocatable::{align_up, PadAtomicU64};
 pub const SHM_MAGIC: u64 = 0x4d42_5153_4853_4547;
 /// Header format version; bumped on any layout change. Version 2 widened
 /// [`ProcSlot`] with the heartbeat/lease words of the health monitor
-/// (DESIGN.md §13) and added the poison counter to the header.
-pub const SHM_VERSION: u64 = 2;
+/// (DESIGN.md §13); version 3 widened it again with the per-process
+/// operation counters (attempts/claims/reclaims — DESIGN.md §14), which
+/// live in the segment so they survive the owner's death and can be
+/// reported by a post-`recover` snapshot. The counters are always
+/// present (a segment layout cannot depend on a cargo feature: every
+/// attached process must agree on the framing byte-for-byte).
+pub const SHM_VERSION: u64 = 3;
 /// Process-table size. 8 bits of owner index are packed into queue
 /// sequence words, but 64 keeps the header compact.
 pub const MAX_PROCS: usize = 64;
@@ -73,6 +78,21 @@ pub struct ProcSlot {
     /// Promised heartbeat interval in nanoseconds (0 = no lease: the
     /// process opted out of suspicion, e.g. short-lived registrants).
     pub lease_ns: AtomicU64,
+    /// Queue operations attempted by this process (DESIGN.md §14).
+    /// Statistics only — `Relaxed`, read by nothing in the protocols —
+    /// but stored here rather than in process memory so the count
+    /// survives a SIGKILL and tells the post-mortem how far the victim
+    /// got.
+    pub attempts: AtomicU64,
+    /// Slot transitions this process won: enqueue claims (W1) and
+    /// dequeue claims (V1) alike.
+    pub claims: AtomicU64,
+    /// Dead-owner reclaims this process performed as a *survivor*
+    /// (lazy reclaims and `recover` sweeps).
+    pub reclaims: AtomicU64,
+    /// Reserved (keeps the slot a power-of-two 64 bytes; always 0 in
+    /// version 3).
+    pub reserved: AtomicU64,
 }
 
 /// Segment header: identification words, scratch counters, process table.
@@ -315,6 +335,9 @@ impl ShmSegment {
             {
                 slot.dead.store(0, Ordering::Release);
                 slot.lease_ns.store(0, Ordering::Release);
+                slot.attempts.store(0, Ordering::Release);
+                slot.claims.store(0, Ordering::Release);
+                slot.reclaims.store(0, Ordering::Release);
                 slot.heartbeat.store(monotonic_ns(), Ordering::Release);
                 return i;
             }
@@ -326,6 +349,22 @@ impl ShmSegment {
     pub fn register_self(&self) -> usize {
         // SAFETY: getpid has no preconditions.
         self.register_proc(unsafe { libc::getpid() } as u32)
+    }
+
+    /// The slot already registered to the calling pid (and not flagged
+    /// dead), or a fresh registration. Role-based structures (the byte
+    /// ring's claimed endpoints) attribute their counters through this so
+    /// repeated claims in one process share one table slot instead of
+    /// consuming one per claim.
+    pub fn find_or_register_self(&self) -> usize {
+        // SAFETY: getpid has no preconditions.
+        let me = unsafe { libc::getpid() } as u64;
+        for (i, slot) in self.hdr().procs.iter().enumerate() {
+            if slot.pid.load(Ordering::Acquire) == me && slot.dead.load(Ordering::Acquire) == 0 {
+                return i;
+            }
+        }
+        self.register_self()
     }
 
     /// The pid registered in slot `idx` (0 = free).
@@ -413,6 +452,62 @@ impl ShmSegment {
             .collect()
     }
 
+    // -- the per-process operation counters (DESIGN.md §14) --------------
+
+    /// Count one queue-operation attempt by the process in slot `idx`.
+    /// `Relaxed`: a pure statistic, read by no protocol decision, living
+    /// in the segment only so it survives the owner's death.
+    pub fn note_proc_attempt(&self, idx: usize) {
+        self.hdr().procs[idx]
+            .attempts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful slot/record claim by slot `idx`.
+    pub fn note_proc_claim(&self, idx: usize) {
+        self.hdr().procs[idx].claims.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one dead-owner reclaim performed *by* slot `idx` (the
+    /// survivor doing the cleanup, not the victim).
+    pub fn note_proc_reclaim(&self, idx: usize) {
+        self.hdr().procs[idx]
+            .reclaims
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(attempts, claims, reclaims)` recorded by slot `idx` — readable
+    /// by any attached process, including after the slot's owner died.
+    pub fn proc_stats(&self, idx: usize) -> (u64, u64, u64) {
+        let slot = &self.hdr().procs[idx];
+        (
+            slot.attempts.load(Ordering::Relaxed),
+            slot.claims.load(Ordering::Relaxed),
+            slot.reclaims.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cross-process aggregation (DESIGN.md §14): one snapshot covering
+    /// every *registered* slot (`procN.attempts/claims/reclaims`, plus a
+    /// `procN.dead` marker) and the segment-wide poison count. Unlike
+    /// the in-process counter blocks this is **not** feature-gated: the
+    /// counters are part of the shm layout, so they are always live.
+    pub fn stats_snapshot(&self) -> bq_core::MetricsSnapshot {
+        let mut snap = bq_core::MetricsSnapshot::new();
+        snap.push("poisoned", self.poison_count());
+        for i in 0..MAX_PROCS {
+            if self.proc_pid(i) == 0 {
+                continue;
+            }
+            let (attempts, claims, reclaims) = self.proc_stats(i);
+            snap.push(format!("proc{i}.attempts"), attempts);
+            snap.push(format!("proc{i}.claims"), claims);
+            snap.push(format!("proc{i}.reclaims"), reclaims);
+            snap.push(format!("proc{i}.dead"), u64::from(self.proc_is_dead(i)));
+        }
+        snap
+    }
+
     // -- the poison counter ----------------------------------------------
 
     /// Record one fault-containment event (dead-owner reclaim, stolen
@@ -469,10 +564,13 @@ const _: () = {
     assert!(offset_of!(SegHdr, poisoned) == 40);
     assert!(offset_of!(SegHdr, scratch) == 128);
     assert!(offset_of!(SegHdr, procs) == 128 + SCRATCH_WORDS * 128);
-    assert!(size_of::<ProcSlot>() == 32);
+    assert!(size_of::<ProcSlot>() == 64);
     assert!(offset_of!(ProcSlot, heartbeat) == 16);
     assert!(offset_of!(ProcSlot, lease_ns) == 24);
-    assert!(size_of::<SegHdr>() == 128 + SCRATCH_WORDS * 128 + MAX_PROCS * 32);
+    assert!(offset_of!(ProcSlot, attempts) == 32);
+    assert!(offset_of!(ProcSlot, claims) == 40);
+    assert!(offset_of!(ProcSlot, reclaims) == 48);
+    assert!(size_of::<SegHdr>() == 128 + SCRATCH_WORDS * 128 + MAX_PROCS * 64);
 };
 
 #[cfg(test)]
@@ -534,6 +632,29 @@ mod tests {
         seg.set_lease(ghost, Duration::from_nanos(1));
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(seg.confirmed_suspects(), vec![ghost]);
+    }
+
+    #[test]
+    fn proc_counters_live_in_the_segment_and_survive_death_flags() {
+        let seg = ShmSegment::create_anon(64, 1).unwrap();
+        let me = seg.register_self();
+        seg.note_proc_attempt(me);
+        seg.note_proc_attempt(me);
+        seg.note_proc_claim(me);
+        // A ghost producer: counters written "by" it stay readable after
+        // it is known dead — the SIGKILL-survival property at slot level.
+        let ghost = seg.register_proc(u32::MAX - 3);
+        seg.note_proc_attempt(ghost);
+        seg.note_proc_claim(ghost);
+        assert!(seg.proc_is_dead(ghost));
+        seg.note_proc_reclaim(me); // the survivor cleaned up
+        assert_eq!(seg.proc_stats(me), (2, 1, 1));
+        assert_eq!(seg.proc_stats(ghost), (1, 1, 0));
+        let snap = seg.stats_snapshot();
+        assert_eq!(snap.get(&format!("proc{ghost}.attempts")), Some(1));
+        assert_eq!(snap.get(&format!("proc{ghost}.dead")), Some(1));
+        assert_eq!(snap.get(&format!("proc{me}.reclaims")), Some(1));
+        assert_eq!(snap.get("poisoned"), Some(0));
     }
 
     #[test]

@@ -290,6 +290,60 @@ fn one_recover_sweep_cleans_queue_and_endpoint_at_every_kill_point() {
     }
 }
 
+/// The cross-process observability acceptance test (DESIGN.md §14): the
+/// per-process attempt/claim counters live in the *segment*, so a
+/// `SIGKILL`ed producer's tallies outlive it and are reported by the
+/// snapshot taken after the survivor's `recover()` sweep.
+#[test]
+fn sigkill_victims_counters_survive_and_report_post_recover() {
+    let _g = FORK_LOCK.lock().unwrap();
+    let q = ShmQueue::<u64>::create_anon(4).unwrap();
+    let seg = q.segment().clone();
+
+    let qc = q.clone();
+    let child = fork_child(move || {
+        let mut h = qc.register();
+        qc.segment()
+            .scratch(7)
+            .store(h.proc_idx() as u64 + 1, Ordering::SeqCst);
+        // Each enqueue passes 5 gates (entry + W1–W4); a budget of 12
+        // completes two enqueues and dies after the third one's W2 —
+        // inside the claim window, leaving an orphaned CLAIMED slot.
+        h.arm_crash_after_writes(12);
+        for v in 1..=3u64 {
+            let _ = qc.enqueue(&mut h, v);
+        }
+    })
+    .unwrap();
+
+    assert_eq!(child.wait().unwrap(), ChildExit::Signaled(libc::SIGKILL));
+    let slot = seg.scratch(7).load(Ordering::SeqCst);
+    assert!(slot > 0, "child registered before arming");
+    let victim = slot as usize - 1;
+    seg.mark_dead(victim);
+
+    assert_eq!(q.recover(), 1, "the third enqueue's orphan is reclaimed");
+
+    // The post-recover snapshot reports the victim's full history even
+    // though the process is gone: three attempts, three won claims (the
+    // third claim was reclaimed, not un-counted), flagged dead.
+    let snap = q.stats_snapshot();
+    assert_eq!(snap.get(&format!("proc{victim}.attempts")), Some(3));
+    assert_eq!(snap.get(&format!("proc{victim}.claims")), Some(3));
+    assert_eq!(snap.get(&format!("proc{victim}.dead")), Some(1));
+    assert_eq!(snap.get("poisoned"), Some(1));
+
+    // Only the two linearized elements surface (the third died at W2,
+    // before its W4 publish).
+    let mut h = q.register();
+    assert_eq!(dequeue_or_wedge(&q, &mut h), 1);
+    assert_eq!(dequeue_or_wedge(&q, &mut h), 2);
+    // The next dequeue helps `head` past the reclaimed position and
+    // reports empty — the third value never linearized.
+    assert_eq!(q.dequeue(&mut h), None);
+    assert!(q.is_empty());
+}
+
 /// Mid-stream kill: a producer streaming values is killed at an arbitrary
 /// (but deterministic per write count) point; a consumer process drains
 /// to empty and the parent checks the consumed multiset is exactly the

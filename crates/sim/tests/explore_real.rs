@@ -259,6 +259,89 @@ fn replay_reproduces_histories_byte_for_byte() {
     );
 }
 
+/// DESIGN.md §14: the obs counters are plain relaxed **host** atomics,
+/// not `SimAtomicU64`s — they never pass through the hook seam, so they
+/// add no scheduling points and the explorer enumerates byte-for-byte
+/// the same schedule tree whether `bq-core/obs` is compiled in or not.
+/// The execution count is pinned to a literal and this test runs in both
+/// CI lanes (`--features explore` and `--features explore,bq-core/obs`);
+/// if instrumentation ever leaks into the explored step sequence, one
+/// lane's count drifts off the pin.
+#[test]
+fn obs_counters_add_no_scheduling_points() {
+    // A fixed config on purpose (not `cfg()`): the pin must not move
+    // with `MEMBQ_SMOKE`.
+    let cfg = ExploreConfig {
+        preemption_bound: 2,
+        ..ExploreConfig::default()
+    };
+    let mk = || {
+        // 3 handles: producer, consumer, and the check's drain handle.
+        let q = Arc::new(OptimalQueue::with_capacity_and_threads(2, 3));
+        let mut hp = q.register();
+        let mut hc = q.register();
+        let producer = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Enqueue(7));
+                match q.enqueue(&mut hp, 7) {
+                    Ok(()) => ctx.ret(id, Ret::EnqOk),
+                    Err(_) => ctx.ret(id, Ret::EnqFull),
+                }
+            }
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            move |ctx: &mut bq_sim::explore::Ctx| {
+                let id = ctx.invoke(Op::Dequeue);
+                match q.dequeue(&mut hc) {
+                    Some(v) => ctx.ret(id, Ret::DeqVal(v)),
+                    None => ctx.ret(id, Ret::DeqEmpty),
+                }
+            }
+        };
+        let qc = Arc::clone(&q);
+        RunSpec {
+            bodies: vec![Box::new(producer), Box::new(consumer)],
+            check: Box::new(move |h| {
+                // With obs compiled in, every completed execution's
+                // counters must reconcile (the conservation law the
+                // stress test checks under real threads); without it the
+                // snapshot is empty. Either way the schedule tree is
+                // identical — that is the point of this test.
+                let m = qc.metrics();
+                if !m.is_empty() {
+                    let att = m.get("enq_attempts").unwrap_or(0);
+                    let ok = m.get("enq_success").unwrap_or(0);
+                    let full = m.get("enq_full").unwrap_or(0);
+                    if att != ok + full {
+                        return Err(format!(
+                            "enqueue counters do not reconcile: {att} != {ok} + {full}"
+                        ));
+                    }
+                }
+                let mut dh = qc.register();
+                let mut drained = Vec::new();
+                while let Some(v) = qc.dequeue(&mut dh) {
+                    drained.push(v);
+                }
+                conservation(h, &drained)
+            }),
+        }
+    };
+    let report = explore(&cfg, mk);
+    assert_passed(&report, "obs invariance 1P+1C");
+    assert_eq!(
+        report.executions, OBS_INVARIANCE_PINNED_EXECUTIONS,
+        "execution count drifted: obs instrumentation (or an engine \
+         change) altered the explored schedule tree"
+    );
+}
+
+/// The pin for [`obs_counters_add_no_scheduling_points`]. One literal,
+/// asserted identically in the obs-on and obs-off explorer lanes.
+const OBS_INVARIANCE_PINNED_EXECUTIONS: u64 = 54;
+
 // ---------------------------------------------------------------------------
 // Zero-copy grants on the sequenced ring (DESIGN.md §12)
 // ---------------------------------------------------------------------------

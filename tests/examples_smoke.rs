@@ -18,6 +18,7 @@ const EXAMPLES: &[&str] = &[
     "task_scheduler",
     "adversary_demo",
     "multi_process",
+    "observatory",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's own path

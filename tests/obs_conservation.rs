@@ -1,0 +1,172 @@
+//! The obs layer's conservation law under real threaded contention
+//! (DESIGN.md §14): on every instrumented facade,
+//! `enq_attempts == enq_success + enq_full` and
+//! `deq_attempts == deq_success + deq_empty` — an operation is counted
+//! exactly once, as exactly one outcome, no matter how the scheduler
+//! interleaves the CAS loops. With the `obs` feature off the same
+//! snapshots are empty and the counter blocks are zero-sized, which is
+//! the compile-time shape of the "always cheap" claim.
+//!
+//! Run both lanes: `cargo test --test obs_conservation` and
+//! `cargo test --features obs --test obs_conservation`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use membq::core::obs::MetricsSnapshot;
+use membq::prelude::*;
+
+/// Assert the two-sided conservation law on a snapshot, given the exact
+/// number of values that flowed through the queue.
+fn assert_conserved(m: &MetricsSnapshot, total: u64, what: &str) {
+    if !cfg!(feature = "obs") {
+        assert!(
+            m.is_empty(),
+            "{what}: obs is off but the snapshot has entries: {m}"
+        );
+        return;
+    }
+    let g = |k: &str| m.get(k).unwrap_or_else(|| panic!("{what}: missing {k}"));
+    assert_eq!(
+        g("enq_attempts"),
+        g("enq_success") + g("enq_full"),
+        "{what}: enqueue counters do not reconcile: {m}"
+    );
+    assert_eq!(
+        g("deq_attempts"),
+        g("deq_success") + g("deq_empty"),
+        "{what}: dequeue counters do not reconcile: {m}"
+    );
+    assert_eq!(g("enq_success"), total, "{what}: successful enqueues");
+    assert_eq!(g("deq_success"), total, "{what}: successful dequeues");
+}
+
+// 2 producers vs 2 consumers hammering a tiny queue: plenty of genuine
+// `Full`/empty refusals and CAS retries on both sides.
+
+#[test]
+fn optimal_queue_counters_reconcile_under_stress() {
+    let producers = 2usize;
+    let consumers = 2usize;
+    let per = 2_000u64;
+    let total = per * producers as u64;
+    let q = Arc::new(OptimalQueue::with_capacity_and_threads(
+        4,
+        producers + consumers,
+    ));
+    let consumed = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for _ in 0..producers {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut h = q.register();
+                for v in 1..=per {
+                    while q.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        for _ in 0..consumers {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            s.spawn(move || {
+                let mut h = q.register();
+                loop {
+                    let done = consumed.load(Ordering::Relaxed) >= total;
+                    match q.dequeue(&mut h) {
+                        Some(_) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None if done => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+
+    assert_conserved(&q.metrics(), total, "OptimalQueue");
+}
+
+#[test]
+fn sharded_queue_counters_reconcile_under_stress() {
+    let workers = 4usize;
+    let per = 1_500u64;
+    let total = per * 2;
+    let q = Arc::new(ShardedQueue::<OptimalQueue>::optimal(4, 2, workers));
+    let consumed = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut h = q.register();
+                for v in 1..=per {
+                    while q.enqueue(&mut h, v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            s.spawn(move || {
+                let mut h = q.register();
+                loop {
+                    let done = consumed.load(Ordering::Relaxed) >= total;
+                    match q.dequeue(&mut h) {
+                        Some(_) => {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None if done => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+
+    // The scale layer nests each sub-queue's block under `shardN.`; the
+    // conservation law holds shard-wise, so it holds on the sums.
+    let m = q.metrics();
+    if !cfg!(feature = "obs") {
+        assert!(m.is_empty(), "obs off but sharded snapshot has entries");
+        return;
+    }
+    let mut summed = MetricsSnapshot::new();
+    for key in [
+        "enq_attempts",
+        "enq_success",
+        "enq_full",
+        "deq_attempts",
+        "deq_success",
+        "deq_empty",
+    ] {
+        let suffix = format!(".{key}");
+        let sum: u64 = m
+            .entries()
+            .iter()
+            .filter(|(k, _)| k.ends_with(&suffix))
+            .map(|(_, v)| *v)
+            .sum();
+        summed.push(key, sum);
+    }
+    assert_conserved(&summed, total, "ShardedQueue<OptimalQueue>");
+}
+
+/// The zero-cost half of the contract, checked at the type level: with
+/// obs off every counter block is a ZST, so the queue structs carry
+/// exactly the fields they carried before the layer existed.
+#[test]
+fn obs_off_counters_are_zero_sized() {
+    use membq::core::obs::Counter;
+    if cfg!(feature = "obs") {
+        assert!(std::mem::size_of::<Counter>() > 0);
+    } else {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(Counter::new().get(), 0, "obs-off reads are constant 0");
+    }
+}
